@@ -1,0 +1,297 @@
+// Package revnic_test is the benchmark harness: one testing.B target
+// per table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`), plus ablation benchmarks for the
+// design choices DESIGN.md calls out (path-selection strategy,
+// polling-loop killing, symbolic vs concrete hardware).
+//
+// Each benchmark regenerates its experiment from scratch inside the
+// timing loop where that is the interesting cost (exploration,
+// synthesis), or reuses the shared reverse-engineering context where
+// the experiment itself is the product (figures/tables), reporting
+// the relevant headline metric via b.ReportMetric.
+package revnic_test
+
+import (
+	"sync"
+	"testing"
+
+	"revnic/internal/cfg"
+	"revnic/internal/core"
+	"revnic/internal/drivers"
+	"revnic/internal/experiments"
+	"revnic/internal/symexec"
+	"revnic/internal/synth"
+	"revnic/internal/template"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+	ctxErr  error
+)
+
+func sharedCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	ctxOnce.Do(func() { ctx, ctxErr = experiments.NewContext() })
+	if ctxErr != nil {
+		b.Fatal(ctxErr)
+	}
+	return ctx
+}
+
+// BenchmarkTable1 regenerates the driver-characteristics table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 4 {
+			b.Fatal("table1 rows")
+		}
+	}
+}
+
+// BenchmarkTable2 runs the full functionality-equivalence experiment
+// (original vs synthesized I/O traces for all four drivers).
+func BenchmarkTable2(b *testing.B) {
+	c := sharedCtx(b)
+	b.ResetTimer()
+	equal := 0
+	for i := 0; i < b.N; i++ {
+		reps, err := c.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		equal = 0
+		for _, r := range reps {
+			if r.IOTraceEqual {
+				equal++
+			}
+		}
+	}
+	b.ReportMetric(float64(equal), "drivers-trace-equal")
+}
+
+// BenchmarkTable3 regenerates the template-effort table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table3()) != 4 {
+			b.Fatal("table3")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the developer-effort table.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table4()) != 4 {
+			b.Fatal("table4")
+		}
+	}
+}
+
+func benchFigure(b *testing.B, run func() error) {
+	c := sharedCtx(b)
+	_ = c
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates RTL8139 throughput on x86.
+func BenchmarkFig2(b *testing.B) {
+	c := sharedCtx(b)
+	benchFigure(b, func() error { _, err := c.Fig2(); return err })
+}
+
+// BenchmarkFig3 regenerates RTL8139 CPU utilization on x86.
+func BenchmarkFig3(b *testing.B) {
+	c := sharedCtx(b)
+	benchFigure(b, func() error { _, err := c.Fig3(); return err })
+}
+
+// BenchmarkFig4 regenerates 91C111 throughput on the FPGA.
+func BenchmarkFig4(b *testing.B) {
+	c := sharedCtx(b)
+	var gap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := c.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(f.Series[0].Points) - 1
+		orig := f.Series[0].Points[last].ThroughputMbps
+		port := f.Series[1].Points[last].ThroughputMbps
+		gap = 100 * (orig - port) / orig
+	}
+	b.ReportMetric(gap, "fpga-gap-%")
+}
+
+// BenchmarkFig5 regenerates the in-driver CPU fraction.
+func BenchmarkFig5(b *testing.B) {
+	c := sharedCtx(b)
+	benchFigure(b, func() error { _, err := c.Fig5(); return err })
+}
+
+// BenchmarkFig6 regenerates RTL8029 throughput on QEMU.
+func BenchmarkFig6(b *testing.B) {
+	c := sharedCtx(b)
+	benchFigure(b, func() error { _, err := c.Fig6(); return err })
+}
+
+// BenchmarkFig7 regenerates PCNet throughput on VMware.
+func BenchmarkFig7(b *testing.B) {
+	c := sharedCtx(b)
+	benchFigure(b, func() error { _, err := c.Fig7(); return err })
+}
+
+// BenchmarkFig8 measures the full exploration run that produces the
+// coverage-vs-time curve for one driver (the expensive, interesting
+// cost of the whole system).
+func BenchmarkFig8(b *testing.B) {
+	info, err := drivers.ByName("RTL8029")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		rev, err := core.ReverseEngineer(info.Program, core.Options{
+			Shell: core.ShellConfig(info), DriverName: info.Name,
+			Engine: symexec.Config{Seed: int64(i)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = 100 * rev.Coverage()
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkFig9 regenerates the function-classification breakdown.
+func BenchmarkFig9(b *testing.B) {
+	c := sharedCtx(b)
+	var auto float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := c.Fig9()
+		total, autoN := 0, 0
+		for _, r := range rows {
+			total += r.TotalFuncs
+			autoN += r.Automated
+		}
+		auto = 100 * float64(autoN) / float64(total)
+	}
+	b.ReportMetric(auto, "auto-funcs-%")
+}
+
+// BenchmarkSynthesis isolates trace-to-C code generation (the
+// "100 MB/minute" synthesizer stage of §5.4).
+func BenchmarkSynthesis(b *testing.B) {
+	c := sharedCtx(b)
+	rev := c.Get("RTL8139")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := synth.Generate(rev.Graph, synth.Options{DriverName: "RTL8139"})
+		if len(out.Code) == 0 {
+			b.Fatal("empty code")
+		}
+	}
+}
+
+// BenchmarkCFGBuild isolates trace merging and CFG reconstruction.
+func BenchmarkCFGBuild(b *testing.B) {
+	c := sharedCtx(b)
+	rev := c.Get("RTL8139")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := cfg.Build(rev.Exploration.Collector)
+		if len(g.Funcs) == 0 {
+			b.Fatal("no functions")
+		}
+	}
+}
+
+// BenchmarkTemplateInstantiation isolates template filling for all
+// four target OSes.
+func BenchmarkTemplateInstantiation(b *testing.B) {
+	c := sharedCtx(b)
+	rev := c.Get("RTL8029")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, osk := range template.AllOS {
+			if s := rev.InstantiateTemplate(osk); len(s) == 0 {
+				b.Fatal("empty template")
+			}
+		}
+	}
+}
+
+// --- ablations ---------------------------------------------------------
+
+func explorationCoverage(b *testing.B, cfgTweak func(*symexec.Config)) float64 {
+	info, err := drivers.ByName("RTL8029")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecfg := symexec.Config{Seed: 3}
+	cfgTweak(&ecfg)
+	rev, err := core.ReverseEngineer(info.Program, core.Options{
+		Shell: core.ShellConfig(info), DriverName: info.Name, Engine: ecfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return 100 * rev.Coverage()
+}
+
+// BenchmarkAblationSearchMinCount / DFS / BFS compare the §3.2
+// path-selection heuristics.
+func BenchmarkAblationSearchMinCount(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.Strategy = symexec.StrategyMinCount })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkAblationSearchDFS explores depth-first.
+func BenchmarkAblationSearchDFS(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.Strategy = symexec.StrategyDFS })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkAblationSearchBFS explores breadth-first.
+func BenchmarkAblationSearchBFS(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.Strategy = symexec.StrategyBFS })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkAblationLoopKill disables the polling-loop killer; the
+// coverage metric shows what the heuristic buys under the same
+// budgets.
+func BenchmarkAblationLoopKill(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.DisableLoopKill = true })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkAblationConcreteHW replaces symbolic hardware with a
+// passive concrete device (§3.1's claim: symbolic hardware exercises
+// branches a real device cannot).
+func BenchmarkAblationConcreteHW(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.ConcreteHardware = true })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}

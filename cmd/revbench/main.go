@@ -1,0 +1,47 @@
+// Command revbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	revbench -exp all            # everything
+//	revbench -exp fig2           # one experiment
+//	revbench -list               # enumerate experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"revnic/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (table1..table4, fig2..fig9) or 'all'")
+		list = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.List(), "\n"))
+		return
+	}
+	fmt.Fprintln(os.Stderr, "revbench: reverse engineering all four drivers (shared context)...")
+	ctx, err := experiments.NewContext()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+		os.Exit(1)
+	}
+	ids := experiments.List()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		if err := ctx.Run(strings.TrimSpace(id), os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,147 @@
+package cfg
+
+import (
+	"sort"
+
+	"revnic/internal/isa"
+)
+
+// StaticGroundTruth performs recursive-descent disassembly of a
+// driver binary to estimate the true set of basic-block start
+// addresses. It is used only as the denominator of the coverage
+// metric (Figure 8) and by tests that compare recovered CFGs against
+// reality — the reverse engineering pipeline itself never consults
+// it.
+//
+// Entry discovery mirrors what an analyst gets from a binary: the
+// image entry point plus every MOVI immediate that lands on an
+// instruction boundary inside the code (function pointers being
+// registered with the OS).
+type StaticGroundTruth struct {
+	// BlockStarts is the set of basic-block start addresses.
+	BlockStarts map[uint32]bool
+	// FuncEntries is the set of discovered function entries.
+	FuncEntries map[uint32]bool
+}
+
+// Static disassembles the image (base address and raw bytes).
+func Static(base uint32, code []byte) *StaticGroundTruth {
+	gt := &StaticGroundTruth{BlockStarts: map[uint32]bool{}, FuncEntries: map[uint32]bool{}}
+	inCode := func(a uint32) bool {
+		return a >= base && a < base+uint32(len(code)) && (a-base)%isa.InstrSize == 0
+	}
+	decode := func(a uint32) (isa.Instr, bool) {
+		if !inCode(a) {
+			return isa.Instr{}, false
+		}
+		in, err := isa.Decode(code[a-base:])
+		if err != nil {
+			return isa.Instr{}, false
+		}
+		return in, true
+	}
+
+	// Pass 1: seed entries — the image entry plus code-pointer
+	// immediates reachable from it (conservatively: scan the whole
+	// image for MOVI with in-code immediates; data sections decode
+	// as garbage opcodes and are rejected).
+	entries := map[uint32]bool{base: true}
+	for a := base; inCode(a); a += isa.InstrSize {
+		in, ok := decode(a)
+		if !ok {
+			continue
+		}
+		if in.Op == isa.MOVI && inCode(in.Imm) {
+			entries[in.Imm] = true
+		}
+	}
+
+	// Pass 2: recursive traversal from all entries, collecting block
+	// leaders.
+	leaders := map[uint32]bool{}
+	visited := map[uint32]bool{}
+	var work []uint32
+	for e := range entries {
+		gt.FuncEntries[e] = true
+		leaders[e] = true
+		work = append(work, e)
+	}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		for inCode(a) && !visited[a] {
+			visited[a] = true
+			in, ok := decode(a)
+			if !ok {
+				break
+			}
+			next := a + isa.InstrSize
+			switch in.Op {
+			case isa.JMP:
+				leaders[in.Imm] = true
+				work = append(work, in.Imm)
+				a = 0 // stop linear flow
+			case isa.BR, isa.BRI:
+				leaders[in.Imm] = true
+				leaders[next] = true
+				work = append(work, in.Imm, next)
+				a = 0
+			case isa.CALL:
+				gt.FuncEntries[in.Imm] = true
+				leaders[in.Imm] = true
+				leaders[next] = true
+				work = append(work, in.Imm, next)
+				a = 0
+			case isa.CALLR:
+				// Indirect call: targets unknown statically; the
+				// fallthrough continues.
+				leaders[next] = true
+				work = append(work, next)
+				a = 0
+			case isa.JR:
+				a = 0 // indirect jump: targets unknown statically
+			case isa.RET, isa.IRET, isa.HLT:
+				a = 0
+			default:
+				a = next
+			}
+		}
+	}
+
+	// A leader is a block start only if its code was actually
+	// traversed.
+	for l := range leaders {
+		if visited[l] {
+			gt.BlockStarts[l] = true
+		}
+	}
+	return gt
+}
+
+// NumBlocks returns the ground-truth basic-block count.
+func (gt *StaticGroundTruth) NumBlocks() int { return len(gt.BlockStarts) }
+
+// SortedBlockStarts returns block starts in ascending order.
+func (gt *StaticGroundTruth) SortedBlockStarts() []uint32 {
+	out := make([]uint32, 0, len(gt.BlockStarts))
+	for a := range gt.BlockStarts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Coverage computes the fraction of ground-truth blocks whose start
+// addresses appear in the covered set.
+func (gt *StaticGroundTruth) Coverage(covered map[uint32]bool) float64 {
+	if len(gt.BlockStarts) == 0 {
+		return 0
+	}
+	n := 0
+	for a := range gt.BlockStarts {
+		if covered[a] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(gt.BlockStarts))
+}

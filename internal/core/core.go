@@ -1,0 +1,99 @@
+// Package core is RevNIC's public API: it wires together the
+// exerciser/tracer (symbolic execution with symbolic hardware), the
+// trace-to-CFG reconstruction, the code synthesizer, and the driver
+// templates into the end-to-end pipeline of Figure 1:
+//
+//	binary driver ──► wiretap + selective symbolic execution
+//	              ──► activity traces ──► CFG ──► C code
+//	              ──► template instantiation ──► synthetic driver
+//
+// The synthetic driver can be emitted as C source for a chosen target
+// OS, or instantiated as an executable (package synthdrv) for the
+// equivalence and performance experiments of §5.
+package core
+
+import (
+	"fmt"
+
+	"revnic/internal/cfg"
+	"revnic/internal/hw"
+	"revnic/internal/isa"
+	"revnic/internal/symexec"
+	"revnic/internal/synth"
+	"revnic/internal/synthdrv"
+	"revnic/internal/template"
+)
+
+// Options configures a reverse-engineering run.
+type Options struct {
+	// Shell is the shell-device PCI descriptor (vendor/device ID,
+	// I/O window, IRQ line) the developer supplies on the command
+	// line (§3.4).
+	Shell hw.PCIConfig
+	// Engine tunes exploration; Shell overrides Engine.Shell.
+	Engine symexec.Config
+	// DriverName labels generated artifacts.
+	DriverName string
+}
+
+// Reversed is the complete result of reverse engineering one binary
+// driver.
+type Reversed struct {
+	Name string
+	// Exploration carries coverage curves and wiretap statistics.
+	Exploration *symexec.Result
+	// Graph is the recovered control flow graph.
+	Graph *cfg.Graph
+	// Synth is the generated C code and per-function metadata.
+	Synth *synth.Output
+	// GroundTruth is the static disassembly used only for metrics.
+	GroundTruth *cfg.StaticGroundTruth
+}
+
+// ReverseEngineer runs the full RevNIC pipeline on a driver binary.
+// Only prog.Base and prog.Code are consumed — symbol information, if
+// any, is ignored, as with a real closed-source binary.
+func ReverseEngineer(prog *isa.Program, opt Options) (*Reversed, error) {
+	ecfg := opt.Engine
+	ecfg.Shell = opt.Shell
+	eng := symexec.New(prog, ecfg)
+	res, err := eng.Explore()
+	if err != nil {
+		return nil, fmt.Errorf("core: exploration: %w", err)
+	}
+	g := cfg.Build(res.Collector)
+	out := synth.Generate(g, synth.Options{DriverName: opt.DriverName})
+	return &Reversed{
+		Name:        opt.DriverName,
+		Exploration: res,
+		Graph:       g,
+		Synth:       out,
+		GroundTruth: cfg.Static(prog.Base, prog.Code),
+	}, nil
+}
+
+// Coverage returns the fraction of ground-truth basic blocks the
+// exploration reached (the y-axis of Figure 8).
+func (r *Reversed) Coverage() float64 {
+	covered := map[uint32]bool{}
+	for a := range r.Graph.Blocks {
+		covered[a] = true
+	}
+	return r.GroundTruth.Coverage(covered)
+}
+
+// InstantiateTemplate produces the complete driver source for a
+// target OS: boilerplate plus the synthesized hardware-protocol code.
+func (r *Reversed) InstantiateTemplate(os template.OS) string {
+	return template.Instantiate(os, r.Name, r.Synth)
+}
+
+// NewSyntheticDriver builds an executable synthesized driver bound to
+// a target OS runtime and a hardware bus. The returned driver
+// implements hw.MemBus, so DMA-capable device models should be
+// constructed with it as their memory.
+func (r *Reversed) NewSyntheticDriver(os template.OS, bus *hw.Bus, cfg hw.PCIConfig) (*synthdrv.Driver, *template.Runtime) {
+	rt := template.NewRuntime(os, cfg)
+	d := synthdrv.New(r.Graph, rt, bus)
+	return d, rt
+}

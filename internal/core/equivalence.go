@@ -1,0 +1,386 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"revnic/internal/drivers"
+	"revnic/internal/guestos"
+	"revnic/internal/hw"
+	"revnic/internal/nic"
+	"revnic/internal/synthdrv"
+	"revnic/internal/template"
+	"revnic/internal/vm"
+)
+
+// IOEvent is one hardware access in an equivalence trace.
+type IOEvent struct {
+	Port  bool
+	Write bool
+	Addr  uint32
+	Size  int
+	Value uint32
+}
+
+// FeatureReport is one Table 2 row: which functionality the
+// synthesized driver reproduces, verified by comparing hardware I/O
+// traces of the original and synthesized drivers under identical
+// workloads (§5.2).
+type FeatureReport struct {
+	Driver string
+
+	InitShutdown bool
+	SendReceive  bool
+	Multicast    bool
+	GetSetMAC    bool
+	Promiscuous  bool
+	FullDuplex   bool
+	DMA          string // "yes", "N/A"
+	WakeOnLAN    string // "yes", "N/A", "N/T"
+	LED          string // "yes", "N/T"
+
+	// IOTraceEqual is the byte-level comparison of the two traces.
+	IOTraceEqual bool
+	// OrigOps and SynthOps count the hardware operations compared.
+	OrigOps  int
+	SynthOps int
+	// FirstDivergence describes the first mismatch, if any.
+	FirstDivergence string
+}
+
+// newDevice builds the device model matching a driver. mem supplies
+// DMA access for bus-master chips.
+func newDevice(name string, line *hw.IRQLine, mem hw.MemBus, mac [6]byte) (nic.Model, error) {
+	switch name {
+	case "RTL8029":
+		return nic.NewRTL8029(line, mac), nil
+	case "RTL8139":
+		return nic.NewRTL8139(line, mem, mac), nil
+	case "AMD PCNet":
+		return nic.NewPCNet(line, mem, mac), nil
+	case "SMSC 91C111":
+		return nic.NewSMC91C111(line, mac), nil
+	}
+	return nil, fmt.Errorf("core: no device model for %q", name)
+}
+
+// ShellConfig returns the standard shell-device descriptor for a
+// driver (what the developer reads out of the device manager).
+func ShellConfig(d *drivers.Info) hw.PCIConfig {
+	return hw.PCIConfig{
+		VendorID: d.VendorID, DeviceID: d.DeviceID,
+		IOBase: 0xC000, IOSize: 0x100, IRQLine: 11,
+	}
+}
+
+// equivalence workload: the operation sequence applied identically to
+// both drivers.
+type eqOps struct {
+	mac           [6]byte
+	sends         [][]byte
+	inbound       [][]byte
+	mcast         []byte
+	filterPromisc []byte
+	filterNormal  []byte
+}
+
+func makeEqOps(mac [6]byte) eqOps {
+	frame := func(dst [6]byte, n int) []byte {
+		f := make([]byte, n)
+		copy(f, dst[:])
+		copy(f[6:], mac[:])
+		f[12], f[13] = 0x08, 0x00
+		for i := 14; i < n; i++ {
+			f[i] = byte(i * 3)
+		}
+		return f
+	}
+	bcast := [6]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	return eqOps{
+		mac:     mac,
+		sends:   [][]byte{frame(bcast, 64), frame(bcast, 512), frame(bcast, 1514)},
+		inbound: [][]byte{frame(mac, 96), frame(mac, 1200)},
+		mcast: []byte{
+			0x01, 0x00, 0x5E, 0x00, 0x00, 0x01,
+			0x01, 0x00, 0x5E, 0x7F, 0xFF, 0xFA,
+		},
+		filterPromisc: []byte{guestos.FilterPromiscuous | guestos.FilterDirected, 0, 0, 0},
+		filterNormal:  []byte{guestos.FilterDirected | guestos.FilterBroadcast | guestos.FilterMulticast, 0, 0, 0},
+	}
+}
+
+// runOriginal exercises the original binary driver on its device,
+// recording the I/O trace.
+func runOriginal(info *drivers.Info, ops eqOps) ([]IOEvent, nic.Model, *guestos.OS, error) {
+	bus := hw.NewBus()
+	m := vm.New(bus)
+	cfgp := ShellConfig(info)
+	dev, err := newDevice(info.Name, &bus.Line, m, ops.mac)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bus.Attach(dev.(hw.Device), cfgp)
+	if err := m.LoadImage(info.Program); err != nil {
+		return nil, nil, nil, err
+	}
+	os := guestos.New(m, cfgp)
+	var tr []IOEvent
+	m.AddIOTap(func(port, write bool, addr uint32, size int, v uint32) {
+		tr = append(tr, IOEvent{port, write, addr, size, v})
+	})
+	if err := os.LoadDriver(info.Program.Base); err != nil {
+		return nil, nil, nil, err
+	}
+	_, err = driveWorkload(originalSide{os}, dev, ops)
+	return tr, dev, os, err
+}
+
+// runSynthesized exercises the synthesized driver on a fresh device
+// of the same type, recording its I/O trace.
+func runSynthesized(rev *Reversed, info *drivers.Info, osKind template.OS, ops eqOps) ([]IOEvent, nic.Status, nic.Model, *template.Runtime, error) {
+	bus := hw.NewBus()
+	cfgp := ShellConfig(info)
+	d, rt := rev.NewSyntheticDriver(osKind, bus, cfgp)
+	dev, err := newDevice(info.Name, &bus.Line, d, ops.mac)
+	if err != nil {
+		return nil, nic.Status{}, nil, nil, err
+	}
+	bus.Attach(dev.(hw.Device), cfgp)
+	var tr []IOEvent
+	d.IOTap = func(port, write bool, addr uint32, size int, v uint32) {
+		tr = append(tr, IOEvent{port, write, addr, size, v})
+	}
+	snap, err := driveWorkload(synthSide{d, rt}, dev, ops)
+	return tr, snap, dev, rt, err
+}
+
+// side abstracts "a driver with an OS around it" so the identical
+// workload can drive both implementations.
+type side interface {
+	Initialize() error
+	Send(frame []byte) (uint32, error)
+	Pump() error
+	Query(oid, n uint32) (uint32, []byte, error)
+	Set(oid uint32, in []byte) (uint32, error)
+	FireTimer() error
+	Halt() error
+}
+
+type originalSide struct{ os *guestos.OS }
+
+func (o originalSide) Initialize() error { return o.os.Initialize() }
+func (o originalSide) Send(f []byte) (uint32, error) {
+	return o.os.Send(f)
+}
+func (o originalSide) Pump() error {
+	_, err := o.os.PumpInterrupts(16)
+	return err
+}
+func (o originalSide) Query(oid, n uint32) (uint32, []byte, error) { return o.os.Query(oid, n) }
+func (o originalSide) Set(oid uint32, in []byte) (uint32, error)   { return o.os.Set(oid, in) }
+func (o originalSide) FireTimer() error                            { return o.os.FireTimer() }
+func (o originalSide) Halt() error                                 { return o.os.Halt() }
+
+type synthSide struct {
+	d  *synthdrv.Driver
+	rt *template.Runtime
+}
+
+func (s synthSide) Initialize() error { return s.d.Initialize() }
+func (s synthSide) Send(f []byte) (uint32, error) {
+	s.rt.Lock()
+	return s.d.Send(f)
+}
+func (s synthSide) Pump() error {
+	_, err := s.d.PumpInterrupts(16)
+	return err
+}
+func (s synthSide) Query(oid, n uint32) (uint32, []byte, error) { return s.d.Query(oid, n) }
+func (s synthSide) Set(oid uint32, in []byte) (uint32, error)   { return s.d.Set(oid, in) }
+func (s synthSide) FireTimer() error                            { return s.d.FireTimer() }
+func (s synthSide) Halt() error                                 { return s.d.Halt() }
+
+// driveWorkload applies the equivalence workload to one side. The
+// returned status is snapshotted after the feature sets but before
+// Halt (which legitimately clears receiver state on some chips).
+func driveWorkload(s side, dev nic.Model, ops eqOps) (nic.Status, error) {
+	var snap nic.Status
+	if err := s.Initialize(); err != nil {
+		return snap, fmt.Errorf("initialize: %w", err)
+	}
+	if _, _, err := s.Query(guestos.OIDMACAddress, 6); err != nil {
+		return snap, fmt.Errorf("query mac: %w", err)
+	}
+	if _, err := s.Set(guestos.OIDPacketFilter, ops.filterNormal); err != nil {
+		return snap, fmt.Errorf("set filter: %w", err)
+	}
+	if _, err := s.Set(guestos.OIDMulticastList, ops.mcast); err != nil {
+		return snap, fmt.Errorf("set multicast: %w", err)
+	}
+	for i, f := range ops.sends {
+		if _, err := s.Send(f); err != nil {
+			return snap, fmt.Errorf("send %d: %w", i, err)
+		}
+		if err := s.Pump(); err != nil {
+			return snap, fmt.Errorf("pump after send %d: %w", i, err)
+		}
+	}
+	for i, f := range ops.inbound {
+		if !dev.InjectRX(f) {
+			return snap, fmt.Errorf("device dropped inbound frame %d", i)
+		}
+		if err := s.Pump(); err != nil {
+			return snap, fmt.Errorf("pump after rx %d: %w", i, err)
+		}
+	}
+	if _, err := s.Set(guestos.OIDPacketFilter, ops.filterPromisc); err != nil {
+		return snap, fmt.Errorf("set promisc: %w", err)
+	}
+	if _, err := s.Set(guestos.OIDFullDuplex, []byte{1, 0, 0, 0}); err != nil {
+		return snap, fmt.Errorf("set duplex: %w", err)
+	}
+	snap = dev.StatusReport()
+	if err := s.FireTimer(); err != nil {
+		return snap, fmt.Errorf("timer: %w", err)
+	}
+	if err := s.Halt(); err != nil {
+		return snap, fmt.Errorf("halt: %w", err)
+	}
+	return snap, nil
+}
+
+// CheckEquivalence runs the §5.2 methodology for one driver: exercise
+// the original and the synthesized driver with the same workload on
+// identical device models and compare the hardware I/O traces, then
+// probe each Table 2 feature on the synthesized driver.
+func CheckEquivalence(info *drivers.Info, rev *Reversed, osKind template.OS) (*FeatureReport, error) {
+	mac := [6]byte{0x02, 0x5E, 0x44, 0x33, 0x22, 0x11}
+	ops := makeEqOps(mac)
+
+	origTrace, _, origOS, err := runOriginal(info, ops)
+	if err != nil {
+		return nil, fmt.Errorf("original run: %w", err)
+	}
+	synthTrace, snap, synthDev, rt, err := runSynthesized(rev, info, osKind, ops)
+	if err != nil {
+		return nil, fmt.Errorf("synthesized run: %w", err)
+	}
+
+	rep := &FeatureReport{
+		Driver:   info.Name,
+		OrigOps:  len(origTrace),
+		SynthOps: len(synthTrace),
+	}
+	rep.IOTraceEqual = true
+	n := len(origTrace)
+	if len(synthTrace) < n {
+		n = len(synthTrace)
+	}
+	for i := 0; i < n; i++ {
+		if origTrace[i] != synthTrace[i] {
+			rep.IOTraceEqual = false
+			rep.FirstDivergence = fmt.Sprintf("op %d: orig %+v vs synth %+v", i, origTrace[i], synthTrace[i])
+			break
+		}
+	}
+	if rep.IOTraceEqual && len(origTrace) != len(synthTrace) {
+		rep.IOTraceEqual = false
+		rep.FirstDivergence = fmt.Sprintf("length: orig %d vs synth %d", len(origTrace), len(synthTrace))
+	}
+
+	// Functional results on the synthesized side. snap was taken
+	// mid-workload (after the feature sets, before halt); the final
+	// status confirms clean shutdown.
+	final := synthDev.StatusReport()
+	rep.InitShutdown = !final.RxEnabled // halted cleanly at the end
+	rep.SendReceive = len(rt.Received) == len(ops.inbound)
+	for i, f := range rt.Received {
+		if i < len(ops.inbound) && !bytes.Equal(f, ops.inbound[i]) {
+			rep.SendReceive = false
+		}
+	}
+	rep.Multicast = snap.MulticastHash != [8]byte{}
+	rep.Promiscuous = snap.Promiscuous
+	rep.FullDuplex = snap.FullDuplex
+	rep.GetSetMAC = snap.MAC == mac
+
+	// Cross-check against the original side's OS observations.
+	if origOS.SendCompletes != rt.SendCompletes {
+		rep.SendReceive = false
+	}
+
+	// Chip-dependent rows.
+	rep.DMA = "N/A"
+	if info.HasDMA {
+		rep.DMA = "yes"
+	}
+	rep.WakeOnLAN = "N/A"
+	rep.LED = "N/T"
+	switch info.Name {
+	case "RTL8139":
+		// Exercisable: set WOL and LED through the synthesized
+		// driver and observe CONFIG1.
+		if _, err := runFeatureProbe(rev, info, mac); err == nil {
+			rep.WakeOnLAN = "yes"
+			rep.LED = "yes"
+		} else {
+			rep.WakeOnLAN = "FAIL"
+			rep.LED = "FAIL"
+		}
+	case "AMD PCNet":
+		rep.WakeOnLAN = "N/T" // code exercised, virtual HW can't wake
+	case "SMSC 91C111":
+		if _, err := runLEDProbe(rev, info, mac); err == nil {
+			rep.LED = "yes"
+		}
+	}
+	return rep, nil
+}
+
+// runFeatureProbe verifies WOL+LED on a synthesized RTL8139.
+func runFeatureProbe(rev *Reversed, info *drivers.Info, mac [6]byte) (*FeatureReport, error) {
+	bus := hw.NewBus()
+	cfgp := ShellConfig(info)
+	d, _ := rev.NewSyntheticDriver(template.Windows, bus, cfgp)
+	dev, err := newDevice(info.Name, &bus.Line, d, mac)
+	if err != nil {
+		return nil, err
+	}
+	bus.Attach(dev.(hw.Device), cfgp)
+	if err := d.Initialize(); err != nil {
+		return nil, err
+	}
+	if _, err := d.Set(guestos.OIDEnableWOL, []byte{1, 0, 0, 0}); err != nil {
+		return nil, err
+	}
+	if _, err := d.Set(guestos.OIDLEDControl, []byte{1, 0, 0, 0}); err != nil {
+		return nil, err
+	}
+	st := dev.StatusReport()
+	if !st.WOLEnabled || !st.LEDOn {
+		return nil, fmt.Errorf("WOL/LED not reflected: %+v", st)
+	}
+	return nil, nil
+}
+
+// runLEDProbe verifies the LED path on a synthesized 91C111.
+func runLEDProbe(rev *Reversed, info *drivers.Info, mac [6]byte) (*FeatureReport, error) {
+	bus := hw.NewBus()
+	cfgp := ShellConfig(info)
+	d, _ := rev.NewSyntheticDriver(template.Windows, bus, cfgp)
+	dev, err := newDevice(info.Name, &bus.Line, d, mac)
+	if err != nil {
+		return nil, err
+	}
+	bus.Attach(dev.(hw.Device), cfgp)
+	if err := d.Initialize(); err != nil {
+		return nil, err
+	}
+	if _, err := d.Set(guestos.OIDLEDControl, []byte{1, 0, 0, 0}); err != nil {
+		return nil, err
+	}
+	if !dev.StatusReport().LEDOn {
+		return nil, fmt.Errorf("LED not reflected")
+	}
+	return nil, nil
+}

@@ -1,0 +1,132 @@
+// Package drivers contains the four "proprietary, closed-source"
+// Windows NIC drivers of Table 1, written in the guest ISA and
+// assembled to opaque binary images.
+//
+// These sources are the reproduction's stand-in for pcntpci5.sys,
+// rtl8139.sys, lan9000.sys and rtl8029.sys: everything downstream —
+// exercising, wiretapping, CFG reconstruction, code synthesis — sees
+// only the assembled bytes (Program.Base + Program.Code). The symbol
+// tables stay on this side of the fence and are used exclusively by
+// tests as ground truth, the way the paper's authors manually checked
+// synthesized code against the original binaries (§5.4).
+//
+// Each driver implements the full hardware protocol of its device
+// model in package nic, structured like a real NDIS miniport:
+// DriverEntry registers a characteristics table; MiniportInitialize
+// probes and programs the device; send/ISR/query/set/halt implement
+// the Table 2 feature set, including the OS-independent CRC-32
+// multicast hashing (the paper's "type 4" function class) and
+// boundary paths (oversized frames, unsupported OIDs, ring overflow)
+// that only symbolic execution reaches.
+package drivers
+
+import (
+	"fmt"
+	"sync"
+
+	"revnic/internal/isa"
+)
+
+// Info describes one closed-source driver image.
+type Info struct {
+	// Name is the chip name used throughout the evaluation.
+	Name string
+	// File is the Windows driver file name from Table 1.
+	File string
+	// Program is the assembled binary image.
+	Program *isa.Program
+	// VendorID/DeviceID identify the PCI device the driver binds to.
+	VendorID uint16
+	DeviceID uint16
+	// HasDMA and HasWOL mirror the N/A entries of Table 2.
+	HasDMA bool
+	HasWOL bool
+}
+
+var (
+	once sync.Once
+	all  []*Info
+)
+
+// All returns the four evaluated drivers, assembling them on first
+// use. The order matches Table 1.
+func All() []*Info {
+	once.Do(func() {
+		all = []*Info{
+			{
+				Name: "AMD PCNet", File: "pcntpci5.sys",
+				Program:  isa.MustAssemble(pcnetSrc),
+				VendorID: 0x1022, DeviceID: 0x2000,
+				HasDMA: true, HasWOL: false,
+			},
+			{
+				Name: "RTL8139", File: "rtl8139.sys",
+				Program:  isa.MustAssemble(rtl8139Src),
+				VendorID: 0x10EC, DeviceID: 0x8139,
+				HasDMA: true, HasWOL: true,
+			},
+			{
+				Name: "SMSC 91C111", File: "lan9000.sys",
+				Program:  isa.MustAssemble(smc91c111Src),
+				VendorID: 0x1055, DeviceID: 0x9111,
+				HasDMA: false, HasWOL: false,
+			},
+			{
+				Name: "RTL8029", File: "rtl8029.sys",
+				Program:  isa.MustAssemble(rtl8029Src),
+				VendorID: 0x10EC, DeviceID: 0x8029,
+				HasDMA: false, HasWOL: false,
+			},
+		}
+	})
+	return all
+}
+
+// ByName returns the driver with the given chip name.
+func ByName(name string) (*Info, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("drivers: unknown driver %q", name)
+}
+
+// apiEqus is the shared assembly prelude defining the OS API gates
+// (addresses the loader would have fixed up in a real PE import
+// table) and NDIS constants.
+const apiEqus = `
+.equ NdisMRegisterMiniport,     0xF00000
+.equ NdisAllocateMemory,        0xF00008
+.equ NdisFreeMemory,            0xF00010
+.equ NdisMAllocateSharedMemory, 0xF00018
+.equ NdisMFreeSharedMemory,     0xF00020
+.equ NdisWriteErrorLogEntry,    0xF00028
+.equ NdisReadPciSlotInformation,0xF00030
+.equ NdisMInitializeTimer,      0xF00038
+.equ NdisMSetTimer,             0xF00040
+.equ NdisMIndicateReceivePacket,0xF00048
+.equ NdisMSendComplete,         0xF00050
+.equ NdisStallExecution,        0xF00058
+.equ NdisGetSystemUpTime,       0xF00060
+.equ DbgPrint,                  0xF00068
+
+.equ STATUS_SUCCESS, 0
+.equ STATUS_FAILURE, 1
+
+.equ OID_PACKET_FILTER, 0x0001010E
+.equ OID_LINK_SPEED,    0x00010107
+.equ OID_MEDIA_STATUS,  0x00010114
+.equ OID_MAC_ADDRESS,   0x01010102
+.equ OID_MULTICAST,     0x01010103
+.equ OID_WOL,           0xFD010106
+.equ OID_FULL_DUPLEX,   0x00012000
+.equ OID_LED,           0x00012001
+
+.equ FILTER_MULTICAST,   0x02
+.equ FILTER_PROMISCUOUS, 0x20
+
+.equ PCI_CFG_ID,     0
+.equ PCI_CFG_IOBASE, 4
+.equ PCI_CFG_IRQ,    8
+`

@@ -1,0 +1,262 @@
+package drivers
+
+import (
+	"bytes"
+	"testing"
+
+	"revnic/internal/guestos"
+	"revnic/internal/hw"
+	"revnic/internal/isa"
+	"revnic/internal/nic"
+	"revnic/internal/vm"
+)
+
+var testMAC = [6]byte{0x02, 0xAA, 0xBB, 0xCC, 0xDD, 0x01}
+
+// rig is a fully assembled concrete test bench: machine, OS model,
+// device model and loaded driver.
+type rig struct {
+	m   *vm.Machine
+	os  *guestos.OS
+	dev nic.Model
+}
+
+// buildRig instantiates the named driver with its matching device.
+func buildRig(t *testing.T, name string) *rig {
+	t.Helper()
+	info, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := hw.NewBus()
+	m := vm.New(bus)
+
+	cfg := hw.PCIConfig{
+		VendorID: info.VendorID, DeviceID: info.DeviceID,
+		IOBase: 0xC000, IOSize: 0x100, IRQLine: 11,
+	}
+	var dev nic.Model
+	switch name {
+	case "RTL8029":
+		dev = nic.NewRTL8029(&bus.Line, testMAC)
+	case "RTL8139":
+		dev = nic.NewRTL8139(&bus.Line, m, testMAC)
+	case "AMD PCNet":
+		dev = nic.NewPCNet(&bus.Line, m, testMAC)
+	case "SMSC 91C111":
+		dev = nic.NewSMC91C111(&bus.Line, testMAC)
+	default:
+		t.Fatalf("no device for %q", name)
+	}
+	bus.Attach(dev.(hw.Device), cfg)
+
+	if err := m.LoadImage(info.Program); err != nil {
+		t.Fatal(err)
+	}
+	os := guestos.New(m, cfg)
+	return &rig{m: m, os: os, dev: dev}
+}
+
+// exercise runs the standard workload and returns the report.
+func exercise(t *testing.T, name string) (*rig, *guestos.ExerciseReport) {
+	t.Helper()
+	r := buildRig(t, name)
+	info, _ := ByName(name)
+	rep, err := guestos.Exercise(r.os, guestos.Workload{
+		DriverEntry: info.Program.Base,
+		SendSizes:   guestos.DefaultSendSizes,
+		InjectRX:    r.dev.InjectRX,
+		StationMAC:  testMAC,
+	})
+	if err != nil {
+		t.Fatalf("%s: exercise: %v", name, err)
+	}
+	return r, rep
+}
+
+// driverNames lists drivers that are fully implemented; extended as
+// each is authored.
+func implementedDrivers() []string {
+	return []string{"RTL8029", "RTL8139", "AMD PCNet", "SMSC 91C111"}
+}
+
+func TestDriversFullWorkload(t *testing.T) {
+	for _, name := range implementedDrivers() {
+		t.Run(name, func(t *testing.T) {
+			r, rep := exercise(t, name)
+
+			if rep.MAC != testMAC {
+				t.Errorf("driver reported MAC %x, want %x", rep.MAC, testMAC)
+			}
+			if rep.SendsOK != len(guestos.DefaultSendSizes) {
+				t.Errorf("SendsOK = %d, want %d", rep.SendsOK, len(guestos.DefaultSendSizes))
+			}
+			// Every send must have reached the wire intact.
+			txs := r.dev.TxFrames()
+			if len(txs) != len(guestos.DefaultSendSizes) {
+				t.Fatalf("device transmitted %d frames, want %d", len(txs), len(guestos.DefaultSendSizes))
+			}
+			for i, size := range guestos.DefaultSendSizes {
+				if len(txs[i]) != size {
+					t.Errorf("tx %d: %d bytes, want %d", i, len(txs[i]), size)
+				}
+			}
+			// Every injected frame must have been indicated up intact.
+			if rep.RxIndicated != 3 {
+				t.Errorf("RxIndicated = %d, want 3", rep.RxIndicated)
+			}
+			for i, f := range r.os.Received {
+				want := 128 + 64*i
+				if len(f) != want {
+					t.Errorf("rx %d: %d bytes, want %d", i, len(f), want)
+				}
+				if !bytes.Equal(f[:6], testMAC[:]) {
+					t.Errorf("rx %d: wrong dst %x", i, f[:6])
+				}
+			}
+			// Send completions were signalled via the ISR.
+			if r.os.SendCompletes != len(guestos.DefaultSendSizes) {
+				t.Errorf("SendCompletes = %d, want %d", r.os.SendCompletes, len(guestos.DefaultSendSizes))
+			}
+			// Interrupt line fully serviced.
+			if r.m.Bus.Line.Pending() {
+				t.Error("interrupt line still pending after workload")
+			}
+		})
+	}
+}
+
+func TestDriverFeatureControl(t *testing.T) {
+	for _, name := range implementedDrivers() {
+		t.Run(name, func(t *testing.T) {
+			r := buildRig(t, name)
+			info, _ := ByName(name)
+			if err := r.os.LoadDriver(info.Program.Base); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.os.Initialize(); err != nil {
+				t.Fatal(err)
+			}
+			// Promiscuous on.
+			st, err := r.os.Set(guestos.OIDPacketFilter,
+				[]byte{guestos.FilterPromiscuous | guestos.FilterDirected, 0, 0, 0})
+			if err != nil || st != guestos.StatusSuccess {
+				t.Fatalf("set filter: %d %v", st, err)
+			}
+			if !r.dev.StatusReport().Promiscuous {
+				t.Error("promiscuous not reflected in hardware")
+			}
+			// A foreign unicast frame must now be accepted.
+			foreign := make([]byte, 64)
+			copy(foreign, []byte{0x02, 9, 9, 9, 9, 9})
+			copy(foreign[6:], testMAC[:])
+			foreign[12] = 0x08
+			if !r.dev.InjectRX(foreign) {
+				t.Error("promiscuous device dropped foreign frame")
+			}
+			if _, err := r.os.PumpInterrupts(4); err != nil {
+				t.Fatal(err)
+			}
+			// Promiscuous off again.
+			if _, err := r.os.Set(guestos.OIDPacketFilter,
+				[]byte{guestos.FilterDirected | guestos.FilterBroadcast | guestos.FilterMulticast, 0, 0, 0}); err != nil {
+				t.Fatal(err)
+			}
+			if r.dev.StatusReport().Promiscuous {
+				t.Error("promiscuous not cleared")
+			}
+
+			// Multicast: join a group, check the device hash filter
+			// accepts the group address.
+			group := []byte{0x01, 0x00, 0x5E, 0x12, 0x34, 0x56}
+			if st, err := r.os.Set(guestos.OIDMulticastList, group); err != nil || st != guestos.StatusSuccess {
+				t.Fatalf("set multicast: %d %v", st, err)
+			}
+			mframe := make([]byte, 64)
+			copy(mframe, group)
+			copy(mframe[6:], testMAC[:])
+			mframe[12] = 0x08
+			if !r.dev.InjectRX(mframe) {
+				t.Error("multicast group frame dropped after join")
+			}
+			if _, err := r.os.PumpInterrupts(4); err != nil {
+				t.Fatal(err)
+			}
+			// An unjoined group must still be dropped.
+			other := make([]byte, 64)
+			copy(other, []byte{0x01, 0x00, 0x5E, 0x65, 0x43, 0x21})
+			copy(other[6:], testMAC[:])
+			other[12] = 0x08
+			if r.dev.InjectRX(other) {
+				t.Error("unjoined multicast group accepted")
+			}
+
+			// Full duplex toggle.
+			if st, err := r.os.Set(guestos.OIDFullDuplex, []byte{1, 0, 0, 0}); err != nil || st != guestos.StatusSuccess {
+				t.Fatalf("set duplex: %d %v", st, err)
+			}
+			if !r.dev.StatusReport().FullDuplex {
+				t.Error("full duplex not set")
+			}
+
+			// Unsupported OID must fail cleanly (an error path the
+			// symbolic engine also has to reach).
+			if st, _ := r.os.Set(0x0F0F0F0F, []byte{0}); st != guestos.StatusFailure {
+				t.Error("bogus OID accepted")
+			}
+
+			// Oversized send is rejected without touching the wire.
+			big := make([]byte, 1600)
+			copy(big, nic.BroadcastMAC[:])
+			st, err = r.os.Send(big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != guestos.StatusFailure {
+				t.Error("oversized frame accepted")
+			}
+			if txs := r.dev.TxFrames(); len(txs) != 0 {
+				t.Error("oversized frame reached the wire")
+			}
+
+			if err := r.os.Halt(); err != nil {
+				t.Fatal(err)
+			}
+			st2 := r.dev.StatusReport()
+			if st2.RxEnabled {
+				t.Error("device still receiving after halt")
+			}
+		})
+	}
+}
+
+func TestDriverImagesAreRealistic(t *testing.T) {
+	for _, d := range All() {
+		if len(implementedOnly(d.Name)) == 0 {
+			continue
+		}
+		size := d.Program.Size()
+		if size < 1500 {
+			t.Errorf("%s: image only %d bytes; not a realistic driver", d.Name, size)
+		}
+		if len(d.Program.Funcs) < 8 {
+			t.Errorf("%s: only %d functions", d.Name, len(d.Program.Funcs))
+		}
+		if d.Program.Base != 0x10000 {
+			t.Errorf("%s: base %#x", d.Name, d.Program.Base)
+		}
+		// Entry point is the first instruction (DriverEntry).
+		if _, err := isa.Decode(d.Program.Code); err != nil {
+			t.Errorf("%s: undecodable entry: %v", d.Name, err)
+		}
+	}
+}
+
+func implementedOnly(name string) []string {
+	for _, n := range implementedDrivers() {
+		if n == name {
+			return []string{n}
+		}
+	}
+	return nil
+}

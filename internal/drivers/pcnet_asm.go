@@ -1,0 +1,652 @@
+package drivers
+
+// pcnetSrc is the "proprietary" AMD PCNet driver: indirect CSR access
+// through the RAP/RDP port pair, an init block in host memory, and
+// OWN-bit descriptor rings with bus-master DMA.
+//
+// Adapter context layout:
+//
+//	+0x00 I/O base    +0x04 IRQ        +0x08 running   +0x0C filter
+//	+0x10 TX index    +0x14 station MAC (6 bytes)
+//	+0x20 init block phys    +0x24 RX ring phys  +0x28 TX ring phys
+//	+0x2C RX buffers phys    +0x30 TX buffers phys
+//	+0x34 RX index    +0x38 multicast hash (8)  +0x40 mode mirror
+const pcnetSrc = apiEqus + `
+.org 0x10000
+
+; ---- PCNet register offsets ----
+.equ R_APROM, 0x00
+.equ R_RDP,   0x10
+.equ R_RAP,   0x12
+.equ R_RESET, 0x14
+.equ R_BDP,   0x16
+
+.equ CSR0_INIT, 0x0001
+.equ CSR0_STRT, 0x0002
+.equ CSR0_STOP, 0x0004
+.equ CSR0_TDMD, 0x0008
+.equ CSR0_IENA, 0x0040
+.equ CSR0_IDON, 0x0100
+.equ CSR0_TINT, 0x0200
+.equ CSR0_RINT, 0x0400
+.equ DESC_OWN,  0x8000
+.equ BUF_SIZE,  1536
+
+; ================= DriverEntry =================
+.func DriverEntry
+	movi r1, chars
+	movi r2, mp_initialize
+	st32 [r1+0], r2
+	movi r2, mp_send
+	st32 [r1+4], r2
+	movi r2, mp_isr
+	st32 [r1+8], r2
+	movi r2, mp_query
+	st32 [r1+12], r2
+	movi r2, mp_set
+	st32 [r1+16], r2
+	movi r2, mp_halt
+	st32 [r1+20], r2
+	push r1
+	call NdisMRegisterMiniport
+	movi r0, #STATUS_SUCCESS
+	ret
+
+; ---- CSR/BCR access helpers (type 1 functions). This is the
+; address-on-one-port, data-on-the-other pattern the paper's
+; function-model heuristic targets. ----
+; pcn_wcsr(iobase, reg, val)
+.func pcn_wcsr
+	ld32 r1, [sp+4]
+	ld32 r2, [sp+8]
+	ld32 r3, [sp+12]
+	out16 (r1+R_RAP), r2
+	out16 (r1+R_RDP), r3
+	ret 12
+
+; pcn_rcsr(iobase, reg) -> val
+.func pcn_rcsr
+	ld32 r1, [sp+4]
+	ld32 r2, [sp+8]
+	out16 (r1+R_RAP), r2
+	in16  r0, (r1+R_RDP)
+	ret 8
+
+; pcn_wbcr(iobase, reg, val)
+.func pcn_wbcr
+	ld32 r1, [sp+4]
+	ld32 r2, [sp+8]
+	ld32 r3, [sp+12]
+	out16 (r1+R_RAP), r2
+	out16 (r1+R_BDP), r3
+	ret 12
+
+; ================= MiniportInitialize =================
+.func mp_initialize
+	movi r1, #0x48
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	mov  r4, r0
+	movi r1, #PCI_CFG_IOBASE
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x00], r0
+	movi r1, #PCI_CFG_IRQ
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x04], r0
+	; Probe: reading RESET resets the chip; CSR0 must then read STOP.
+	ld32 r1, [r4+0x00]
+	in16 r2, (r1+R_RESET)
+	movi r2, #0
+	push r2
+	push r1
+	call pcn_rcsr
+	movi r2, #CSR0_STOP
+	beq  r0, r2, init_present
+	movi r1, #0xDEAD0021
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_present:
+	; Station MAC from the address PROM.
+	ld32 r1, [r4+0x00]
+	movi r3, #0
+aprom_loop:
+	add  r2, r1, r3
+	in8  r2, (r2+R_APROM)
+	add  r5, r4, r3
+	st8  [r5+0x14], r2
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, aprom_loop
+	; DMA allocations: init block, rings, packet buffers.
+	movi r1, #24
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x20], r0
+	movi r1, #32
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x24], r0
+	movi r1, #32
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x28], r0
+	movi r1, #6144
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x2C], r0
+	movi r1, #6144
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x30], r0
+	; Static init-block fields: station MAC at +2.
+	ld32 r1, [r4+0x20]
+	movi r3, #0
+ib_mac:
+	add  r2, r4, r3
+	ld8  r2, [r2+0x14]
+	add  r5, r1, r3
+	st8  [r5+2], r2
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, ib_mac
+	; Mode 0, empty multicast filter.
+	movi r2, #0
+	st32 [r4+0x40], r2
+	movi r3, #0
+ib_clrhash:
+	add  r5, r4, r3
+	st8  [r5+0x38], r2
+	add  r3, r3, #1
+	movi r5, #8
+	bltu r3, r5, ib_clrhash
+	; Point the chip at the init block: CSR1 = low, CSR2 = high.
+	ld32 r2, [r4+0x20]
+	movi r3, #0xFFFF
+	and  r3, r2, r3
+	push r3
+	movi r3, #1
+	push r3
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	ld32 r2, [r4+0x20]
+	shr  r2, r2, #16
+	push r2
+	movi r3, #2
+	push r3
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	; Load the block and start the chip.
+	push r4
+	call pcn_reinit
+	beq  r0, #0, init_started
+	movi r1, #0xDEAD0022
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_started:
+	movi r2, #1
+	st32 [r4+0x08], r2
+	mov  r0, r4
+	ret
+init_fail:
+	movi r0, #0
+	ret
+
+; pcn_reinit(ctx): write the volatile init-block fields (mode, hash,
+; ring pointers), rebuild the descriptor rings, issue INIT, poll for
+; IDON, then STRT. Returns 0 on success.
+.func pcn_reinit
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x20]     ; init block
+	ld32 r2, [r4+0x40]     ; mode
+	st16 [r1+0], r2
+	; Multicast hash into the block.
+	movi r3, #0
+ri_hash:
+	add  r5, r4, r3
+	ld8  r5, [r5+0x38]
+	add  r6, r1, r3
+	st8  [r6+8], r5
+	add  r3, r3, #1
+	movi r5, #8
+	bltu r3, r5, ri_hash
+	; Ring pointers.
+	ld32 r2, [r4+0x24]
+	st32 [r1+16], r2
+	ld32 r2, [r4+0x28]
+	st32 [r1+20], r2
+	; RX descriptors: give all four buffers to the device.
+	ld32 r1, [r4+0x24]     ; rx ring
+	ld32 r2, [r4+0x2C]     ; rx buffers
+	movi r3, #0
+ri_rxd:
+	shl  r5, r3, #3
+	add  r5, r1, r5        ; desc addr
+	movi r6, #BUF_SIZE
+	mul  r6, r6, r3
+	add  r6, r2, r6        ; buffer addr
+	st32 [r5+0], r6
+	movi r6, #DESC_OWN
+	st16 [r5+4], r6
+	movi r6, #0
+	st16 [r5+6], r6
+	add  r3, r3, #1
+	movi r6, #4
+	bltu r3, r6, ri_rxd
+	; TX descriptors: all owned by the driver.
+	ld32 r1, [r4+0x28]
+	ld32 r2, [r4+0x30]
+	movi r3, #0
+ri_txd:
+	shl  r5, r3, #3
+	add  r5, r1, r5
+	movi r6, #BUF_SIZE
+	mul  r6, r6, r3
+	add  r6, r2, r6
+	st32 [r5+0], r6
+	movi r6, #0
+	st16 [r5+4], r6
+	st16 [r5+6], r6
+	add  r3, r3, #1
+	movi r6, #4
+	bltu r3, r6, ri_txd
+	; INIT and poll for IDON.
+	movi r2, #0x41         ; CSR0_INIT|CSR0_IENA
+	push r2
+	movi r2, #0
+	push r2
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	movi r6, #0            ; spin budget
+ri_poll:
+	movi r2, #0
+	push r2
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_rcsr
+	movi r2, #CSR0_IDON
+	and  r0, r0, r2
+	bne  r0, #0, ri_idon
+	add  r6, r6, #1
+	movi r2, #1000
+	bltu r6, r2, ri_poll
+	movi r0, #1            ; init never completed
+	ret 4
+ri_idon:
+	; Ack IDON, then start.
+	movi r2, #0x140        ; CSR0_IDON|CSR0_IENA
+	push r2
+	movi r2, #0
+	push r2
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	movi r2, #0x42         ; CSR0_STRT|CSR0_IENA
+	push r2
+	movi r2, #0
+	push r2
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	movi r2, #0
+	st32 [r4+0x10], r2
+	st32 [r4+0x34], r2
+	movi r0, #0
+	ret 4
+
+; ================= MiniportSend =================
+.func mp_send
+	ld32 r4, [sp+4]
+	ld32 r5, [sp+8]
+	ld32 r6, [sp+12]
+	movi r1, #14
+	bltu r6, r1, send_bad
+	movi r1, #1514
+	bgeu r1, r6, send_ok
+send_bad:
+	movi r1, #0xDEAD0023
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #STATUS_FAILURE
+	ret 12
+send_ok:
+	; Copy the frame into this descriptor's DMA buffer.
+	ld32 r2, [r4+0x10]     ; tx index
+	movi r1, #BUF_SIZE
+	mul  r1, r1, r2
+	ld32 r3, [r4+0x30]
+	add  r1, r3, r1        ; dst buffer
+	movi r3, #0
+send_copy:
+	bgeu r3, r6, send_copied
+	add  r0, r5, r3
+	ld8  r0, [r0+0]
+	add  r2, r1, r3
+	st8  [r2+0], r0
+	add  r3, r3, #1
+	jmp  send_copy
+send_copied:
+	; Fill the descriptor and hand it to the device.
+	ld32 r2, [r4+0x10]
+	shl  r3, r2, #3
+	ld32 r0, [r4+0x28]
+	add  r0, r0, r3        ; desc
+	st32 [r0+0], r1
+	st16 [r0+6], r6
+	movi r3, #DESC_OWN
+	st16 [r0+4], r3
+	; Demand transmission.
+	movi r3, #0x48         ; CSR0_TDMD|CSR0_IENA
+	push r3
+	movi r3, #0
+	push r3
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	; idx = (idx + 1) & 3
+	ld32 r2, [r4+0x10]
+	add  r2, r2, #1
+	and  r2, r2, #3
+	st32 [r4+0x10], r2
+	movi r0, #STATUS_SUCCESS
+	ret 12
+
+; ================= MiniportISR =================
+.func mp_isr
+	ld32 r4, [sp+4]
+	movi r2, #0
+	push r2
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_rcsr
+	mov  r2, r0            ; csr0 snapshot
+	movi r3, #CSR0_TINT
+	and  r3, r2, r3
+	beq  r3, #0, isr_no_tx
+	push r2
+	movi r3, #0x240        ; ack TINT, keep IENA
+	push r3
+	movi r3, #0
+	push r3
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	movi r3, #STATUS_SUCCESS
+	push r3
+	call NdisMSendComplete
+	pop  r2
+isr_no_tx:
+	movi r3, #CSR0_RINT
+	and  r3, r2, r3
+	beq  r3, #0, isr_no_rx
+	push r2
+	push r4
+	call pcn_rx_drain
+	movi r3, #0x440        ; ack RINT
+	push r3
+	movi r3, #0
+	push r3
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	pop  r2
+isr_no_rx:
+	movi r3, #CSR0_IDON
+	and  r3, r2, r3
+	beq  r3, #0, isr_done
+	movi r3, #0x140
+	push r3
+	movi r3, #0
+	push r3
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+isr_done:
+	ret 4
+
+; pcn_rx_drain(ctx): indicate every driver-owned descriptor, then
+; re-arm it for the device.
+.func pcn_rx_drain
+	ld32 r4, [sp+4]
+prd_loop:
+	ld32 r2, [r4+0x34]     ; rx index
+	shl  r3, r2, #3
+	ld32 r1, [r4+0x24]
+	add  r1, r1, r3        ; desc
+	ld16 r5, [r1+4]        ; flags
+	movi r6, #DESC_OWN
+	and  r5, r5, r6
+	bne  r5, #0, prd_done  ; device still owns it
+	ld16 r6, [r1+6]        ; length
+	; buffer = rxbufs + idx*BUF_SIZE
+	movi r5, #BUF_SIZE
+	mul  r5, r5, r2
+	ld32 r3, [r4+0x2C]
+	add  r3, r3, r5
+	push r1                ; save desc across the upcall
+	push r6
+	push r3
+	call NdisMIndicateReceivePacket
+	pop  r1
+	; Re-arm the descriptor and advance.
+	movi r5, #DESC_OWN
+	st16 [r1+4], r5
+	movi r5, #0
+	st16 [r1+6], r5
+	ld32 r2, [r4+0x34]
+	add  r2, r2, #1
+	and  r2, r2, #3
+	st32 [r4+0x34], r2
+	jmp  prd_loop
+prd_done:
+	ret 4
+
+; ================= MiniportQueryInformation =================
+.func mp_query
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	movi r3, #OID_MAC_ADDRESS
+	beq  r1, r3, q_mac
+	movi r3, #OID_LINK_SPEED
+	beq  r1, r3, q_speed
+	movi r3, #OID_MEDIA_STATUS
+	beq  r1, r3, q_media
+	movi r0, #STATUS_FAILURE
+	ret 16
+q_mac:
+	movi r3, #0
+q_mac_loop:
+	add  r5, r4, r3
+	ld8  r5, [r5+0x14]
+	add  r6, r2, r3
+	st8  [r6+0], r5
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, q_mac_loop
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_speed:
+	movi r3, #10
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_media:
+	movi r3, #1
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; ================= MiniportSetInformation =================
+.func mp_set
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	ld32 r3, [sp+16]
+	movi r5, #OID_PACKET_FILTER
+	beq  r1, r5, s_filter
+	movi r5, #OID_MULTICAST
+	beq  r1, r5, s_mcast
+	movi r5, #OID_FULL_DUPLEX
+	beq  r1, r5, s_duplex
+	movi r5, #OID_WOL
+	beq  r1, r5, s_wol
+	movi r5, #OID_LED
+	beq  r1, r5, s_led
+	movi r0, #STATUS_FAILURE
+	ret 16
+s_filter:
+	; Promiscuity lives in the mode word of the init block; changing
+	; it requires re-initializing the chip.
+	ld32 r2, [r2+0]
+	st32 [r4+0x0C], r2
+	movi r5, #0
+	and  r6, r2, #FILTER_PROMISCUOUS
+	beq  r6, #0, f_write
+	movi r5, #0x8000       ; MODE_PROM
+f_write:
+	st32 [r4+0x40], r5
+	push r4
+	call pcn_reinit
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_duplex:
+	ld8  r2, [r2+0]
+	movi r5, #0
+	beq  r2, #0, d_write
+	movi r5, #1            ; BCR9 full-duplex enable
+d_write:
+	push r5
+	movi r5, #9
+	push r5
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wbcr
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_wol:
+	; Magic-packet enable lives in CSR5 on this family. The virtual
+	; NIC cannot wake anything, but the code path is real (Table 2
+	; lists Wake-on-LAN as N/T for PCNet).
+	ld8  r2, [r2+0]
+	movi r5, #0
+	beq  r2, #0, wol_write
+	movi r5, #2
+wol_write:
+	push r5
+	movi r5, #5
+	push r5
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_led:
+	; LED programming via BCR4 (also N/T on virtual hardware).
+	ld8  r2, [r2+0]
+	push r2
+	movi r5, #4
+	push r5
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wbcr
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_mcast:
+	; Hash the list into the context, then re-init to load LADRF.
+	movi r5, #0
+pm_clear:
+	add  r6, r4, r5
+	movi r1, #0
+	st8  [r6+0x38], r1
+	add  r5, r5, #1
+	movi r1, #8
+	bltu r5, r1, pm_clear
+	movi r5, #0
+pm_each:
+	bgeu r5, r3, pm_done
+	push r2
+	push r3
+	push r5
+	add  r1, r2, r5
+	push r1
+	call crc32_hash
+	pop  r5
+	pop  r3
+	pop  r2
+	shr  r1, r0, #3
+	and  r6, r0, #7
+	movi r0, #1
+	shl  r0, r0, r6
+	add  r6, r4, r1
+	ld8  r1, [r6+0x38]
+	or   r1, r1, r0
+	st8  [r6+0x38], r1
+	add  r5, r5, #6
+	jmp  pm_each
+pm_done:
+	push r4
+	call pcn_reinit
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; crc32_hash(macptr): shared CRC-32 multicast hash (type 4 function).
+.func crc32_hash
+	ld32 r1, [sp+4]
+	movi r2, #0
+	sub  r2, r2, #1
+	movi r3, #0
+crc_byte:
+	add  r5, r1, r3
+	ld8  r5, [r5+0]
+	xor  r2, r2, r5
+	movi r6, #0
+crc_bit:
+	and  r5, r2, #1
+	shr  r2, r2, #1
+	beq  r5, #0, crc_nopoly
+	movi r5, #0xEDB88320
+	xor  r2, r2, r5
+crc_nopoly:
+	add  r6, r6, #1
+	movi r5, #8
+	bltu r6, r5, crc_bit
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, crc_byte
+	movi r5, #0
+	sub  r5, r5, #1
+	xor  r2, r2, r5
+	shr  r0, r2, #26
+	ret 4
+
+; ================= MiniportHalt =================
+.func mp_halt
+	ld32 r4, [sp+4]
+	movi r2, #CSR0_STOP
+	push r2
+	movi r2, #0
+	push r2
+	ld32 r1, [r4+0x00]
+	push r1
+	call pcn_wcsr
+	movi r2, #0
+	st32 [r4+0x08], r2
+	ret 4
+
+.align 8
+chars:
+	.space 24
+`

@@ -1,0 +1,535 @@
+package drivers
+
+// rtl8029Src is the "proprietary" RTL8029 (NE2000 clone) driver.
+//
+// Adapter context layout (allocated in MiniportInitialize):
+//
+//	+0x00 I/O base      +0x04 IRQ line    +0x08 running flag
+//	+0x0C packet filter +0x10 BNRY mirror (ring read page)
+//	+0x14 station MAC (6 bytes)
+//	+0x20 RX staging buffer pointer
+//	+0x24 TX counter    +0x28 RX counter
+//	+0x30 multicast hash scratch (8 bytes)
+const rtl8029Src = apiEqus + `
+.org 0x10000
+
+; ---- RTL8029 register offsets ----
+.equ R_CR,    0x00
+.equ R_ISR,   0x01
+.equ R_IMR,   0x02
+.equ R_RCR,   0x03
+.equ R_TCR,   0x04
+.equ R_TPSR,  0x05
+.equ R_TBCRL, 0x06
+.equ R_TBCRH, 0x07
+.equ R_RSARL, 0x08
+.equ R_RSARH, 0x09
+.equ R_RBCRL, 0x0A
+.equ R_RBCRH, 0x0B
+.equ R_BNRY,  0x0C
+.equ R_CURR,  0x0D
+.equ R_MAR0,  0x10
+.equ R_DATA,  0x18
+
+.equ CR_STOP, 1
+.equ CR_START, 2
+.equ CR_TXP, 4
+.equ ISR_PRX, 1
+.equ ISR_PTX, 2
+.equ ISR_OVW, 8
+.equ RCR_PROM, 1
+.equ RCR_AM, 2
+.equ TCR_FDX, 1
+.equ RX_FIRST_PAGE, 0x46
+.equ RX_LAST_PAGE, 0x80
+.equ TX_PAGE, 0x40
+
+; ================= DriverEntry =================
+; Registers the miniport characteristics table with NDIS.
+.func DriverEntry
+	movi r1, chars
+	movi r2, mp_initialize
+	st32 [r1+0], r2
+	movi r2, mp_send
+	st32 [r1+4], r2
+	movi r2, mp_isr
+	st32 [r1+8], r2
+	movi r2, mp_query
+	st32 [r1+12], r2
+	movi r2, mp_set
+	st32 [r1+16], r2
+	movi r2, mp_halt
+	st32 [r1+20], r2
+	push r1
+	call NdisMRegisterMiniport
+	movi r0, #STATUS_SUCCESS
+	ret
+
+; ================= MiniportInitialize =================
+; Allocates the adapter context, probes the chip, reads the station
+; address from the PROM, and brings the receiver online.
+; returns ctx in r0, or 0 on failure.
+.func mp_initialize
+	movi r1, #0x40
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail_nomem
+	mov  r4, r0              ; r4 = ctx
+	; PCI config: I/O base and IRQ.
+	movi r1, #PCI_CFG_IOBASE
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x00], r0
+	movi r1, #PCI_CFG_IRQ
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x04], r0
+	; Probe for the chip.
+	ld32 r1, [r4+0x00]
+	push r1
+	call ne2k_presence
+	beq  r0, #0, init_present
+	; Device absent: log and fail.
+	movi r1, #0xDEAD0001
+	push r1
+	call NdisWriteErrorLogEntry
+	push r4
+	call NdisFreeMemory
+	movi r0, #0
+	ret
+init_present:
+	push r4
+	call ne2k_reset
+	push r4
+	call ne2k_read_mac
+	; RX staging buffer.
+	movi r1, #1536
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail_nomem
+	st32 [r4+0x20], r0
+	; Ring pointers: read side starts at the first RX page.
+	ld32 r1, [r4+0x00]
+	movi r2, #RX_FIRST_PAGE
+	out8 (r1+R_BNRY), r2
+	st32 [r4+0x10], r2
+	; Clear pending interrupts, unmask PRX/PTX/OVW.
+	movi r2, #0xFF
+	out8 (r1+R_ISR), r2
+	movi r2, #11            ; ISR_PRX|ISR_PTX|ISR_OVW
+	out8 (r1+R_IMR), r2
+	; Half duplex default.
+	movi r2, #0
+	out8 (r1+R_TCR), r2
+	; Start the chip.
+	push r4
+	call ne2k_start
+	movi r2, #1
+	st32 [r4+0x08], r2
+	mov  r0, r4
+	ret
+init_fail_nomem:
+	movi r1, #0xDEAD0002
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #0
+	ret
+
+; ================= hardware helpers (type 1) =================
+; ne2k_presence(iobase): 0 if the chip responds, 1 otherwise.
+.func ne2k_presence
+	ld32 r1, [sp+4]
+	in8  r2, (r1+R_CR)
+	movi r3, #0xFF
+	beq  r2, r3, presence_no
+	movi r0, #0
+	ret 4
+presence_no:
+	movi r0, #1
+	ret 4
+
+; ne2k_reset(ctx): stop the chip and ack all interrupts.
+.func ne2k_reset
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #CR_STOP
+	out8 (r1+R_CR), r2
+	movi r2, #0xFF
+	out8 (r1+R_ISR), r2
+	movi r2, #0
+	out8 (r1+R_IMR), r2
+	ret 4
+
+; ne2k_start(ctx): start RX/TX.
+.func ne2k_start
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #CR_START
+	out8 (r1+R_CR), r2
+	ret 4
+
+; ne2k_stop(ctx).
+.func ne2k_stop
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #CR_STOP
+	out8 (r1+R_CR), r2
+	ret 4
+
+; ne2k_setup_remote(iobase, addr, count): program the remote DMA
+; engine. This tiny address/count helper is called before every
+; data-port transfer.
+.func ne2k_setup_remote
+	ld32 r1, [sp+4]
+	ld32 r2, [sp+8]
+	ld32 r3, [sp+12]
+	out8 (r1+R_RSARL), r2
+	shr  r2, r2, #8
+	out8 (r1+R_RSARH), r2
+	out8 (r1+R_RBCRL), r3
+	shr  r3, r3, #8
+	out8 (r1+R_RBCRH), r3
+	ret 12
+
+; ne2k_read_mac(ctx): read 6 PROM bytes via remote DMA into the
+; context.
+.func ne2k_read_mac
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #6
+	push r2
+	movi r2, #0
+	push r2
+	push r1
+	call ne2k_setup_remote
+	movi r3, #0            ; i
+mac_loop:
+	in8  r2, (r1+R_DATA)
+	add  r5, r4, r3
+	st8  [r5+0x14], r2
+	add  r3, r3, #1
+	movi r6, #6
+	bltu r3, r6, mac_loop
+	ret 4
+
+; ================= MiniportSend =================
+; mp_send(ctx, buf, len): copy the frame into the transmit area via
+; the remote DMA data port, then kick the transmitter.
+.func mp_send
+	ld32 r4, [sp+4]
+	ld32 r5, [sp+8]
+	ld32 r6, [sp+12]
+	; Boundary checks: runts and giants are rejected.
+	movi r1, #14
+	bltu r6, r1, send_bad
+	movi r1, #1514
+	bgeu r1, r6, send_size_ok
+send_bad:
+	movi r1, #0xDEAD0003
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #STATUS_FAILURE
+	ret 12
+send_size_ok:
+	ld32 r1, [r4+0x00]
+	; Remote write to the TX area at page TX_PAGE.
+	push r6
+	movi r2, #0x4000       ; TX_PAGE << 8
+	push r2
+	push r1
+	call ne2k_setup_remote
+	movi r3, #0            ; i
+send_copy:
+	bgeu r3, r6, send_copied
+	add  r2, r5, r3
+	ld8  r2, [r2+0]
+	out8 (r1+R_DATA), r2
+	add  r3, r3, #1
+	jmp  send_copy
+send_copied:
+	push r6
+	push r4
+	call ne2k_tx_kick
+	ld32 r2, [r4+0x24]
+	add  r2, r2, #1
+	st32 [r4+0x24], r2
+	movi r0, #STATUS_SUCCESS
+	ret 12
+
+; ne2k_tx_kick(ctx, len): program TPSR/TBCR and set TXP.
+.func ne2k_tx_kick
+	ld32 r4, [sp+4]
+	ld32 r3, [sp+8]
+	ld32 r1, [r4+0x00]
+	movi r2, #TX_PAGE
+	out8 (r1+R_TPSR), r2
+	out8 (r1+R_TBCRL), r3
+	shr  r2, r3, #8
+	out8 (r1+R_TBCRH), r2
+	movi r2, #6            ; CR_START|CR_TXP
+	out8 (r1+R_CR), r2
+	ret 8
+
+; ================= MiniportISR =================
+; mp_isr(ctx): read and dispatch interrupt causes.
+.func mp_isr
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	in8  r2, (r1+R_ISR)
+	beq  r2, #0, isr_done
+	; Transmit complete?
+	and  r3, r2, #ISR_PTX
+	beq  r3, #0, isr_no_tx
+	movi r3, #ISR_PTX
+	out8 (r1+R_ISR), r3    ; ack
+	movi r3, #STATUS_SUCCESS
+	push r3
+	call NdisMSendComplete
+isr_no_tx:
+	; Packets received?
+	and  r3, r2, #ISR_PRX
+	beq  r3, #0, isr_no_rx
+	push r2                ; drain clobbers the cause bits
+	push r4
+	call ne2k_recv_drain
+	pop  r2
+	ld32 r1, [r4+0x00]
+	movi r3, #ISR_PRX
+	out8 (r1+R_ISR), r3    ; ack
+isr_no_rx:
+	; Ring overflow?
+	and  r3, r2, #ISR_OVW
+	beq  r3, #0, isr_done
+	movi r3, #ISR_OVW
+	out8 (r1+R_ISR), r3
+	movi r3, #0xDEAD0004
+	push r3
+	call NdisWriteErrorLogEntry
+isr_done:
+	ret 4
+
+; ne2k_recv_drain(ctx): walk the receive ring from the BNRY mirror to
+; CURR, indicating each frame up the stack (a type 3 function: it
+; mixes hardware access with OS calls).
+.func ne2k_recv_drain
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+drain_loop:
+	in8  r2, (r1+R_CURR)
+	ld32 r3, [r4+0x10]     ; read page mirror
+	beq  r3, r2, drain_done
+	; Read the 4-byte ring header at page r3.
+	movi r5, #4
+	push r5
+	shl  r5, r3, #8
+	push r5
+	push r1
+	call ne2k_setup_remote
+	in8  r5, (r1+R_DATA)   ; status (ignored)
+	in8  r5, (r1+R_DATA)   ; next page
+	in8  r2, (r1+R_DATA)   ; len low
+	in8  r6, (r1+R_DATA)   ; len high
+	shl  r6, r6, #8
+	or   r6, r6, r2        ; total length incl header
+	sub  r6, r6, #4        ; frame length
+	; Copy the frame into the staging buffer.
+	ld32 r2, [r4+0x20]
+	movi r3, #0
+drain_copy:
+	bgeu r3, r6, drain_copied
+	in8  r0, (r1+R_DATA)
+	push r5
+	add  r5, r2, r3
+	st8  [r5+0], r0
+	pop  r5
+	add  r3, r3, #1
+	jmp  drain_copy
+drain_copied:
+	; Advance the read page and indicate the frame.
+	st32 [r4+0x10], r5
+	out8 (r1+R_BNRY), r5
+	push r6
+	push r2
+	call NdisMIndicateReceivePacket
+	ld32 r2, [r4+0x28]
+	add  r2, r2, #1
+	st32 [r4+0x28], r2
+	jmp  drain_loop
+drain_done:
+	ret 4
+
+; ================= MiniportQueryInformation =================
+; mp_query(ctx, oid, buf, len).
+.func mp_query
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	movi r3, #OID_MAC_ADDRESS
+	beq  r1, r3, q_mac
+	movi r3, #OID_LINK_SPEED
+	beq  r1, r3, q_speed
+	movi r3, #OID_MEDIA_STATUS
+	beq  r1, r3, q_media
+	movi r0, #STATUS_FAILURE
+	ret 16
+q_mac:
+	movi r3, #0
+q_mac_loop:
+	add  r5, r4, r3
+	ld8  r5, [r5+0x14]
+	add  r6, r2, r3
+	st8  [r6+0], r5
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, q_mac_loop
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_speed:
+	movi r3, #10           ; 10 Mbps
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_media:
+	movi r3, #1            ; connected
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; ================= MiniportSetInformation =================
+; mp_set(ctx, oid, buf, len).
+.func mp_set
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	ld32 r3, [sp+16]
+	movi r5, #OID_PACKET_FILTER
+	beq  r1, r5, s_filter
+	movi r5, #OID_MULTICAST
+	beq  r1, r5, s_mcast
+	movi r5, #OID_FULL_DUPLEX
+	beq  r1, r5, s_duplex
+	movi r0, #STATUS_FAILURE
+	ret 16
+s_filter:
+	ld32 r2, [r2+0]
+	st32 [r4+0x0C], r2
+	movi r5, #0            ; rcr value
+	and  r6, r2, #FILTER_PROMISCUOUS
+	beq  r6, #0, f_noprom
+	or   r5, r5, #RCR_PROM
+f_noprom:
+	and  r6, r2, #FILTER_MULTICAST
+	beq  r6, #0, f_nomc
+	or   r5, r5, #RCR_AM
+f_nomc:
+	ld32 r1, [r4+0x00]
+	out8 (r1+R_RCR), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_duplex:
+	ld8  r2, [r2+0]
+	ld32 r1, [r4+0x00]
+	movi r5, #0
+	beq  r2, #0, d_write
+	movi r5, #TCR_FDX
+d_write:
+	out8 (r1+R_TCR), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_mcast:
+	; Build the 64-bit multicast hash in the context scratch area,
+	; then write MAR0..MAR7. CRC-32 hashing is an OS-independent
+	; algorithm (a type 4 function in the paper's taxonomy).
+	movi r5, #0
+mc_clear:
+	add  r6, r4, r5
+	movi r1, #0
+	st8  [r6+0x30], r1
+	add  r5, r5, #1
+	movi r1, #8
+	bltu r5, r1, mc_clear
+	movi r5, #0            ; byte offset into the MAC list
+mc_each:
+	bgeu r5, r3, mc_write
+	push r2
+	push r3
+	push r5
+	add  r1, r2, r5
+	push r1
+	call crc32_hash        ; r0 = hash bit index 0..63
+	pop  r5
+	pop  r3
+	pop  r2
+	shr  r1, r0, #3        ; byte
+	and  r6, r0, #7        ; bit
+	movi r0, #1
+	shl  r0, r0, r6
+	add  r6, r4, r1
+	ld8  r1, [r6+0x30]
+	or   r1, r1, r0
+	st8  [r6+0x30], r1
+	add  r5, r5, #6
+	jmp  mc_each
+mc_write:
+	ld32 r1, [r4+0x00]
+	add  r1, r1, #R_MAR0
+	movi r5, #0
+mc_out:
+	add  r6, r4, r5
+	ld8  r6, [r6+0x30]
+	add  r2, r1, r5
+	out8 (r2+0), r6
+	add  r5, r5, #1
+	movi r6, #8
+	bltu r5, r6, mc_out
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; crc32_hash(macptr): CRC-32 (IEEE, reflected) of 6 bytes, returning
+; the standard Ethernet multicast hash index (top 6 bits of the
+; complemented CRC).
+.func crc32_hash
+	ld32 r1, [sp+4]
+	movi r2, #0
+	sub  r2, r2, #1        ; crc = 0xFFFFFFFF
+	movi r3, #0            ; i
+crc_byte:
+	add  r5, r1, r3
+	ld8  r5, [r5+0]
+	xor  r2, r2, r5
+	movi r6, #0            ; bit
+crc_bit:
+	and  r5, r2, #1
+	shr  r2, r2, #1
+	beq  r5, #0, crc_nopoly
+	movi r5, #0xEDB88320
+	xor  r2, r2, r5
+crc_nopoly:
+	add  r6, r6, #1
+	movi r5, #8
+	bltu r6, r5, crc_bit
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, crc_byte
+	movi r5, #0
+	sub  r5, r5, #1
+	xor  r2, r2, r5        ; final complement
+	shr  r0, r2, #26
+	ret 4
+
+; ================= MiniportHalt =================
+.func mp_halt
+	ld32 r4, [sp+4]
+	push r4
+	call ne2k_stop
+	ld32 r1, [r4+0x00]
+	movi r2, #0
+	out8 (r1+R_IMR), r2
+	st32 [r4+0x08], r2
+	ret 4
+
+; ---- driver data ----
+.align 8
+chars:
+	.space 24
+`

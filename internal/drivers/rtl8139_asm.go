@@ -1,0 +1,533 @@
+package drivers
+
+// rtl8139Src is the "proprietary" RTL8139 driver: bus-master DMA with
+// four transmit descriptors and a host-memory receive ring.
+//
+// Adapter context layout:
+//
+//	+0x00 I/O base      +0x04 IRQ         +0x08 running flag
+//	+0x0C packet filter +0x10 TX descriptor index
+//	+0x14 station MAC (6 bytes)
+//	+0x20 RX ring physical address (DMA)
+//	+0x24 TX buffer area physical address (DMA, 4 x 2 KB)
+//	+0x28 CAPR mirror   +0x2C TX counter  +0x30 RX counter
+//	+0x34 multicast hash scratch (8 bytes)
+//	+0x3C RX staging buffer pointer
+const rtl8139Src = apiEqus + `
+.org 0x10000
+
+; ---- RTL8139 register offsets ----
+.equ R_IDR0,    0x00
+.equ R_MAR0,    0x08
+.equ R_TSD0,    0x10
+.equ R_TSAD0,   0x20
+.equ R_RBSTART, 0x30
+.equ R_CR,      0x37
+.equ R_CAPR,    0x38
+.equ R_IMR,     0x3C
+.equ R_INTST,   0x3E
+.equ R_TCR,     0x40
+.equ R_RCR,     0x44
+.equ R_CONFIG1, 0x52
+.equ R_MSR,     0x58
+
+.equ CR_BUFE,  0x01
+.equ CR_TE,    0x04
+.equ CR_RE,    0x08
+.equ CR_RST,   0x10
+.equ INT_ROK,  0x01
+.equ INT_TOK,  0x04
+.equ RCR_AAP,  0x01
+.equ RCR_AM,   0x04
+.equ RCR_AB,   0x08
+.equ CFG1_PMEN, 0x01
+.equ CFG1_LED0, 0x10
+.equ MSR_FDX,  0x01
+
+; ================= DriverEntry =================
+.func DriverEntry
+	movi r1, chars
+	movi r2, mp_initialize
+	st32 [r1+0], r2
+	movi r2, mp_send
+	st32 [r1+4], r2
+	movi r2, mp_isr
+	st32 [r1+8], r2
+	movi r2, mp_query
+	st32 [r1+12], r2
+	movi r2, mp_set
+	st32 [r1+16], r2
+	movi r2, mp_halt
+	st32 [r1+20], r2
+	push r1
+	call NdisMRegisterMiniport
+	movi r0, #STATUS_SUCCESS
+	ret
+
+; ================= MiniportInitialize =================
+.func mp_initialize
+	movi r1, #0x48
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	mov  r4, r0
+	movi r1, #PCI_CFG_IOBASE
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x00], r0
+	movi r1, #PCI_CFG_IRQ
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x04], r0
+	; Probe: an absent device reads as open bus.
+	ld32 r1, [r4+0x00]
+	in8  r2, (r1+R_CR)
+	movi r3, #0xFF
+	beq  r2, r3, init_nodev
+	; Soft reset, then poll until the RST bit self-clears (a classic
+	; polling loop for the state-killing heuristic to chew on).
+	push r4
+	call rtl_reset
+	beq  r0, #0, init_reset_ok
+	movi r1, #0xDEAD0011
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_reset_ok:
+	; Station address from IDR.
+	push r4
+	call rtl_read_mac
+	; DMA memory: RX ring (8 KB + WRAP-mode slack), TX staging
+	; (4 x 2 KB).
+	movi r1, #10256
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x20], r0
+	movi r1, #8192
+	push r1
+	call NdisMAllocateSharedMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x24], r0
+	movi r1, #1536
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x3C], r0
+	; Program the ring, unmask interrupts, enable RX/TX.
+	ld32 r1, [r4+0x00]
+	ld32 r2, [r4+0x20]
+	out32 (r1+R_RBSTART), r2
+	movi r2, #0
+	st32 [r4+0x28], r2
+	out16 (r1+R_CAPR), r2
+	st32 [r4+0x10], r2
+	movi r2, #5            ; INT_ROK|INT_TOK
+	out16 (r1+R_IMR), r2
+	movi r2, #RCR_AB
+	out32 (r1+R_RCR), r2
+	movi r2, #12           ; CR_TE|CR_RE
+	out8  (r1+R_CR), r2
+	; Link-watch timer drives the activity LED.
+	movi r1, mp_timer
+	push r1
+	call NdisMInitializeTimer
+	movi r1, #100
+	push r1
+	call NdisMSetTimer
+	movi r2, #1
+	st32 [r4+0x08], r2
+	mov  r0, r4
+	ret
+init_nodev:
+	movi r1, #0xDEAD0010
+	push r1
+	call NdisWriteErrorLogEntry
+init_fail:
+	movi r0, #0
+	ret
+
+; rtl_reset(ctx): pulse RST and wait for it to clear; returns 0 on
+; success, 1 if the bit never cleared.
+.func rtl_reset
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #CR_RST
+	out8 (r1+R_CR), r2
+	movi r3, #0            ; spin budget
+reset_poll:
+	in8  r2, (r1+R_CR)
+	and  r2, r2, #CR_RST
+	beq  r2, #0, reset_done
+	add  r3, r3, #1
+	movi r2, #1000
+	bltu r3, r2, reset_poll
+	movi r0, #1
+	ret 4
+reset_done:
+	movi r0, #0
+	ret 4
+
+; rtl_read_mac(ctx): IDR0..IDR5 into the context.
+.func rtl_read_mac
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r3, #0
+rmac_loop:
+	add  r2, r1, r3
+	in8  r2, (r2+R_IDR0)
+	add  r5, r4, r3
+	st8  [r5+0x14], r2
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, rmac_loop
+	ret 4
+
+; ================= MiniportSend =================
+; mp_send(ctx, buf, len): copy into the per-descriptor DMA staging
+; area, then hand the descriptor to the chip.
+.func mp_send
+	ld32 r4, [sp+4]
+	ld32 r5, [sp+8]
+	ld32 r6, [sp+12]
+	movi r1, #14
+	bltu r6, r1, send_bad
+	movi r1, #1514
+	bgeu r1, r6, send_ok
+send_bad:
+	movi r1, #0xDEAD0012
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #STATUS_FAILURE
+	ret 12
+send_ok:
+	; staging = txarea + idx*2048
+	ld32 r2, [r4+0x10]
+	shl  r3, r2, #11
+	ld32 r1, [r4+0x24]
+	add  r1, r1, r3        ; r1 = staging phys
+	movi r3, #0
+send_copy:
+	bgeu r3, r6, send_copied
+	add  r0, r5, r3
+	ld8  r0, [r0+0]
+	add  r2, r1, r3
+	st8  [r2+0], r0
+	add  r3, r3, #1
+	jmp  send_copy
+send_copied:
+	; TSAD[idx] = staging, TSD[idx] = len (OWN clear starts DMA).
+	ld32 r2, [r4+0x10]
+	shl  r3, r2, #2
+	ld32 r0, [r4+0x00]
+	add  r0, r0, r3
+	out32 (r0+R_TSAD0), r1
+	out32 (r0+R_TSD0), r6
+	; idx = (idx + 1) & 3
+	add  r2, r2, #1
+	and  r2, r2, #3
+	st32 [r4+0x10], r2
+	ld32 r2, [r4+0x2C]
+	add  r2, r2, #1
+	st32 [r4+0x2C], r2
+	movi r0, #STATUS_SUCCESS
+	ret 12
+
+; ================= MiniportISR =================
+.func mp_isr
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	in16 r2, (r1+R_INTST)
+	beq  r2, #0, isr_done
+	and  r3, r2, #INT_TOK
+	beq  r3, #0, isr_no_tx
+	movi r3, #INT_TOK
+	out16 (r1+R_INTST), r3
+	movi r3, #STATUS_SUCCESS
+	push r3
+	call NdisMSendComplete
+isr_no_tx:
+	and  r3, r2, #INT_ROK
+	beq  r3, #0, isr_done
+	push r2
+	push r4
+	call rtl_rx_drain
+	pop  r2
+	ld32 r1, [r4+0x00]
+	movi r3, #INT_ROK
+	out16 (r1+R_INTST), r3
+isr_done:
+	ret 4
+
+; rtl_rx_drain(ctx): consume ring entries until the chip reports an
+; empty buffer (type 3: hardware access mixed with OS upcalls).
+.func rtl_rx_drain
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+rxd_loop:
+	in8  r2, (r1+R_CR)
+	and  r2, r2, #CR_BUFE
+	bne  r2, #0, rxd_done
+	; Header at ring+capr: status u16, total length u16 (incl. 4).
+	; WRAP mode guarantees the frame is contiguous after the header.
+	ld32 r2, [r4+0x20]     ; ring base
+	ld32 r3, [r4+0x28]     ; capr mirror
+	add  r5, r2, r3
+	ld16 r6, [r5+2]        ; total length
+	sub  r6, r6, #4        ; frame length
+	; Copy the frame into the staging buffer.
+	ld32 r0, [r4+0x3C]
+	push r0                ; staging base, kept for the indicate
+	add  r3, r5, #4        ; source = ring+capr+4
+	movi r5, #0            ; i
+rxd_copy:
+	bgeu r5, r6, rxd_copied
+	add  r0, r3, r5
+	ld8  r0, [r0+0]
+	ld32 r2, [sp+0]        ; staging base
+	add  r2, r2, r5
+	st8  [r2+0], r0
+	add  r5, r5, #1
+	jmp  rxd_copy
+rxd_copied:
+	; capr = (capr + 4 + len + 3) & ~3, modulo ring size.
+	ld32 r3, [r4+0x28]
+	add  r3, r3, r6
+	add  r3, r3, #7
+	movi r2, #0xFFFFFFFC
+	and  r3, r3, r2
+	movi r2, #0x1FFF
+	and  r3, r3, r2
+	st32 [r4+0x28], r3
+	ld32 r1, [r4+0x00]
+	out16 (r1+R_CAPR), r3
+	; Indicate the staged frame.
+	pop  r2                ; staging base
+	push r6
+	push r2
+	call NdisMIndicateReceivePacket
+	ld32 r2, [r4+0x30]
+	add  r2, r2, #1
+	st32 [r4+0x30], r2
+	ld32 r1, [r4+0x00]
+	jmp  rxd_loop
+rxd_done:
+	ret 4
+
+; ================= MiniportQueryInformation =================
+.func mp_query
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	movi r3, #OID_MAC_ADDRESS
+	beq  r1, r3, q_mac
+	movi r3, #OID_LINK_SPEED
+	beq  r1, r3, q_speed
+	movi r3, #OID_MEDIA_STATUS
+	beq  r1, r3, q_media
+	movi r0, #STATUS_FAILURE
+	ret 16
+q_mac:
+	movi r3, #0
+q_mac_loop:
+	add  r5, r4, r3
+	ld8  r5, [r5+0x14]
+	add  r6, r2, r3
+	st8  [r6+0], r5
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, q_mac_loop
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_speed:
+	movi r3, #100
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_media:
+	; Read link state from the media status register.
+	ld32 r1, [r4+0x00]
+	in8  r3, (r1+R_MSR)
+	movi r3, #1
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; ================= MiniportSetInformation =================
+.func mp_set
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	ld32 r3, [sp+16]
+	movi r5, #OID_PACKET_FILTER
+	beq  r1, r5, s_filter
+	movi r5, #OID_MULTICAST
+	beq  r1, r5, s_mcast
+	movi r5, #OID_FULL_DUPLEX
+	beq  r1, r5, s_duplex
+	movi r5, #OID_WOL
+	beq  r1, r5, s_wol
+	movi r5, #OID_LED
+	beq  r1, r5, s_led
+	movi r0, #STATUS_FAILURE
+	ret 16
+s_filter:
+	ld32 r2, [r2+0]
+	st32 [r4+0x0C], r2
+	movi r5, #RCR_AB       ; always accept broadcast
+	and  r6, r2, #FILTER_PROMISCUOUS
+	beq  r6, #0, f_noprom
+	or   r5, r5, #RCR_AAP
+f_noprom:
+	and  r6, r2, #FILTER_MULTICAST
+	beq  r6, #0, f_nomc
+	or   r5, r5, #RCR_AM
+f_nomc:
+	ld32 r1, [r4+0x00]
+	out32 (r1+R_RCR), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_duplex:
+	ld8  r2, [r2+0]
+	ld32 r1, [r4+0x00]
+	in8  r5, (r1+R_MSR)
+	movi r6, #0xFE
+	and  r5, r5, r6
+	beq  r2, #0, d_write
+	or   r5, r5, #MSR_FDX
+d_write:
+	out8 (r1+R_MSR), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_wol:
+	ld8  r2, [r2+0]
+	ld32 r1, [r4+0x00]
+	in8  r5, (r1+R_CONFIG1)
+	movi r6, #0xFE
+	and  r5, r5, r6
+	beq  r2, #0, w_write
+	or   r5, r5, #CFG1_PMEN
+w_write:
+	out8 (r1+R_CONFIG1), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_led:
+	ld8  r2, [r2+0]
+	ld32 r1, [r4+0x00]
+	in8  r5, (r1+R_CONFIG1)
+	movi r6, #0xEF
+	and  r5, r5, r6
+	beq  r2, #0, l_write
+	or   r5, r5, #CFG1_LED0
+l_write:
+	out8 (r1+R_CONFIG1), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_mcast:
+	; Build and program the 64-bit hash (MAR0..7).
+	movi r5, #0
+smc_clear:
+	add  r6, r4, r5
+	movi r1, #0
+	st8  [r6+0x34], r1
+	add  r5, r5, #1
+	movi r1, #8
+	bltu r5, r1, smc_clear
+	movi r5, #0
+smc_each:
+	bgeu r5, r3, smc_write
+	push r2
+	push r3
+	push r5
+	add  r1, r2, r5
+	push r1
+	call crc32_hash
+	pop  r5
+	pop  r3
+	pop  r2
+	shr  r1, r0, #3
+	and  r6, r0, #7
+	movi r0, #1
+	shl  r0, r0, r6
+	add  r6, r4, r1
+	ld8  r1, [r6+0x34]
+	or   r1, r1, r0
+	st8  [r6+0x34], r1
+	add  r5, r5, #6
+	jmp  smc_each
+smc_write:
+	ld32 r1, [r4+0x00]
+	add  r1, r1, #R_MAR0
+	movi r5, #0
+smc_out:
+	add  r6, r4, r5
+	ld8  r6, [r6+0x34]
+	add  r2, r1, r5
+	out8 (r2+0), r6
+	add  r5, r5, #1
+	movi r6, #8
+	bltu r5, r6, smc_out
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; crc32_hash(macptr): shared CRC-32 multicast hash (type 4 function).
+.func crc32_hash
+	ld32 r1, [sp+4]
+	movi r2, #0
+	sub  r2, r2, #1
+	movi r3, #0
+crc_byte:
+	add  r5, r1, r3
+	ld8  r5, [r5+0]
+	xor  r2, r2, r5
+	movi r6, #0
+crc_bit:
+	and  r5, r2, #1
+	shr  r2, r2, #1
+	beq  r5, #0, crc_nopoly
+	movi r5, #0xEDB88320
+	xor  r2, r2, r5
+crc_nopoly:
+	add  r6, r6, #1
+	movi r5, #8
+	bltu r6, r5, crc_bit
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, crc_byte
+	movi r5, #0
+	sub  r5, r5, #1
+	xor  r2, r2, r5
+	shr  r0, r2, #26
+	ret 4
+
+; ================= timer: link watch / activity LED =================
+; mp_timer(ctx): reads the media status and mirrors link state onto
+; the LED bit in CONFIG1.
+.func mp_timer
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	in8  r2, (r1+R_MSR)
+	in8  r5, (r1+R_CONFIG1)
+	movi r6, #0xEF
+	and  r5, r5, r6
+	and  r2, r2, #MSR_FDX
+	beq  r2, #0, t_write
+	or   r5, r5, #CFG1_LED0
+t_write:
+	out8 (r1+R_CONFIG1), r5
+	ret 4
+
+; ================= MiniportHalt =================
+.func mp_halt
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #0
+	out16 (r1+R_IMR), r2
+	out8  (r1+R_CR), r2
+	st32  [r4+0x08], r2
+	ret 4
+
+.align 8
+chars:
+	.space 24
+`

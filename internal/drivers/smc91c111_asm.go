@@ -1,0 +1,492 @@
+package drivers
+
+// smc91c111Src is the "proprietary" SMSC 91C111 driver: bank-switched
+// registers, MMU-managed on-chip packet buffers, and no DMA — the
+// driver moves every byte through the data port, which is what makes
+// this chip viable on the FPGA platform of §5.3.
+//
+// Adapter context layout:
+//
+//	+0x00 I/O base   +0x04 IRQ    +0x08 running   +0x0C filter
+//	+0x10 station MAC (6 bytes)
+//	+0x18 RX staging buffer pointer
+//	+0x1C TX counter  +0x20 RX counter
+//	+0x24 multicast hash scratch (8 bytes)
+const smc91c111Src = apiEqus + `
+.org 0x10000
+
+; ---- 91C111 register offsets (per bank) ----
+.equ R_BSR,    0x0E
+.equ R_TCR,    0x00
+.equ R_RCRX,   0x02
+.equ R_IAR0,   0x00
+.equ R_CONFIG, 0x06
+.equ R_MMUCR,  0x00
+.equ R_PNR,    0x02
+.equ R_FIFO,   0x04
+.equ R_PTR,    0x06
+.equ R_DATA,   0x08
+.equ R_IST,    0x0A
+.equ R_MSK,    0x0C
+.equ R_MT0,    0x00
+
+.equ TCR_TXEN, 0x01
+.equ TCR_FDX,  0x80
+.equ RCR_RXEN, 0x01
+.equ RCR_PRMS, 0x02
+.equ CFG_LEDA, 0x01
+.equ MMU_ALLOC,  1
+.equ MMU_RESET,  2
+.equ MMU_ENQ,    4
+.equ MMU_RMRX,   5
+.equ INT_RCV,    0x01
+.equ INT_TXDONE, 0x02
+.equ INT_ALLOC,  0x08
+
+; ================= DriverEntry =================
+.func DriverEntry
+	movi r1, chars
+	movi r2, mp_initialize
+	st32 [r1+0], r2
+	movi r2, mp_send
+	st32 [r1+4], r2
+	movi r2, mp_isr
+	st32 [r1+8], r2
+	movi r2, mp_query
+	st32 [r1+12], r2
+	movi r2, mp_set
+	st32 [r1+16], r2
+	movi r2, mp_halt
+	st32 [r1+20], r2
+	push r1
+	call NdisMRegisterMiniport
+	movi r0, #STATUS_SUCCESS
+	ret
+
+; s91_bank(iobase, n): select a register bank (type 1 helper; called
+; before nearly every hardware access).
+.func s91_bank
+	ld32 r1, [sp+4]
+	ld32 r2, [sp+8]
+	out8 (r1+R_BSR), r2
+	ret 8
+
+; ================= MiniportInitialize =================
+.func mp_initialize
+	movi r1, #0x30
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	mov  r4, r0
+	movi r1, #PCI_CFG_IOBASE
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x00], r0
+	movi r1, #PCI_CFG_IRQ
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x04], r0
+	; Probe: the bank select register must read back what we wrote.
+	ld32 r1, [r4+0x00]
+	movi r2, #2
+	out8 (r1+R_BSR), r2
+	in8  r3, (r1+R_BSR)
+	beq  r3, r2, init_present
+	movi r1, #0xDEAD0031
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_present:
+	; MMU reset (bank 2 already selected).
+	movi r2, #MMU_RESET
+	out16 (r1+R_MMUCR), r2
+	; Station MAC from bank 1.
+	movi r2, #1
+	push r2
+	push r1
+	call s91_bank
+	movi r3, #0
+iar_loop:
+	add  r2, r1, r3
+	in8  r2, (r2+R_IAR0)
+	add  r5, r4, r3
+	st8  [r5+0x10], r2
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, iar_loop
+	; Staging buffer for receives.
+	movi r1, #1536
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x18], r0
+	; Enable TX and RX in bank 0.
+	ld32 r1, [r4+0x00]
+	movi r2, #0
+	push r2
+	push r1
+	call s91_bank
+	movi r2, #TCR_TXEN
+	out16 (r1+R_TCR), r2
+	movi r2, #RCR_RXEN
+	out16 (r1+R_RCRX), r2
+	; Unmask RX/TX interrupts in bank 2.
+	movi r2, #2
+	push r2
+	push r1
+	call s91_bank
+	movi r2, #3            ; INT_RCV|INT_TXDONE
+	out8 (r1+R_MSK), r2
+	movi r2, #1
+	st32 [r4+0x08], r2
+	mov  r0, r4
+	ret
+init_fail:
+	movi r0, #0
+	ret
+
+; ================= MiniportSend =================
+; mp_send(ctx, buf, len): allocate an on-chip packet, stream the frame
+; through the data port, enqueue for transmission.
+.func mp_send
+	ld32 r4, [sp+4]
+	ld32 r5, [sp+8]
+	ld32 r6, [sp+12]
+	movi r1, #14
+	bltu r6, r1, send_bad
+	movi r1, #1514
+	bgeu r1, r6, send_ok
+send_bad:
+	movi r1, #0xDEAD0032
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #STATUS_FAILURE
+	ret 12
+send_ok:
+	ld32 r1, [r4+0x00]
+	movi r2, #2
+	push r2
+	push r1
+	call s91_bank
+	; Allocate a packet buffer; poll the allocation-done bit.
+	movi r2, #MMU_ALLOC
+	out16 (r1+R_MMUCR), r2
+	movi r3, #0            ; spin budget
+alloc_poll:
+	in8  r2, (r1+R_IST)
+	and  r2, r2, #INT_ALLOC
+	bne  r2, #0, alloc_ok
+	add  r3, r3, #1
+	movi r2, #1000
+	bltu r3, r2, alloc_poll
+	movi r1, #0xDEAD0033
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #STATUS_FAILURE
+	ret 12
+alloc_ok:
+	movi r2, #INT_ALLOC    ; ack the allocation interrupt bit
+	out8 (r1+R_IST), r2
+	in8  r2, (r1+R_PNR)
+	out8 (r1+R_PNR), r2    ; select the packet for data access
+	; Control header: length at offset 0, data from offset 4.
+	movi r2, #0
+	out16 (r1+R_PTR), r2
+	out16 (r1+R_DATA), r6
+	movi r2, #4
+	out16 (r1+R_PTR), r2
+	; Stream the frame through the 16-bit data port, two bytes per
+	; transfer like the real chip's drivers (a trailing odd byte is
+	; covered by the final 16-bit write; the length header bounds
+	; what the MMU transmits).
+	movi r3, #0
+send_copy:
+	bgeu r3, r6, send_copied
+	add  r2, r5, r3
+	ld16 r2, [r2+0]
+	out16 (r1+R_DATA), r2
+	add  r3, r3, #2
+	jmp  send_copy
+send_copied:
+	movi r2, #MMU_ENQ
+	out16 (r1+R_MMUCR), r2
+	ld32 r2, [r4+0x1C]
+	add  r2, r2, #1
+	st32 [r4+0x1C], r2
+	movi r0, #STATUS_SUCCESS
+	ret 12
+
+; ================= MiniportISR =================
+.func mp_isr
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #2
+	push r2
+	push r1
+	call s91_bank
+	in8  r2, (r1+R_IST)
+	beq  r2, #0, isr_done
+	and  r3, r2, #INT_TXDONE
+	beq  r3, #0, isr_no_tx
+	movi r3, #INT_TXDONE
+	out8 (r1+R_IST), r3
+	movi r3, #STATUS_SUCCESS
+	push r3
+	call NdisMSendComplete
+isr_no_tx:
+	and  r3, r2, #INT_RCV
+	beq  r3, #0, isr_done
+	push r4
+	call s91_rx_drain
+	ld32 r1, [r4+0x00]
+isr_done:
+	ret 4
+
+; s91_rx_drain(ctx): pop every packet number off the RX FIFO,
+; streaming each frame out of the chip through the data port (type 3).
+.func s91_rx_drain
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+srx_loop:
+	in8  r2, (r1+R_FIFO)
+	and  r3, r2, #0x80
+	bne  r3, #0, srx_done  ; FIFO empty
+	out8 (r1+R_PNR), r2    ; select the packet
+	movi r2, #0
+	out16 (r1+R_PTR), r2
+	in16 r6, (r1+R_DATA)   ; frame length from the control header
+	movi r2, #4
+	out16 (r1+R_PTR), r2
+	ld32 r5, [r4+0x18]     ; staging buffer
+	movi r3, #0
+srx_copy:
+	bgeu r3, r6, srx_copied
+	in16 r0, (r1+R_DATA)
+	add  r2, r5, r3
+	st16 [r2+0], r0
+	add  r3, r3, #2
+	jmp  srx_copy
+srx_copied:
+	; Release the chip buffer, then indicate the frame.
+	movi r2, #MMU_RMRX
+	out16 (r1+R_MMUCR), r2
+	push r6
+	push r5
+	call NdisMIndicateReceivePacket
+	ld32 r2, [r4+0x20]
+	add  r2, r2, #1
+	st32 [r4+0x20], r2
+	jmp  srx_loop
+srx_done:
+	ret 4
+
+; ================= MiniportQueryInformation =================
+.func mp_query
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	movi r3, #OID_MAC_ADDRESS
+	beq  r1, r3, q_mac
+	movi r3, #OID_LINK_SPEED
+	beq  r1, r3, q_speed
+	movi r3, #OID_MEDIA_STATUS
+	beq  r1, r3, q_media
+	movi r0, #STATUS_FAILURE
+	ret 16
+q_mac:
+	movi r3, #0
+q_mac_loop:
+	add  r5, r4, r3
+	ld8  r5, [r5+0x10]
+	add  r6, r2, r3
+	st8  [r6+0], r5
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, q_mac_loop
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_speed:
+	movi r3, #100
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_media:
+	movi r3, #1
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; ================= MiniportSetInformation =================
+.func mp_set
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	ld32 r3, [sp+16]
+	movi r5, #OID_PACKET_FILTER
+	beq  r1, r5, s_filter
+	movi r5, #OID_MULTICAST
+	beq  r1, r5, s_mcast
+	movi r5, #OID_FULL_DUPLEX
+	beq  r1, r5, s_duplex
+	movi r5, #OID_LED
+	beq  r1, r5, s_led
+	movi r0, #STATUS_FAILURE
+	ret 16
+s_filter:
+	ld32 r2, [r2+0]
+	st32 [r4+0x0C], r2
+	ld32 r1, [r4+0x00]
+	push r2
+	movi r2, #0
+	push r2
+	push r1
+	call s91_bank
+	pop  r2
+	movi r5, #RCR_RXEN
+	and  r6, r2, #FILTER_PROMISCUOUS
+	beq  r6, #0, f_write
+	or   r5, r5, #RCR_PRMS
+f_write:
+	out16 (r1+R_RCRX), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_duplex:
+	ld8  r2, [r2+0]
+	ld32 r1, [r4+0x00]
+	push r2
+	movi r2, #0
+	push r2
+	push r1
+	call s91_bank
+	pop  r2
+	in16 r5, (r1+R_TCR)
+	movi r6, #0xFF7F
+	and  r5, r5, r6
+	beq  r2, #0, d_write
+	or   r5, r5, #TCR_FDX
+d_write:
+	out16 (r1+R_TCR), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_led:
+	ld8  r2, [r2+0]
+	ld32 r1, [r4+0x00]
+	push r2
+	movi r2, #1
+	push r2
+	push r1
+	call s91_bank
+	pop  r2
+	in16 r5, (r1+R_CONFIG)
+	movi r6, #0xFFFE
+	and  r5, r5, r6
+	beq  r2, #0, l_write
+	or   r5, r5, #CFG_LEDA
+l_write:
+	out16 (r1+R_CONFIG), r5
+	movi r0, #STATUS_SUCCESS
+	ret 16
+s_mcast:
+	; Hash into the context scratch, then write MT0..7 in bank 3.
+	movi r5, #0
+ym_clear:
+	add  r6, r4, r5
+	movi r1, #0
+	st8  [r6+0x24], r1
+	add  r5, r5, #1
+	movi r1, #8
+	bltu r5, r1, ym_clear
+	movi r5, #0
+ym_each:
+	bgeu r5, r3, ym_write
+	push r2
+	push r3
+	push r5
+	add  r1, r2, r5
+	push r1
+	call crc32_hash
+	pop  r5
+	pop  r3
+	pop  r2
+	shr  r1, r0, #3
+	and  r6, r0, #7
+	movi r0, #1
+	shl  r0, r0, r6
+	add  r6, r4, r1
+	ld8  r1, [r6+0x24]
+	or   r1, r1, r0
+	st8  [r6+0x24], r1
+	add  r5, r5, #6
+	jmp  ym_each
+ym_write:
+	ld32 r1, [r4+0x00]
+	movi r2, #3
+	push r2
+	push r1
+	call s91_bank
+	movi r5, #0
+ym_out:
+	add  r6, r4, r5
+	ld8  r6, [r6+0x24]
+	add  r2, r1, r5
+	out8 (r2+R_MT0), r6
+	add  r5, r5, #1
+	movi r6, #8
+	bltu r5, r6, ym_out
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; crc32_hash(macptr): shared CRC-32 multicast hash (type 4 function).
+.func crc32_hash
+	ld32 r1, [sp+4]
+	movi r2, #0
+	sub  r2, r2, #1
+	movi r3, #0
+crc_byte:
+	add  r5, r1, r3
+	ld8  r5, [r5+0]
+	xor  r2, r2, r5
+	movi r6, #0
+crc_bit:
+	and  r5, r2, #1
+	shr  r2, r2, #1
+	beq  r5, #0, crc_nopoly
+	movi r5, #0xEDB88320
+	xor  r2, r2, r5
+crc_nopoly:
+	add  r6, r6, #1
+	movi r5, #8
+	bltu r6, r5, crc_bit
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, crc_byte
+	movi r5, #0
+	sub  r5, r5, #1
+	xor  r2, r2, r5
+	shr  r0, r2, #26
+	ret 4
+
+; ================= MiniportHalt =================
+.func mp_halt
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #0
+	push r2
+	push r1
+	call s91_bank
+	movi r2, #0
+	out16 (r1+R_TCR), r2
+	out16 (r1+R_RCRX), r2
+	movi r2, #2
+	push r2
+	push r1
+	call s91_bank
+	movi r2, #0
+	out8 (r1+R_MSK), r2
+	st32 [r4+0x08], r2
+	ret 4
+
+.align 8
+chars:
+	.space 24
+`

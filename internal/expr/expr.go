@@ -1,0 +1,626 @@
+// Package expr implements the symbolic bitvector expressions that flow
+// through RevNIC's symbolic execution engine.
+//
+// Expressions form an immutable DAG. Constructors perform local
+// canonicalization (constant folding, algebraic identities), which
+// keeps path constraints small before they ever reach the solver —
+// the same role KLEE's expression rewriter plays in the original
+// system. Widths are in bits, 1..32; width-1 expressions are booleans
+// produced by comparisons and consumed by Ite and path constraints.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates expression nodes.
+type Kind uint8
+
+// Expression kinds.
+const (
+	KConst Kind = iota
+	KSym
+	KAdd
+	KSub
+	KMul
+	KAnd
+	KOr
+	KXor
+	KShl  // logical shift left
+	KLshr // logical shift right
+	KAshr // arithmetic shift right
+	KEq   // boolean result
+	KUlt  // unsigned less-than, boolean result
+	KSlt  // signed less-than, boolean result
+	KNot  // bitwise complement (logical not at width 1)
+	KZext // zero-extend A to Width
+	KTrunc
+	KConcat // A is high bits, B is low bits
+	KIte    // if A (width 1) then B else C
+)
+
+var kindNames = map[Kind]string{
+	KConst: "const", KSym: "sym", KAdd: "add", KSub: "sub", KMul: "mul",
+	KAnd: "and", KOr: "or", KXor: "xor", KShl: "shl", KLshr: "lshr",
+	KAshr: "ashr", KEq: "eq", KUlt: "ult", KSlt: "slt", KNot: "not",
+	KZext: "zext", KTrunc: "trunc", KConcat: "concat", KIte: "ite",
+}
+
+// Expr is one immutable node of an expression DAG. Construct values
+// only through the package constructors, which establish invariants
+// (masked constants, folded identities).
+type Expr struct {
+	Kind  Kind
+	Width uint8 // result width in bits, 1..32
+	Val   uint32
+	Name  string
+	A     *Expr
+	B     *Expr
+	C     *Expr
+
+	hash uint64 // lazy structural hash; 0 = not yet computed
+}
+
+func mask(w uint8) uint32 {
+	if w >= 32 {
+		return 0xFFFFFFFF
+	}
+	return 1<<w - 1
+}
+
+// Mask returns the value mask for width w.
+func Mask(w uint8) uint32 { return mask(w) }
+
+// C constructs a constant of width w.
+func C(v uint32, w uint8) *Expr {
+	return &Expr{Kind: KConst, Width: w, Val: v & mask(w)}
+}
+
+// S constructs a fresh symbolic variable. Names are globally
+// meaningful: the same name always denotes the same unknown.
+func S(name string, w uint8) *Expr {
+	return &Expr{Kind: KSym, Width: w, Name: name}
+}
+
+// Bool converts a Go bool to the width-1 constants used as branch
+// conditions.
+func Bool(b bool) *Expr {
+	if b {
+		return C(1, 1)
+	}
+	return C(0, 1)
+}
+
+// IsConst reports whether e is a constant, returning its value.
+func (e *Expr) IsConst() (uint32, bool) {
+	if e.Kind == KConst {
+		return e.Val, true
+	}
+	return 0, false
+}
+
+// IsTrue reports whether e is the constant true.
+func (e *Expr) IsTrue() bool { return e.Kind == KConst && e.Val != 0 }
+
+// IsFalse reports whether e is the constant false (zero).
+func (e *Expr) IsFalse() bool { return e.Kind == KConst && e.Val == 0 }
+
+func signExtend(v uint32, w uint8) int32 {
+	shift := 32 - uint32(w)
+	return int32(v<<shift) >> shift
+}
+
+// SignExtend interprets v as a signed w-bit value.
+func SignExtend(v uint32, w uint8) int32 { return signExtend(v, w) }
+
+func binFold(k Kind, a, b uint32, w uint8) uint32 {
+	m := mask(w)
+	switch k {
+	case KAdd:
+		return (a + b) & m
+	case KSub:
+		return (a - b) & m
+	case KMul:
+		return (a * b) & m
+	case KAnd:
+		return a & b
+	case KOr:
+		return a | b
+	case KXor:
+		return a ^ b
+	case KShl:
+		return (a << (b % 32)) & m
+	case KLshr:
+		return (a & m) >> (b % 32)
+	case KAshr:
+		return uint32(signExtend(a, w)>>(b%32)) & m
+	}
+	panic("expr: binFold on non-arithmetic kind " + kindNames[k])
+}
+
+func bin(k Kind, a, b *Expr) *Expr {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("expr: width mismatch %d vs %d in %s", a.Width, b.Width, kindNames[k]))
+	}
+	w := a.Width
+	av, aConst := a.IsConst()
+	bv, bConst := b.IsConst()
+	if aConst && bConst {
+		return C(binFold(k, av, bv, w), w)
+	}
+	// Algebraic identities with a constant operand.
+	if bConst {
+		switch {
+		case bv == 0 && (k == KAdd || k == KSub || k == KOr || k == KXor || k == KShl || k == KLshr || k == KAshr):
+			return a
+		case bv == 0 && (k == KAnd || k == KMul):
+			return C(0, w)
+		case bv == mask(w) && k == KAnd:
+			return a
+		case bv == 1 && k == KMul:
+			return a
+		}
+	}
+	if aConst {
+		switch {
+		case av == 0 && (k == KAdd || k == KOr || k == KXor):
+			return b
+		case av == 0 && (k == KAnd || k == KMul || k == KShl || k == KLshr || k == KAshr):
+			return C(0, w)
+		case av == mask(w) && k == KAnd:
+			return b
+		case av == 1 && k == KMul:
+			return b
+		}
+	}
+	if a == b {
+		switch k {
+		case KSub, KXor:
+			return C(0, w)
+		case KAnd, KOr:
+			return a
+		}
+	}
+	// Canonicalize constants to the right for commutative operators,
+	// and re-associate (x op c1) op c2 => x op (c1 op c2).
+	switch k {
+	case KAdd, KMul, KAnd, KOr, KXor:
+		if aConst {
+			a, b = b, a
+			av, aConst, bv, bConst = bv, bConst, av, aConst
+		}
+		if bConst && a.Kind == k {
+			if iv, ok := a.B.IsConst(); ok {
+				return bin(k, a.A, C(binFold(k, iv, bv, w), w))
+			}
+		}
+	case KSub:
+		// x - c  =>  x + (-c), unifying with the KAdd re-association.
+		if bConst {
+			return bin(KAdd, a, C(-bv&mask(w), w))
+		}
+	}
+	_ = av
+	return &Expr{Kind: k, Width: w, A: a, B: b}
+}
+
+// Add returns a+b.
+func Add(a, b *Expr) *Expr { return bin(KAdd, a, b) }
+
+// Sub returns a-b.
+func Sub(a, b *Expr) *Expr { return bin(KSub, a, b) }
+
+// Mul returns a*b (low bits).
+func Mul(a, b *Expr) *Expr { return bin(KMul, a, b) }
+
+// And returns a&b.
+func And(a, b *Expr) *Expr { return bin(KAnd, a, b) }
+
+// Or returns a|b.
+func Or(a, b *Expr) *Expr { return bin(KOr, a, b) }
+
+// Xor returns a^b.
+func Xor(a, b *Expr) *Expr { return bin(KXor, a, b) }
+
+// Shl returns a << b (shift amount taken mod 32).
+func Shl(a, b *Expr) *Expr { return bin(KShl, a, b) }
+
+// Lshr returns the logical right shift a >> b.
+func Lshr(a, b *Expr) *Expr { return bin(KLshr, a, b) }
+
+// Ashr returns the arithmetic right shift a >> b.
+func Ashr(a, b *Expr) *Expr { return bin(KAshr, a, b) }
+
+// Eq returns the boolean a == b.
+func Eq(a, b *Expr) *Expr {
+	if a.Width != b.Width {
+		panic("expr: width mismatch in eq")
+	}
+	if av, ok := a.IsConst(); ok {
+		if bv, ok2 := b.IsConst(); ok2 {
+			return Bool(av == bv)
+		}
+	}
+	if a == b {
+		return Bool(true)
+	}
+	// (x == c) where x is (y ^ c2) etc. left to the solver; keep one
+	// cheap rule: zext(x) == c with c beyond x's range is false.
+	if b.Kind == KConst && a.Kind == KZext && b.Val > mask(a.A.Width) {
+		return Bool(false)
+	}
+	if a.Kind == KConst {
+		a, b = b, a
+	}
+	return &Expr{Kind: KEq, Width: 1, A: a, B: b}
+}
+
+// Ult returns the boolean a < b, unsigned.
+func Ult(a, b *Expr) *Expr {
+	if a.Width != b.Width {
+		panic("expr: width mismatch in ult")
+	}
+	if av, ok := a.IsConst(); ok {
+		if bv, ok2 := b.IsConst(); ok2 {
+			return Bool(av < bv)
+		}
+	}
+	if b.IsFalse() {
+		return Bool(false) // nothing is < 0
+	}
+	if a == b {
+		return Bool(false)
+	}
+	return &Expr{Kind: KUlt, Width: 1, A: a, B: b}
+}
+
+// Slt returns the boolean a < b, signed at the operand width.
+func Slt(a, b *Expr) *Expr {
+	if a.Width != b.Width {
+		panic("expr: width mismatch in slt")
+	}
+	if av, ok := a.IsConst(); ok {
+		if bv, ok2 := b.IsConst(); ok2 {
+			return Bool(signExtend(av, a.Width) < signExtend(bv, b.Width))
+		}
+	}
+	if a == b {
+		return Bool(false)
+	}
+	return &Expr{Kind: KSlt, Width: 1, A: a, B: b}
+}
+
+// Not returns the bitwise complement; at width 1 this is logical not.
+func Not(a *Expr) *Expr {
+	if v, ok := a.IsConst(); ok {
+		return C(^v, a.Width)
+	}
+	if a.Kind == KNot {
+		return a.A
+	}
+	return &Expr{Kind: KNot, Width: a.Width, A: a}
+}
+
+// Zext zero-extends a to width w.
+func Zext(a *Expr, w uint8) *Expr {
+	if w < a.Width {
+		panic("expr: zext narrows")
+	}
+	if w == a.Width {
+		return a
+	}
+	if v, ok := a.IsConst(); ok {
+		return C(v, w)
+	}
+	if a.Kind == KZext {
+		return Zext(a.A, w)
+	}
+	return &Expr{Kind: KZext, Width: w, A: a}
+}
+
+// Trunc truncates a to width w.
+func Trunc(a *Expr, w uint8) *Expr {
+	if w > a.Width {
+		panic("expr: trunc widens")
+	}
+	if w == a.Width {
+		return a
+	}
+	if v, ok := a.IsConst(); ok {
+		return C(v, w)
+	}
+	if a.Kind == KZext && a.A.Width >= w {
+		return Trunc(a.A, w)
+	}
+	if a.Kind == KConcat && a.B.Width >= w {
+		return Trunc(a.B, w)
+	}
+	return &Expr{Kind: KTrunc, Width: w, A: a}
+}
+
+// Concat concatenates hi over lo; the result has width
+// hi.Width+lo.Width.
+func Concat(hi, lo *Expr) *Expr {
+	w := hi.Width + lo.Width
+	if w > 32 {
+		panic("expr: concat exceeds 32 bits")
+	}
+	if hv, ok := hi.IsConst(); ok {
+		if lv, ok2 := lo.IsConst(); ok2 {
+			return C(hv<<lo.Width|lv, w)
+		}
+		if hv == 0 {
+			return Zext(lo, w)
+		}
+	}
+	// concat(trunc(x>>k), trunc(x)) patterns from byte-wise memory
+	// reassemble into x; handled by ExtractByte below.
+	return &Expr{Kind: KConcat, Width: w, A: hi, B: lo}
+}
+
+// Ite returns "if cond then a else b"; cond must have width 1.
+func Ite(cond, a, b *Expr) *Expr {
+	if cond.Width != 1 {
+		panic("expr: ite condition must be width 1")
+	}
+	if a.Width != b.Width {
+		panic("expr: ite arm width mismatch")
+	}
+	if cond.IsTrue() {
+		return a
+	}
+	if cond.IsFalse() {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return &Expr{Kind: KIte, Width: a.Width, A: cond, B: a, C: b}
+}
+
+// ExtractByte returns byte i (0 = least significant) of e as a width-8
+// expression, recognizing the reassembly patterns produced by
+// byte-granular symbolic memory.
+func ExtractByte(e *Expr, i int) *Expr {
+	if i*8 >= int(e.Width+7) {
+		return C(0, 8)
+	}
+	if v, ok := e.IsConst(); ok {
+		return C(v>>(8*i), 8)
+	}
+	if i == 0 {
+		return Trunc(e, 8)
+	}
+	return Trunc(Lshr(e, C(uint32(8*i), e.Width)), 8)
+}
+
+// Byte assembles a 32-bit value from four width-8 byte expressions
+// (b0 least significant), recognizing the case where all four bytes
+// extract consecutive bytes of one source expression.
+func FromBytes32(b0, b1, b2, b3 *Expr) *Expr {
+	if src := commonSource(b0, b1, b2, b3); src != nil {
+		return src
+	}
+	return Concat(Concat(b3, b2), Concat(b1, b0))
+}
+
+// FromBytes16 assembles a 16-bit value from two byte expressions.
+func FromBytes16(b0, b1 *Expr) *Expr { return Concat(b1, b0) }
+
+// commonSource detects b0..b3 = bytes 0..3 of a single 32-bit
+// expression and returns that expression.
+func commonSource(b0, b1, b2, b3 *Expr) *Expr {
+	src := byteSource(b0, 0)
+	if src == nil || src.Width != 32 {
+		return nil
+	}
+	for i, b := range []*Expr{b1, b2, b3} {
+		if byteSource(b, i+1) != src {
+			return nil
+		}
+	}
+	return src
+}
+
+// byteSource returns x if e is structurally ExtractByte(x, i).
+func byteSource(e *Expr, i int) *Expr {
+	if e.Kind != KTrunc || e.Width != 8 {
+		return nil
+	}
+	inner := e.A
+	if i == 0 {
+		return inner
+	}
+	if inner.Kind != KLshr {
+		return nil
+	}
+	if sh, ok := inner.B.IsConst(); !ok || sh != uint32(8*i) {
+		return nil
+	}
+	return inner.A
+}
+
+// Eval computes the concrete value of e under an assignment of
+// symbolic variables. Missing variables evaluate to zero, matching
+// the solver's completion of partial models. Evaluation is
+// memoized over the expression DAG: values produced by long
+// execution paths share subtrees heavily, and a naive tree walk is
+// exponential on them.
+func Eval(e *Expr, env map[string]uint32) uint32 {
+	return evalMemo(e, env, map[*Expr]uint32{})
+}
+
+func evalMemo(e *Expr, env map[string]uint32, memo map[*Expr]uint32) uint32 {
+	if e.Kind == KConst {
+		return e.Val
+	}
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	v := evalNode(e, env, memo)
+	memo[e] = v
+	return v
+}
+
+func evalNode(e *Expr, env map[string]uint32, memo map[*Expr]uint32) uint32 {
+	ev := func(x *Expr) uint32 { return evalMemo(x, env, memo) }
+	switch e.Kind {
+	case KSym:
+		return env[e.Name] & mask(e.Width)
+	case KAdd, KSub, KMul, KAnd, KOr, KXor, KShl, KLshr, KAshr:
+		return binFold(e.Kind, ev(e.A), ev(e.B), e.Width)
+	case KEq:
+		if ev(e.A) == ev(e.B) {
+			return 1
+		}
+		return 0
+	case KUlt:
+		if ev(e.A) < ev(e.B) {
+			return 1
+		}
+		return 0
+	case KSlt:
+		if signExtend(ev(e.A), e.A.Width) < signExtend(ev(e.B), e.B.Width) {
+			return 1
+		}
+		return 0
+	case KNot:
+		return ^ev(e.A) & mask(e.Width)
+	case KZext:
+		return ev(e.A)
+	case KTrunc:
+		return ev(e.A) & mask(e.Width)
+	case KConcat:
+		return (ev(e.A)<<e.B.Width | ev(e.B)) & mask(e.Width)
+	case KIte:
+		if ev(e.A) != 0 {
+			return ev(e.B)
+		}
+		return ev(e.C)
+	}
+	panic("expr: eval of unknown kind")
+}
+
+// Hash returns a structural hash of the expression, computed once and
+// cached in the node. Structurally equal DAGs hash equally; it is
+// DAG-aware (linear in distinct nodes), unlike String.
+func (e *Expr) Hash() uint64 {
+	if e.hash != 0 {
+		return e.hash
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(e.Kind) + 1)
+	mix(uint64(e.Width))
+	mix(uint64(e.Val) + 0x9E3779B97F4A7C15)
+	for i := 0; i < len(e.Name); i++ {
+		mix(uint64(e.Name[i]))
+	}
+	if e.A != nil {
+		mix(e.A.Hash())
+	}
+	if e.B != nil {
+		mix(e.B.Hash() ^ 0xABCDEF)
+	}
+	if e.C != nil {
+		mix(e.C.Hash() ^ 0x123457)
+	}
+	if h == 0 {
+		h = 1
+	}
+	e.hash = h
+	return h
+}
+
+// Vars appends the distinct symbolic variable names occurring in e to
+// the set. The walk is DAG-aware.
+func Vars(e *Expr, set map[string]uint8) {
+	varsMemo(e, set, map[*Expr]bool{})
+}
+
+func varsMemo(e *Expr, set map[string]uint8, seen map[*Expr]bool) {
+	if seen[e] {
+		return
+	}
+	seen[e] = true
+	switch e.Kind {
+	case KConst:
+	case KSym:
+		set[e.Name] = e.Width
+	default:
+		if e.A != nil {
+			varsMemo(e.A, set, seen)
+		}
+		if e.B != nil {
+			varsMemo(e.B, set, seen)
+		}
+		if e.C != nil {
+			varsMemo(e.C, set, seen)
+		}
+	}
+}
+
+// VarNames returns the sorted variable names of e.
+func VarNames(e *Expr) []string {
+	set := map[string]uint8{}
+	Vars(e, set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the expression in a compact LISP-ish syntax for
+// debugging and trace dumps.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Expr) format(b *strings.Builder) {
+	switch e.Kind {
+	case KConst:
+		fmt.Fprintf(b, "%#x:%d", e.Val, e.Width)
+	case KSym:
+		fmt.Fprintf(b, "%s:%d", e.Name, e.Width)
+	default:
+		b.WriteByte('(')
+		b.WriteString(kindNames[e.Kind])
+		for _, sub := range []*Expr{e.A, e.B, e.C} {
+			if sub != nil {
+				b.WriteByte(' ')
+				sub.format(b)
+			}
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Size returns the number of distinct nodes in the DAG; a rough
+// complexity measure used by tests and the solver's cache keys.
+func (e *Expr) Size() int {
+	return dagSize(e, map[*Expr]bool{})
+}
+
+func dagSize(e *Expr, seen map[*Expr]bool) int {
+	if seen[e] {
+		return 0
+	}
+	seen[e] = true
+	n := 1
+	for _, sub := range []*Expr{e.A, e.B, e.C} {
+		if sub != nil {
+			n += dagSize(sub, seen)
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+// Package ir defines the translation-block intermediate representation
+// shared by the concrete VM, the symbolic execution engine, the
+// wiretap traces, and the code synthesizer.
+//
+// A translation block is a maximal straight-line sequence of decoded
+// instructions ending in a control-flow terminator, exactly the unit
+// RevNIC's dynamic binary translator produces (§3.4): "QEMU passes the
+// current program counter to the DBT, which translates the code until
+// it finds an instruction altering the control flow."
+//
+// A translation block is not necessarily a basic block: an instruction
+// in its middle may be the target of a branch from elsewhere. The CFG
+// builder (package cfg) splits translation blocks into basic blocks
+// during reconstruction, as the paper describes.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"revnic/internal/isa"
+)
+
+// Block is one translation block.
+type Block struct {
+	// Addr is the guest address of the first instruction.
+	Addr uint32
+	// Instrs are the decoded instructions; the last one is always a
+	// terminator unless translation hit MaxBlockInstrs.
+	Instrs []isa.Instr
+}
+
+// MaxBlockInstrs bounds translation so that a run of straight-line
+// code without terminators (e.g. data misinterpreted as code) cannot
+// wedge the translator.
+const MaxBlockInstrs = 512
+
+// Term returns the terminating instruction of the block.
+func (b *Block) Term() isa.Instr { return b.Instrs[len(b.Instrs)-1] }
+
+// EndAddr returns the address one past the last instruction, i.e. the
+// fall-through address for calls and not-taken branches.
+func (b *Block) EndAddr() uint32 {
+	return b.Addr + uint32(len(b.Instrs))*isa.InstrSize
+}
+
+// InstrAddr returns the address of the i-th instruction.
+func (b *Block) InstrAddr(i int) uint32 {
+	return b.Addr + uint32(i)*isa.InstrSize
+}
+
+// Contains reports whether addr falls on an instruction boundary
+// inside the block.
+func (b *Block) Contains(addr uint32) bool {
+	return addr >= b.Addr && addr < b.EndAddr() && (addr-b.Addr)%isa.InstrSize == 0
+}
+
+// String renders the block with addresses, for traces and debugging.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block %#x:\n", b.Addr)
+	for i, in := range b.Instrs {
+		fmt.Fprintf(&sb, "  %#x: %s\n", b.InstrAddr(i), in.Disassemble())
+	}
+	return sb.String()
+}
+
+// Reader provides instruction fetch for the translator.
+type Reader interface {
+	// FetchInstr decodes the instruction at addr.
+	FetchInstr(addr uint32) (isa.Instr, error)
+}
+
+// Translate builds the translation block starting at addr. It stops
+// at the first terminator or after MaxBlockInstrs instructions.
+func Translate(r Reader, addr uint32) (*Block, error) {
+	b := &Block{Addr: addr}
+	for len(b.Instrs) < MaxBlockInstrs {
+		in, err := r.FetchInstr(addr + uint32(len(b.Instrs))*isa.InstrSize)
+		if err != nil {
+			return nil, fmt.Errorf("ir: translate at %#x: %w", addr, err)
+		}
+		b.Instrs = append(b.Instrs, in)
+		if in.Op.IsTerminator() {
+			break
+		}
+	}
+	return b, nil
+}
+
+// Cache memoizes translation blocks by address. Driver code in this
+// system is not self-modifying, so entries never need invalidation;
+// Flush exists for tests.
+type Cache struct {
+	r      Reader
+	blocks map[uint32]*Block
+	misses int64
+}
+
+// NewCache returns an empty translation cache over r.
+func NewCache(r Reader) *Cache {
+	return &Cache{r: r, blocks: map[uint32]*Block{}}
+}
+
+// Get returns the translation block at addr, translating on miss.
+func (c *Cache) Get(addr uint32) (*Block, error) {
+	if b, ok := c.blocks[addr]; ok {
+		return b, nil
+	}
+	b, err := Translate(c.r, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	c.blocks[addr] = b
+	return b, nil
+}
+
+// Flush drops all cached blocks.
+func (c *Cache) Flush() { c.blocks = map[uint32]*Block{} }
+
+// Misses returns the number of translations performed.
+func (c *Cache) Misses() int64 { return c.misses }

@@ -1,0 +1,104 @@
+package ir
+
+import (
+	"testing"
+
+	"revnic/internal/isa"
+)
+
+type sliceReader struct {
+	base uint32
+	code []byte
+}
+
+func (r sliceReader) FetchInstr(addr uint32) (isa.Instr, error) {
+	return isa.Decode(r.code[addr-r.base:])
+}
+
+func mustProg(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTranslateStopsAtTerminator(t *testing.T) {
+	p := mustProg(t, `
+	movi r0, #1
+	add r0, r0, #2
+	jmp 0
+	movi r1, #9 ; unreachable, next block
+	hlt
+`)
+	r := sliceReader{0, p.Code}
+	b, err := Translate(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Instrs) != 3 || b.Term().Op != isa.JMP {
+		t.Fatalf("block = %s", b)
+	}
+	if b.EndAddr() != 3*isa.InstrSize {
+		t.Errorf("EndAddr = %#x", b.EndAddr())
+	}
+	if !b.Contains(isa.InstrSize) || b.Contains(3*isa.InstrSize) || b.Contains(1) {
+		t.Error("Contains misbehaves")
+	}
+	// Next block.
+	b2, err := Translate(r, b.EndAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Instrs) != 2 || b2.Term().Op != isa.HLT {
+		t.Fatalf("block2 = %s", b2)
+	}
+}
+
+func TestTranslateBounded(t *testing.T) {
+	// A long run of NOPs with no terminator must stop at the bound.
+	code := make([]byte, 0, (MaxBlockInstrs+10)*isa.InstrSize)
+	for i := 0; i < MaxBlockInstrs+10; i++ {
+		code = isa.Instr{Op: isa.NOP}.Encode(code)
+	}
+	b, err := Translate(sliceReader{0, code}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Instrs) != MaxBlockInstrs {
+		t.Fatalf("len = %d", len(b.Instrs))
+	}
+}
+
+func TestCache(t *testing.T) {
+	p := mustProg(t, "movi r0, #1\nhlt\nmovi r0, #2\nhlt")
+	c := NewCache(sliceReader{0, p.Code})
+	b1, err := c.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1again, _ := c.Get(0)
+	if b1 != b1again {
+		t.Error("cache miss on repeat")
+	}
+	if _, err := c.Get(2 * isa.InstrSize); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses() != 2 {
+		t.Errorf("misses = %d", c.Misses())
+	}
+	c.Flush()
+	c.Get(0)
+	if c.Misses() != 3 {
+		t.Errorf("misses after flush = %d", c.Misses())
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	p := mustProg(t, "movi r0, #1\nhlt")
+	b, _ := Translate(sliceReader{0, p.Code}, 0)
+	if s := b.String(); s == "" {
+		t.Error("empty String")
+	}
+}

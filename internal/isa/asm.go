@@ -1,0 +1,584 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: a flat binary image plus
+// symbol metadata. The metadata plays the role of the ground truth a
+// vendor keeps private — RevNIC is handed only Base and Code, never
+// Symbols or Funcs; tests use them to validate reconstruction.
+type Program struct {
+	// Base is the load address of the first code byte.
+	Base uint32
+	// Code is the binary image.
+	Code []byte
+	// Symbols maps every label to its absolute address.
+	Symbols map[string]uint32
+	// Funcs lists addresses declared as function entry points with
+	// the .func directive, in declaration order.
+	Funcs []FuncSym
+}
+
+// FuncSym records a ground-truth function entry point.
+type FuncSym struct {
+	Name string
+	Addr uint32
+}
+
+// Size returns the image size in bytes.
+func (p *Program) Size() int { return len(p.Code) }
+
+// Sym returns the address of a label, panicking if undefined; it is a
+// test/driver-construction convenience.
+func (p *Program) Sym(name string) uint32 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("isa: undefined symbol %q", name))
+	}
+	return a
+}
+
+// asmError decorates assembly errors with source position.
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.line, e.msg) }
+
+type assembler struct {
+	base    uint32
+	pc      uint32
+	code    []byte
+	symbols map[string]uint32
+	equs    map[string]uint32
+	funcs   []FuncSym
+	pass    int
+	line    int
+}
+
+// Assemble translates assembly source into a Program. The syntax is
+// line oriented: optional "label:" prefixes, one instruction or
+// directive per line, ';' comments. See the package tests for a
+// complete grammar-by-example.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: map[string]uint32{}, equs: map[string]uint32{}}
+	for pass := 1; pass <= 2; pass++ {
+		a.pass = pass
+		a.pc = a.base
+		a.code = a.code[:0]
+		a.funcs = a.funcs[:0]
+		for i, raw := range strings.Split(src, "\n") {
+			a.line = i + 1
+			if err := a.doLine(raw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Program{Base: a.base, Code: a.code, Symbols: a.symbols, Funcs: a.funcs}, nil
+}
+
+// MustAssemble is Assemble, panicking on error. Driver sources in this
+// repository are compile-time constants, so assembly failure is a bug.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &asmError{line: a.line, msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) doLine(raw string) error {
+	line := raw
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	// Labels (possibly several on one line).
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 || strings.ContainsAny(line[:i], " \t\",#[(") {
+			break
+		}
+		name := line[:i]
+		if a.pass == 1 {
+			if _, dup := a.symbols[name]; dup {
+				return a.errf("duplicate label %q", name)
+			}
+			a.symbols[name] = a.pc
+		}
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	if line[0] == '.' {
+		return a.directive(line)
+	}
+	return a.instruction(line)
+}
+
+func (a *assembler) emit(b ...byte) {
+	a.code = append(a.code, b...)
+	a.pc += uint32(len(b))
+}
+
+func (a *assembler) directive(line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch mnem {
+	case ".org":
+		v, err := a.expr(rest)
+		if err != nil {
+			return err
+		}
+		if len(a.code) != 0 {
+			return a.errf(".org must precede code")
+		}
+		a.base, a.pc = v, v
+		return nil
+	case ".equ":
+		name, val, ok := strings.Cut(rest, ",")
+		if !ok {
+			return a.errf(".equ needs name, value")
+		}
+		v, err := a.expr(strings.TrimSpace(val))
+		if err != nil {
+			return err
+		}
+		a.equs[strings.TrimSpace(name)] = v
+		return nil
+	case ".func":
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			return a.errf(".func needs a name")
+		}
+		if a.pass == 1 {
+			if _, dup := a.symbols[name]; dup {
+				return a.errf("duplicate label %q", name)
+			}
+			a.symbols[name] = a.pc
+		}
+		a.funcs = append(a.funcs, FuncSym{Name: name, Addr: a.pc})
+		return nil
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.expr(f)
+			if err != nil {
+				return err
+			}
+			a.emit(byte(v))
+		}
+		return nil
+	case ".short":
+		for _, f := range splitOperands(rest) {
+			v, err := a.expr(f)
+			if err != nil {
+				return err
+			}
+			var b [2]byte
+			binary.LittleEndian.PutUint16(b[:], uint16(v))
+			a.emit(b[:]...)
+		}
+		return nil
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.expr(f)
+			if err != nil {
+				return err
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], v)
+			a.emit(b[:]...)
+		}
+		return nil
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("bad string %s: %v", rest, err)
+		}
+		a.emit([]byte(s)...)
+		if mnem == ".asciz" {
+			a.emit(0)
+		}
+		return nil
+	case ".space":
+		v, err := a.expr(rest)
+		if err != nil {
+			return err
+		}
+		a.emit(make([]byte, v)...)
+		return nil
+	case ".align":
+		v, err := a.expr(rest)
+		if err != nil {
+			return err
+		}
+		if v == 0 || v&(v-1) != 0 {
+			return a.errf(".align must be a power of two")
+		}
+		for a.pc%v != 0 {
+			a.emit(0)
+		}
+		return nil
+	}
+	return a.errf("unknown directive %q", mnem)
+}
+
+// expr evaluates "sym", "number", or "a+b"/"a-b" combinations thereof.
+func (a *assembler) expr(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf("empty expression")
+	}
+	// Scan for top-level + or - (no parenthesised expressions needed).
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			l, err := a.expr(s[:i])
+			if err != nil {
+				return 0, err
+			}
+			r, err := a.expr(s[i+1:])
+			if err != nil {
+				return 0, err
+			}
+			if s[i] == '+' {
+				return l + r, nil
+			}
+			return l - r, nil
+		}
+	}
+	if v, err := strconv.ParseUint(s, 0, 33); err == nil {
+		return uint32(v), nil
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		r, err := strconv.Unquote(s)
+		if err == nil && len(r) == 1 {
+			return uint32(r[0]), nil
+		}
+	}
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	if v, ok := a.symbols[s]; ok {
+		return v, nil
+	}
+	if a.pass == 1 {
+		return 0, nil // forward reference; resolved in pass 2
+	}
+	return 0, a.errf("undefined symbol %q", s)
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if f := strings.TrimSpace(s[start:]); f != "" {
+		out = append(out, f)
+	}
+	return out
+}
+
+func parseReg(s string) (Reg, bool) {
+	switch s {
+	case "sp":
+		return SP, true
+	case "r0", "r1", "r2", "r3", "r4", "r5", "r6":
+		return Reg(s[1] - '0'), true
+	}
+	return 0, false
+}
+
+// parseMem parses "[reg]", "[reg+off]" or "[reg-off]" (or the same
+// with parentheses for ports).
+func (a *assembler) parseMem(s string, open, close byte) (Reg, uint32, error) {
+	if len(s) < 2 || s[0] != open || s[len(s)-1] != close {
+		return 0, 0, a.errf("bad address operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	regStr, offStr := inner, ""
+	neg := false
+	for i := 0; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			regStr, offStr = inner[:i], inner[i+1:]
+			neg = inner[i] == '-'
+			break
+		}
+	}
+	r, ok := parseReg(strings.TrimSpace(regStr))
+	if !ok {
+		return 0, 0, a.errf("bad base register in %q", s)
+	}
+	var off uint32
+	if offStr != "" {
+		v, err := a.expr(offStr)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+		if neg {
+			off = -v
+		}
+	}
+	return r, off, nil
+}
+
+// parseSrc2 parses the second ALU operand: a register, "#imm", or a
+// bare symbol/number treated as an immediate.
+func (a *assembler) parseSrc2(s string) (Reg, uint32, error) {
+	if r, ok := parseReg(s); ok {
+		return r, 0, nil
+	}
+	if strings.HasPrefix(s, "#") {
+		s = s[1:]
+	}
+	v, err := a.expr(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return RegNone, v, nil
+}
+
+var branchConds = map[string]Cond{
+	"beq": EQ, "bne": NE, "blt": LT, "bge": GE, "bltu": LTU, "bgeu": GEU,
+}
+
+func (a *assembler) instruction(line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	ops := splitOperands(strings.TrimSpace(rest))
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s needs %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (Reg, error) {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, a.errf("%s: operand %d: bad register %q", mnem, i+1, ops[i])
+		}
+		return r, nil
+	}
+	emitI := func(in Instr) { a.code = in.Encode(a.code); a.pc += InstrSize }
+
+	if c, ok := branchConds[mnem]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, immOperand, err := a.parseSrc2(ops[1])
+		if err != nil {
+			return err
+		}
+		target, err := a.expr(ops[2])
+		if err != nil {
+			return err
+		}
+		// The immediate field holds the branch target, so an immediate
+		// comparand rides in the one-byte rs2 field of the BRI form
+		// and is limited to 0..255. Larger comparands must be staged
+		// in a register, as on many real RISC ISAs.
+		if rs2 == RegNone {
+			if immOperand > 0xFF {
+				return a.errf("%s: immediate comparand %#x exceeds 8 bits; move it to a register first", mnem, immOperand)
+			}
+			emitI(Instr{Op: BRI, Rd: Reg(c), Rs1: rs1, Rs2: Reg(immOperand), Imm: target})
+			return nil
+		}
+		emitI(Instr{Op: BR, Rd: Reg(c), Rs1: rs1, Rs2: rs2, Imm: target})
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		emitI(Instr{Op: NOP})
+	case "hlt":
+		emitI(Instr{Op: HLT})
+	case "iret":
+		emitI(Instr{Op: IRET})
+	case "ret":
+		var n uint32
+		if len(ops) == 1 {
+			v, err := a.expr(ops[0])
+			if err != nil {
+				return err
+			}
+			n = v
+		} else if len(ops) > 1 {
+			return a.errf("ret takes at most one operand")
+		}
+		emitI(Instr{Op: RET, Imm: n})
+	case "movi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		_, imm, err := a.parseSrc2(ops[1])
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: MOVI, Rd: rd, Rs2: RegNone, Imm: imm})
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: MOV, Rd: rd, Rs1: rs1})
+	case "add", "sub", "and", "or", "xor", "shl", "shr", "sar", "mul":
+		if err := need(3); err != nil {
+			return err
+		}
+		op := map[string]Op{"add": ADD, "sub": SUB, "and": AND, "or": OR,
+			"xor": XOR, "shl": SHL, "shr": SHR, "sar": SAR, "mul": MUL}[mnem]
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rs2, imm, err := a.parseSrc2(ops[2])
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm})
+	case "ld8", "ld16", "ld32":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]Op{"ld8": LD8, "ld16": LD16, "ld32": LD32}[mnem]
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, off, err := a.parseMem(ops[1], '[', ']')
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: RegNone, Imm: off})
+	case "st8", "st16", "st32":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]Op{"st8": ST8, "st16": ST16, "st32": ST32}[mnem]
+		rs1, off, err := a.parseMem(ops[0], '[', ']')
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	case "in8", "in16", "in32":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]Op{"in8": IN8, "in16": IN16, "in32": IN32}[mnem]
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, off, err := a.parseMem(ops[1], '(', ')')
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: RegNone, Imm: off})
+	case "out8", "out16", "out32":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := map[string]Op{"out8": OUT8, "out16": OUT16, "out32": OUT32}[mnem]
+		rs1, off, err := a.parseMem(ops[0], '(', ')')
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	case "push":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: PUSH, Rs1: rs1})
+	case "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: POP, Rd: rd})
+	case "jmp", "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := JMP
+		if mnem == "call" {
+			op = CALL
+		}
+		v, err := a.expr(ops[0])
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Imm: v})
+	case "jr", "callr":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := JR
+		if mnem == "callr" {
+			op = CALLR
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		emitI(Instr{Op: op, Rs1: rs1})
+	default:
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}

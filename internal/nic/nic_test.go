@@ -1,0 +1,451 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+
+	"revnic/internal/hw"
+)
+
+var testMAC = [6]byte{0x02, 0x11, 0x22, 0x33, 0x44, 0x55}
+
+// fakeRAM implements hw.MemBus over a flat buffer.
+type fakeRAM struct{ b []byte }
+
+func newFakeRAM() *fakeRAM { return &fakeRAM{b: make([]byte, 1<<20)} }
+
+func (r *fakeRAM) ReadMem(addr uint32, p []byte)  { copy(p, r.b[addr:]) }
+func (r *fakeRAM) WriteMem(addr uint32, p []byte) { copy(r.b[addr:], p) }
+
+func mkFrame(dst [6]byte, n int) []byte {
+	f := make([]byte, n)
+	copy(f, dst[:])
+	copy(f[6:], testMAC[:])
+	f[12], f[13] = 0x08, 0x00
+	for i := 14; i < n; i++ {
+		f[i] = byte(i)
+	}
+	return f
+}
+
+func TestAcceptFrame(t *testing.T) {
+	var hash [8]byte
+	mcast := [6]byte{0x01, 0x00, 0x5E, 0x00, 0x00, 0x01}
+	idx := hashIndex(mcast[:])
+	hash[idx/8] |= 1 << (idx % 8)
+
+	cases := []struct {
+		dst    [6]byte
+		prom   bool
+		hash   [8]byte
+		accept bool
+	}{
+		{testMAC, false, [8]byte{}, true},
+		{BroadcastMAC, false, [8]byte{}, true},
+		{[6]byte{0x02, 9, 9, 9, 9, 9}, false, [8]byte{}, false},
+		{[6]byte{0x02, 9, 9, 9, 9, 9}, true, [8]byte{}, true},
+		{mcast, false, hash, true},
+		{mcast, false, [8]byte{}, false},
+	}
+	for i, tc := range cases {
+		f := mkFrame(tc.dst, 60)
+		if got := acceptFrame(f, testMAC, tc.prom, tc.hash); got != tc.accept {
+			t.Errorf("case %d: accept = %v, want %v", i, got, tc.accept)
+		}
+	}
+	if acceptFrame([]byte{1, 2, 3}, testMAC, true, [8]byte{}) {
+		t.Error("runt frame accepted")
+	}
+}
+
+// exerciseCommon drives any model through TX-like and RX-like flows
+// that don't depend on the register interface.
+func checkRxFilter(t *testing.T, d Model, name string) {
+	t.Helper()
+	if ok := d.InjectRX(mkFrame([6]byte{0x02, 9, 9, 9, 9, 9}, 64)); ok {
+		t.Errorf("%s: foreign unicast accepted", name)
+	}
+	if ok := d.InjectRX(mkFrame(BroadcastMAC, 64)); !ok {
+		t.Errorf("%s: broadcast dropped", name)
+	}
+}
+
+func TestRTL8029TxRx(t *testing.T) {
+	var line hw.IRQLine
+	d := NewRTL8029(&line, testMAC)
+
+	// MAC comes from the PROM via remote DMA.
+	d.PortWrite(R29RSARL, 1, 0)
+	d.PortWrite(R29RSARH, 1, 0)
+	d.PortWrite(R29RBCRL, 1, 6)
+	var mac [6]byte
+	for i := range mac {
+		mac[i] = byte(d.PortRead(R29DATA, 1))
+	}
+	if mac != testMAC {
+		t.Fatalf("PROM MAC = %x", mac)
+	}
+
+	// Start, unmask interrupts.
+	d.PortWrite(R29CR, 1, R29CRStart)
+	d.PortWrite(R29IMR, 1, R29ISRPrx|R29ISRPtx)
+
+	// Transmit: remote-write frame to page 0x40, then TXP.
+	frame := mkFrame(BroadcastMAC, 80)
+	d.PortWrite(R29RSARL, 1, 0x00)
+	d.PortWrite(R29RSARH, 1, 0x40)
+	d.PortWrite(R29RBCRL, 1, uint32(len(frame)&0xFF))
+	d.PortWrite(R29RBCRH, 1, uint32(len(frame)>>8))
+	for _, b := range frame {
+		d.PortWrite(R29DATA, 1, uint32(b))
+	}
+	d.PortWrite(R29TPSR, 1, 0x40)
+	d.PortWrite(R29TBCRL, 1, uint32(len(frame)&0xFF))
+	d.PortWrite(R29TBCRH, 1, uint32(len(frame)>>8))
+	d.PortWrite(R29CR, 1, R29CRStart|R29CRTxp)
+
+	txs := d.TxFrames()
+	if len(txs) != 1 || !bytes.Equal(txs[0], frame) {
+		t.Fatalf("tx = %d frames", len(txs))
+	}
+	if !line.Pending() {
+		t.Fatal("PTX interrupt not raised")
+	}
+	d.PortWrite(R29ISR, 1, R29ISRPtx)
+	if line.Pending() {
+		t.Fatal("ISR W1C did not deassert")
+	}
+
+	// Receive: inject, then read back via remote DMA from BNRY page.
+	rx := mkFrame(testMAC, 100)
+	if !d.InjectRX(rx) {
+		t.Fatal("inject failed")
+	}
+	if !line.Pending() {
+		t.Fatal("PRX interrupt not raised")
+	}
+	bnry := byte(d.PortRead(R29BNRY, 1))
+	d.PortWrite(R29RSARL, 1, 0)
+	d.PortWrite(R29RSARH, 1, uint32(bnry))
+	d.PortWrite(R29RBCRL, 1, 4)
+	hdr := make([]byte, 4)
+	for i := range hdr {
+		hdr[i] = byte(d.PortRead(R29DATA, 1))
+	}
+	total := int(hdr[2]) | int(hdr[3])<<8
+	if total != len(rx)+4 {
+		t.Fatalf("rx header length = %d, want %d", total, len(rx)+4)
+	}
+	got := make([]byte, total-4)
+	for i := range got {
+		got[i] = byte(d.PortRead(R29DATA, 1))
+	}
+	if !bytes.Equal(got, rx) {
+		t.Fatal("rx payload mismatch")
+	}
+
+	checkRxFilter(t, d, "rtl8029")
+}
+
+func TestRTL8029RingOverflow(t *testing.T) {
+	var line hw.IRQLine
+	d := NewRTL8029(&line, testMAC)
+	d.PortWrite(R29CR, 1, R29CRStart)
+	// Fill the ring without the driver consuming (BNRY fixed).
+	n := 0
+	for i := 0; i < 200; i++ {
+		if d.InjectRX(mkFrame(testMAC, 1500)) {
+			n++
+		} else {
+			break
+		}
+	}
+	if n == 0 || n > 60 {
+		t.Fatalf("accepted %d frames before overflow", n)
+	}
+	if d.PortRead(R29ISR, 1)&R29ISROvw == 0 {
+		t.Fatal("overflow bit not set")
+	}
+}
+
+func TestRTL8139TxRx(t *testing.T) {
+	var line hw.IRQLine
+	ram := newFakeRAM()
+	d := NewRTL8139(&line, ram, testMAC)
+
+	// Reset pulse.
+	d.PortWrite(R39CR, 1, R39CRReset)
+	if d.PortRead(R39CR, 1)&R39CRReset != 0 {
+		t.Fatal("reset did not self-clear")
+	}
+	// MAC readable from IDR.
+	var mac [6]byte
+	for i := range mac {
+		mac[i] = byte(d.PortRead(uint32(i), 1))
+	}
+	if mac != testMAC {
+		t.Fatalf("IDR MAC = %x", mac)
+	}
+
+	d.PortWrite(R39CR, 1, R39CRTxEnable|R39CRRxEnable)
+	d.PortWrite(R39IMR, 2, R39IntROK|R39IntTOK)
+	d.PortWrite(R39RCR, 4, R39RCRAB)
+	d.PortWrite(R39RBSTART, 4, 0x20000)
+
+	// Transmit via descriptor 0: buffer in host RAM.
+	frame := mkFrame(BroadcastMAC, 120)
+	ram.WriteMem(0x10000, frame)
+	d.PortWrite(R39TSAD0, 4, 0x10000)
+	d.PortWrite(R39TSD0, 4, uint32(len(frame))) // OWN clear = start
+	txs := d.TxFrames()
+	if len(txs) != 1 || !bytes.Equal(txs[0], frame) {
+		t.Fatal("tx mismatch")
+	}
+	if d.PortRead(R39TSD0, 4)&R39TSDTok == 0 {
+		t.Fatal("TOK not set in TSD")
+	}
+	if !line.Pending() {
+		t.Fatal("TOK IRQ missing")
+	}
+	d.PortWrite(R39ISR, 2, R39IntTOK)
+
+	// Receive into the ring at RBSTART.
+	rx := mkFrame(testMAC, 90)
+	if !d.InjectRX(rx) {
+		t.Fatal("inject failed")
+	}
+	hdr := make([]byte, 4)
+	ram.ReadMem(0x20000, hdr)
+	if hdr[0]&1 != 1 {
+		t.Fatal("ROK missing in rx header")
+	}
+	rlen := int(hdr[2]) | int(hdr[3])<<8
+	if rlen != len(rx)+4 {
+		t.Fatalf("rx len = %d", rlen)
+	}
+	got := make([]byte, len(rx))
+	ram.ReadMem(0x20004, got)
+	if !bytes.Equal(got, rx) {
+		t.Fatal("rx payload mismatch")
+	}
+
+	// WOL and LED bits observable.
+	d.PortWrite(R39CONFIG1, 1, R39Config1PMEn|R39Config1LED0)
+	st := d.StatusReport()
+	if !st.WOLEnabled || !st.LEDOn {
+		t.Error("CONFIG1 bits not reported")
+	}
+	checkRxFilter(t, d, "rtl8139")
+}
+
+func TestPCNetInitTxRx(t *testing.T) {
+	var line hw.IRQLine
+	ram := newFakeRAM()
+	d := NewPCNet(&line, ram, testMAC)
+
+	// APROM holds the MAC.
+	var mac [6]byte
+	for i := range mac {
+		mac[i] = byte(d.PortRead(uint32(i), 1))
+	}
+	if mac != testMAC {
+		t.Fatalf("APROM MAC = %x", mac)
+	}
+
+	// Build init block at 0x30000: mode 0, MAC, no multicast,
+	// rx ring at 0x31000, tx ring at 0x32000.
+	blk := make([]byte, 24)
+	copy(blk[2:8], testMAC[:])
+	blk[16], blk[17] = 0x00, 0x10 // 0x31000 little-endian
+	blk[18] = 0x03
+	blk[20], blk[21] = 0x00, 0x20 // 0x32000
+	blk[22] = 0x03
+	ram.WriteMem(0x30000, blk)
+
+	wcsr := func(n, v uint16) {
+		d.PortWrite(PCNRAP, 2, uint32(n))
+		d.PortWrite(PCNRDP, 2, uint32(v))
+	}
+	rcsr := func(n uint16) uint16 {
+		d.PortWrite(PCNRAP, 2, uint32(n))
+		return uint16(d.PortRead(PCNRDP, 2))
+	}
+	wcsr(1, 0x0000)
+	wcsr(2, 0x0003) // init block at 0x30000
+	wcsr(0, PCNCSR0Init|PCNCSR0IENA)
+	if rcsr(0)&PCNCSR0IDON == 0 {
+		t.Fatal("IDON not set after init")
+	}
+	if !line.Pending() {
+		t.Fatal("IDON IRQ missing")
+	}
+	wcsr(0, PCNCSR0IDON|PCNCSR0IENA) // ack
+	if line.Pending() {
+		t.Fatal("IDON ack did not deassert")
+	}
+	wcsr(0, PCNCSR0Strt|PCNCSR0IENA)
+
+	// Transmit: fill tx descriptor 0.
+	frame := mkFrame(BroadcastMAC, 200)
+	ram.WriteMem(0x40000, frame)
+	desc := make([]byte, 8)
+	desc[0], desc[1], desc[2] = 0x00, 0x00, 0x04 // addr 0x40000
+	desc[4], desc[5] = 0x00, 0x80                // OWN
+	desc[6] = byte(len(frame))
+	ram.WriteMem(0x32000, desc)
+	wcsr(0, PCNCSR0TDMD|PCNCSR0IENA)
+	txs := d.TxFrames()
+	if len(txs) != 1 || !bytes.Equal(txs[0], frame) {
+		t.Fatal("pcnet tx mismatch")
+	}
+	if rcsr(0)&PCNCSR0TINT == 0 {
+		t.Fatal("TINT missing")
+	}
+	wcsr(0, PCNCSR0TINT|PCNCSR0IENA)
+
+	// Receive: give the device rx descriptor 0 with a buffer.
+	desc = make([]byte, 8)
+	desc[0], desc[1], desc[2] = 0x00, 0x00, 0x05 // 0x50000
+	desc[4], desc[5] = 0x00, 0x80                // OWN=device
+	ram.WriteMem(0x31000, desc)
+	rx := mkFrame(testMAC, 150)
+	if !d.InjectRX(rx) {
+		t.Fatal("inject failed")
+	}
+	got := make([]byte, len(rx))
+	ram.ReadMem(0x50000, got)
+	if !bytes.Equal(got, rx) {
+		t.Fatal("pcnet rx payload mismatch")
+	}
+	// Descriptor now driver-owned with the length filled in.
+	ram.ReadMem(0x31000, desc)
+	if desc[5]&0x80 != 0 {
+		t.Fatal("rx OWN not cleared")
+	}
+	if int(desc[6])|int(desc[7])<<8 != len(rx) {
+		t.Fatal("rx length not written")
+	}
+	if rcsr(0)&PCNCSR0RINT == 0 {
+		t.Fatal("RINT missing")
+	}
+	// Provision rx descriptor 1 so the filter check has a buffer.
+	desc = make([]byte, 8)
+	desc[0], desc[1], desc[2] = 0x00, 0x00, 0x06 // 0x60000
+	desc[4], desc[5] = 0x00, 0x80
+	ram.WriteMem(0x31000+8, desc)
+	checkRxFilter(t, d, "pcnet")
+
+	// Reading RESET stops the chip.
+	d.PortRead(PCNRESET, 2)
+	if d.StatusReport().RxEnabled {
+		t.Fatal("reset did not stop chip")
+	}
+}
+
+func TestSMC91C111TxRx(t *testing.T) {
+	var line hw.IRQLine
+	d := NewSMC91C111(&line, testMAC)
+
+	// MAC in bank 1.
+	d.PortWrite(S91BSR, 1, 1)
+	var mac [6]byte
+	for i := range mac {
+		mac[i] = byte(d.PortRead(uint32(i), 1))
+	}
+	if mac != testMAC {
+		t.Fatalf("IAR MAC = %x", mac)
+	}
+
+	// Enable TX/RX in bank 0; unmask in bank 2.
+	d.PortWrite(S91BSR, 1, 0)
+	d.PortWrite(S91TCR, 2, S91TCREnable|S91TCRFullDup)
+	d.PortWrite(S91RCR, 2, S91RCREnable)
+	d.PortWrite(S91BSR, 1, 2)
+	d.PortWrite(S91MSK, 1, S91IntRCV|S91IntTX)
+
+	// Transmit: alloc, write header+data, enqueue.
+	frame := mkFrame(BroadcastMAC, 70)
+	d.PortWrite(S91MMUCR, 2, S91MMUAlloc)
+	pnr := byte(d.PortRead(S91PNR, 1))
+	d.PortWrite(S91PNR, 1, uint32(pnr))
+	d.PortWrite(S91PTR, 2, 0)
+	d.PortWrite(S91DATA, 2, uint32(len(frame)))
+	d.PortWrite(S91PTR, 2, 4)
+	for _, b := range frame {
+		d.PortWrite(S91DATA, 1, uint32(b))
+	}
+	d.PortWrite(S91MMUCR, 2, S91MMUEnqueue)
+	txs := d.TxFrames()
+	if len(txs) != 1 || !bytes.Equal(txs[0], frame) {
+		t.Fatal("91c111 tx mismatch")
+	}
+	if !line.Pending() {
+		t.Fatal("TX IRQ missing")
+	}
+	d.PortWrite(S91IST, 1, S91IntTX)
+	if line.Pending() {
+		t.Fatal("IST ack failed")
+	}
+
+	// Receive: inject, read FIFO, copy out, remove.
+	rx := mkFrame(testMAC, 64)
+	if !d.InjectRX(rx) {
+		t.Fatal("inject failed")
+	}
+	fifo := d.PortRead(S91FIFO, 1)
+	if fifo&0x80 != 0 {
+		t.Fatal("rx FIFO empty")
+	}
+	d.PortWrite(S91PNR, 1, fifo)
+	d.PortWrite(S91PTR, 2, 0)
+	rlen := int(d.PortRead(S91DATA, 2))
+	if rlen != len(rx) {
+		t.Fatalf("rx len = %d", rlen)
+	}
+	d.PortWrite(S91PTR, 2, 4)
+	got := make([]byte, rlen)
+	for i := range got {
+		got[i] = byte(d.PortRead(S91DATA, 1))
+	}
+	if !bytes.Equal(got, rx) {
+		t.Fatal("91c111 rx payload mismatch")
+	}
+	d.PortWrite(S91MMUCR, 2, S91MMURemoveRx)
+	if d.PortRead(S91FIFO, 1)&0x80 == 0 {
+		t.Fatal("FIFO not empty after remove")
+	}
+	if line.Pending() {
+		t.Fatal("RCV IRQ still pending after remove")
+	}
+
+	// LED via CONFIG in bank 1.
+	d.PortWrite(S91BSR, 1, 1)
+	d.PortWrite(S91CONFIG, 2, S91ConfigLEDA)
+	if !d.StatusReport().LEDOn {
+		t.Error("LED bit not reported")
+	}
+	checkRxFilter(t, d, "91c111")
+}
+
+func TestStatusReports(t *testing.T) {
+	var line hw.IRQLine
+	ram := newFakeRAM()
+	models := []struct {
+		name string
+		m    Model
+	}{
+		{"rtl8029", NewRTL8029(&line, testMAC)},
+		{"rtl8139", NewRTL8139(&line, ram, testMAC)},
+		{"pcnet", NewPCNet(&line, ram, testMAC)},
+		{"91c111", NewSMC91C111(&line, testMAC)},
+	}
+	for _, tc := range models {
+		st := tc.m.StatusReport()
+		if st.MAC != testMAC {
+			t.Errorf("%s: MAC = %x", tc.name, st.MAC)
+		}
+		if st.Promiscuous || st.WOLEnabled {
+			t.Errorf("%s: fresh device has features enabled", tc.name)
+		}
+	}
+}

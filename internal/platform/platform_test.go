@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"testing"
+
+	"revnic/internal/cfg"
+	"revnic/internal/drivers"
+	"revnic/internal/hw"
+	"revnic/internal/symexec"
+	"revnic/internal/template"
+)
+
+func TestFrameBytes(t *testing.T) {
+	if FrameBytes(0) != 64 || FrameBytes(64) != 106 || FrameBytes(1472) != 1514 || FrameBytes(9000) != 1514 {
+		t.Error("FrameBytes bounds wrong")
+	}
+}
+
+func TestSimulateWireCap(t *testing.T) {
+	cost := DriverCost{Instrs: 1000, IOOps: 2, SizeRatio: 1}
+	p := Simulate(PC, KitOSStack, cost, 1472)
+	if p.ThroughputMbps > PC.WireMbps+0.001 {
+		t.Errorf("throughput %f exceeds wire rate", p.ThroughputMbps)
+	}
+	if p.CPUPercent >= 100 {
+		t.Error("wire-bound case should not be CPU-saturated")
+	}
+	// Uncapped platform is CPU/device-bound.
+	q := Simulate(QEMU, KitOSStack, cost, 1472)
+	if q.ThroughputMbps <= 0 {
+		t.Error("uncapped throughput must be positive")
+	}
+}
+
+func TestSimulateMonotonicity(t *testing.T) {
+	// With per-packet fixed costs, throughput must rise with payload
+	// size on an uncapped platform.
+	cost := DriverCost{Instrs: 5000, IOOps: 10, SizeRatio: 1}
+	prev := 0.0
+	for _, p := range DefaultPayloads {
+		pt := Simulate(QEMU, WindowsStack, cost, p)
+		if pt.ThroughputMbps <= prev {
+			t.Fatalf("throughput not increasing at payload %d", p)
+		}
+		prev = pt.ThroughputMbps
+	}
+}
+
+func TestCachePenaltyDirection(t *testing.T) {
+	orig := DriverCost{Instrs: 10000, IOOps: 800, SizeRatio: 1}
+	syn := orig
+	syn.SizeRatio = 87.0 / 59.0
+	po := Simulate(FPGA, UCOSStack, orig, 1472)
+	ps := Simulate(FPGA, UCOSStack, syn, 1472)
+	if ps.ThroughputMbps >= po.ThroughputMbps {
+		t.Error("synthesized driver should be slower on the FPGA")
+	}
+	gap := (po.ThroughputMbps - ps.ThroughputMbps) / po.ThroughputMbps
+	if gap > 0.2 {
+		t.Errorf("FPGA gap %.0f%% too large", 100*gap)
+	}
+	// On the PC the penalty must be negligible.
+	po2 := Simulate(PC, WindowsStack, orig, 256)
+	ps2 := Simulate(PC, WindowsStack, syn, 256)
+	if d := (po2.ThroughputMbps - ps2.ThroughputMbps) / po2.ThroughputMbps; d > 0.02 {
+		t.Errorf("PC penalty %.1f%% should be negligible", 100*d)
+	}
+}
+
+func TestWindowsQuirkShape(t *testing.T) {
+	// The quirk must not fire below 1 KB payloads and must fire above.
+	if WindowsRTL8139Quirk(FrameBytes(1024)) != 0 {
+		t.Error("quirk fires at 1024")
+	}
+	if WindowsRTL8139Quirk(FrameBytes(1152)) == 0 {
+		t.Error("quirk missing at 1152")
+	}
+}
+
+func measureBoth(t *testing.T, name string) (map[int]DriverCost, map[int]DriverCost) {
+	t.Helper()
+	info, err := drivers.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := symexec.New(info.Program, symexec.Config{
+		Seed: 13,
+		Shell: hw.PCIConfig{VendorID: info.VendorID, DeviceID: info.DeviceID,
+			IOBase: 0xC000, IOSize: 0x100, IRQLine: 11},
+	})
+	res, err := eng.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(res.Collector)
+	payloads := []int{64, 512, 1472}
+	orig, err := MeasureOriginal(info, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := MeasureSynthesized(info, g, template.Windows, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, syn
+}
+
+func TestMeasuredPathLengths(t *testing.T) {
+	orig, syn := measureBoth(t, "RTL8029")
+	for _, p := range []int{64, 512, 1472} {
+		o, s := orig[p], syn[p]
+		if o.Instrs == 0 || s.Instrs == 0 {
+			t.Fatalf("payload %d: zero instruction count", p)
+		}
+		// The synthesized driver executes the same recovered code:
+		// path lengths must match almost exactly (the paper's
+		// "negligible overhead" claim has a structural basis here).
+		ratio := float64(s.Instrs) / float64(o.Instrs)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("payload %d: instr ratio %.3f (orig %d synth %d)", p, ratio, o.Instrs, s.Instrs)
+		}
+		if o.IOOps != s.IOOps {
+			t.Errorf("payload %d: io ops differ: %d vs %d", p, o.IOOps, s.IOOps)
+		}
+	}
+	// Path length must grow with packet size (the byte-copy loop).
+	if !(orig[1472].Instrs > orig[512].Instrs && orig[512].Instrs > orig[64].Instrs) {
+		t.Error("path length not monotonic in size")
+	}
+}
+
+func TestISRFractionBand(t *testing.T) {
+	// Figure 5's 20-30% band at full-size frames on the FPGA.
+	_, syn := measureBoth(t, "SMSC 91C111")
+	fr := ISRFraction(FPGA, UCOSStack, syn[1472], FrameBytes(1472))
+	if fr < 15 || fr > 45 {
+		t.Errorf("driver CPU fraction %.1f%% outside plausible band", fr)
+	}
+}

@@ -1,0 +1,488 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// boolean satisfiability solver in the MiniSat lineage: two-literal
+// watching, first-UIP conflict analysis, VSIDS-style variable activity
+// with phase saving, and geometric restarts.
+//
+// It is the decision procedure underneath RevNIC's bitvector
+// constraint solver (package solver), standing in for the STP solver
+// KLEE uses in the original system.
+package sat
+
+// Lit is a literal: a variable index with a sign. Variables are
+// numbered from 0; the literal for variable v is Pos(v) or Neg(v).
+type Lit uint32
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(v << 1) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(v<<1 | 1) }
+
+// Var returns the variable of the literal.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 != 0 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+const noReason = -1
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// instances with New.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []lbool
+	polarity []bool // saved phases
+	level    []int
+	reason   []*clause
+	activity []float64
+	varInc   float64
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	seen      []bool
+	unsat     bool // a top-level conflict was derived
+	conflicts int64
+	decisions int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1}
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// Stats returns the number of decisions and conflicts so far.
+func (s *Solver) Stats() (decisions, conflicts int64) { return s.decisions, s.conflicts }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It must be called
+// before Solve at decision level zero. Returns false if the formula
+// is already unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	// Clauses may be added between Solve calls; discard any leftover
+	// search assignments so simplification sees only level-0 facts.
+	s.cancelUntil(0)
+	// Sort-free simplification: drop false/duplicate literals, detect
+	// tautologies and already-satisfied clauses.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+			}
+			if o == l.Not() {
+				taut = true
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Solver) watchClause(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting
+// clause, or nil if no conflict arises.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, w)
+				continue
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Normalize so lits[0] is the other watched literal.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, c)
+			}
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit
+	haveP := false
+	idx := len(s.trail) - 1
+	c := conflict
+
+	for {
+		start := 0
+		if haveP {
+			start = 1 // lits[0] is p itself
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		haveP = true
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learnt[0] = p.Not()
+
+	// Compute backtrack level: the highest level among the other
+	// literals, moved to position 1 for watching.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	s.varInc *= 1.05
+	return learnt, btLevel
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar returns the unassigned variable with the highest
+// activity, or -1 if all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := -1, -1.0
+	for v := range s.assigns {
+		if s.assigns[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// Solve determines satisfiability of the accumulated clauses. After a
+// true result, Value reports the satisfying assignment. Solve may be
+// called repeatedly after adding more clauses (incremental use).
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return false
+	}
+	restartLimit := int64(100)
+	conflictsAtRestart := s.conflicts
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return false
+			}
+			learnt, btLevel := s.analyze(conflict)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.watchClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			if s.conflicts-conflictsAtRestart >= restartLimit {
+				restartLimit += restartLimit / 2
+				conflictsAtRestart = s.conflicts
+				s.cancelUntil(0)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return true // all variables assigned, no conflict
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := Pos(v)
+		if !s.polarity[v] {
+			l = Neg(v)
+		}
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// SolveUnder determines satisfiability under the given assumption
+// literals without permanently asserting them. It is used by the
+// bitvector solver for cached incremental queries.
+func (s *Solver) SolveUnder(assumptions ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return false
+	}
+	for _, a := range assumptions {
+		switch s.value(a) {
+		case lTrue:
+			continue
+		case lFalse:
+			s.cancelUntil(0)
+			return false
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(a, nil)
+		if s.propagate() != nil {
+			s.cancelUntil(0)
+			return false
+		}
+	}
+	assumptionLevel := s.decisionLevel()
+	restartLimit := int64(100)
+	conflictsAtRestart := s.conflicts
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.conflicts++
+			if s.decisionLevel() <= assumptionLevel {
+				s.cancelUntil(0)
+				return false
+			}
+			learnt, btLevel := s.analyze(conflict)
+			if btLevel < assumptionLevel {
+				btLevel = assumptionLevel
+			}
+			s.cancelUntil(btLevel)
+			switch s.value(learnt[0]) {
+			case lFalse:
+				// The asserting literal is contradicted by the
+				// assumptions themselves: UNSAT under assumptions.
+				s.cancelUntil(0)
+				return false
+			case lTrue:
+				// Already satisfied at or below the assumption level;
+				// record the clause and keep searching.
+				if len(learnt) > 1 {
+					c := &clause{lits: learnt, learnt: true}
+					s.learnts = append(s.learnts, c)
+					s.watchClause(c)
+				}
+				continue
+			}
+			if len(learnt) == 1 {
+				// Unit: permanent at level 0, otherwise implied for
+				// the remainder of this assumption query.
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.watchClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			if s.conflicts-conflictsAtRestart >= restartLimit {
+				restartLimit += restartLimit / 2
+				conflictsAtRestart = s.conflicts
+				s.cancelUntil(assumptionLevel)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return true
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := Pos(v)
+		if !s.polarity[v] {
+			l = Neg(v)
+		}
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// Value reports the model value of variable v after a successful
+// Solve. Unassigned variables (possible when the formula does not
+// constrain them) report false.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }

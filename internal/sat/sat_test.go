@@ -1,0 +1,291 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitEncoding(t *testing.T) {
+	p, n := Pos(5), Neg(5)
+	if p.Var() != 5 || n.Var() != 5 || p.Sign() || !n.Sign() {
+		t.Fatal("literal encoding broken")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Fatal("Not broken")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(Pos(a)) || !s.Solve() {
+		t.Fatal("single unit should be SAT")
+	}
+	if !s.Value(a) {
+		t.Fatal("model should set a true")
+	}
+	if s.AddClause(Neg(a)) {
+		t.Fatal("contradicting unit should fail")
+	}
+	if s.Solve() {
+		t.Fatal("must stay UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause must be UNSAT")
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a), Neg(a))         // tautology: ignored
+	s.AddClause(Pos(b), Pos(b), Pos(b)) // duplicates collapse to unit
+	if !s.Solve() || !s.Value(b) {
+		t.Fatal("want SAT with b=true")
+	}
+}
+
+// pigeonhole(n) encodes n+1 pigeons into n holes: classically UNSAT
+// and requires genuine clause learning to refute quickly.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = Pos(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(vars[p1][h]), Neg(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	if s.Solve() {
+		t.Fatal("PHP(6,5) must be UNSAT")
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if !s.Solve() {
+		t.Fatal("PHP(5,5) must be SAT")
+	}
+}
+
+// bruteForce decides satisfiability of a clause set over nVars
+// variables by enumeration.
+func bruteForce(nVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				val := m>>l.Var()&1 == 1
+				if val != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomFormulas(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		nVars := 4 + r.Intn(9) // 4..12
+		nClauses := 1 + r.Intn(6*nVars)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		addOK := true
+		for i := 0; i < nClauses; i++ {
+			n := 1 + r.Intn(3)
+			c := make([]Lit, n)
+			for j := range c {
+				v := r.Intn(nVars)
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			clauses = append(clauses, c)
+			if !s.AddClause(c...) {
+				addOK = false
+				break
+			}
+		}
+		want := bruteForce(nVars, clauses)
+		var got bool
+		if !addOK {
+			got = false
+		} else {
+			got = s.Solve()
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v clauses=%v", trial, got, want, clauses)
+		}
+		if got {
+			// Verify the model satisfies every clause.
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.Sign() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model does not satisfy %v", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 4 + r.Intn(6)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		alive := true
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 3; i++ {
+				n := 1 + r.Intn(3)
+				c := make([]Lit, n)
+				for j := range c {
+					v := r.Intn(nVars)
+					if r.Intn(2) == 0 {
+						c[j] = Pos(v)
+					} else {
+						c[j] = Neg(v)
+					}
+				}
+				clauses = append(clauses, c)
+				if !s.AddClause(c...) {
+					alive = false
+				}
+			}
+			got := alive && s.Solve()
+			want := bruteForce(nVars, clauses)
+			if got != want {
+				t.Fatalf("trial %d round %d: incremental=%v brute=%v", trial, round, got, want)
+			}
+			if !want {
+				break
+			}
+		}
+	}
+}
+
+func TestAssumptionQueries(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Neg(a), Pos(b)) // a -> b
+	s.AddClause(Neg(b), Pos(c)) // b -> c
+	if !s.SolveUnder(Pos(a)) {
+		t.Fatal("a alone should be SAT")
+	}
+	if s.SolveUnder(Pos(a), Neg(c)) {
+		t.Fatal("a & !c contradicts the chain")
+	}
+	// Assumptions must not leak into later solves.
+	if !s.SolveUnder(Neg(c)) {
+		t.Fatal("!c alone should be SAT")
+	}
+	if !s.Solve() {
+		t.Fatal("base formula still SAT")
+	}
+	_ = b
+}
+
+func TestRandomAssumptionQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		nVars := 4 + r.Intn(6)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		ok := true
+		for i := 0; i < 2*nVars; i++ {
+			n := 1 + r.Intn(3)
+			c := make([]Lit, n)
+			for j := range c {
+				v := r.Intn(nVars)
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			clauses = append(clauses, c)
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		for q := 0; q < 5; q++ {
+			var assumptions []Lit
+			seen := map[int]bool{}
+			for i := 0; i < 1+r.Intn(3); i++ {
+				v := r.Intn(nVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if r.Intn(2) == 0 {
+					assumptions = append(assumptions, Pos(v))
+				} else {
+					assumptions = append(assumptions, Neg(v))
+				}
+			}
+			// Brute-force with assumptions as extra unit clauses.
+			ref := append([][]Lit{}, clauses...)
+			for _, a := range assumptions {
+				ref = append(ref, []Lit{a})
+			}
+			want := bruteForce(nVars, ref)
+			got := ok && s.SolveUnder(assumptions...)
+			if got != want {
+				t.Fatalf("trial %d query %d: got %v want %v (clauses %v assume %v)",
+					trial, q, got, want, clauses, assumptions)
+			}
+		}
+	}
+}

@@ -1,0 +1,559 @@
+// Package solver decides satisfiability of conjunctions of symbolic
+// bitvector constraints (package expr) by bit-blasting them to CNF and
+// invoking the CDCL SAT core (package sat).
+//
+// It fills the role STP fills for KLEE in the original RevNIC: the
+// symbolic execution engine asks, at every branch that depends on
+// symbolic input, whether each outcome is feasible under the current
+// path constraints, and requests concrete models when it needs to
+// concretize (e.g., for symbolic memory addresses, §3.4 of the paper).
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"revnic/internal/expr"
+	"revnic/internal/sat"
+)
+
+// Result is the outcome of a satisfiability query.
+type Result int
+
+// Query outcomes.
+const (
+	Unsat Result = iota
+	Sat
+)
+
+// Solver answers bitvector queries with memoization. The zero value
+// is not usable; call New.
+type Solver struct {
+	cache   map[string]bool
+	queries int64
+	hits    int64
+}
+
+// New returns a solver with an empty cache.
+func New() *Solver {
+	return &Solver{cache: map[string]bool{}}
+}
+
+// Stats returns the number of queries answered and the cache hits
+// among them.
+func (s *Solver) Stats() (queries, cacheHits int64) { return s.queries, s.hits }
+
+// fingerprint keys the query cache on the constraints' structural
+// hashes. String() rendering would be exponential on heavily shared
+// DAGs; Hash is linear in distinct nodes.
+func fingerprint(constraints []*expr.Expr) string {
+	parts := make([]string, len(constraints))
+	for i, c := range constraints {
+		parts[i] = fmt.Sprintf("%016x:%d", c.Hash(), c.Size())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}
+
+// Satisfiable reports whether the conjunction of the given width-1
+// constraints has a model.
+func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
+	s.queries++
+	// Cheap pass: constant constraints.
+	var live []*expr.Expr
+	for _, c := range constraints {
+		if c.IsFalse() {
+			return false
+		}
+		if !c.IsTrue() {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	fp := fingerprint(live)
+	if r, ok := s.cache[fp]; ok {
+		s.hits++
+		return r
+	}
+	b := newBlaster()
+	for _, c := range live {
+		out := b.blast(c)
+		b.s.AddClause(out[0])
+	}
+	r := b.s.Solve()
+	s.cache[fp] = r
+	return r
+}
+
+// Slice returns the subset of constraints transitively sharing
+// symbolic variables with target — KLEE's constraint-independence
+// optimization. Because path conditions are built incrementally from
+// feasible extensions, the discarded independent constraints are
+// satisfiable on their own, so SAT(slice ∧ target) ⇔ SAT(pc ∧ target).
+func Slice(pc []*expr.Expr, target *expr.Expr) []*expr.Expr {
+	want := map[string]uint8{}
+	expr.Vars(target, want)
+	if len(want) == 0 {
+		return nil
+	}
+	type entry struct {
+		c    *expr.Expr
+		vars map[string]uint8
+		used bool
+	}
+	entries := make([]entry, len(pc))
+	for i, c := range pc {
+		vs := map[string]uint8{}
+		expr.Vars(c, vs)
+		entries[i] = entry{c: c, vars: vs}
+	}
+	// Fixed-point expansion of the variable set.
+	for changed := true; changed; {
+		changed = false
+		for i := range entries {
+			if entries[i].used {
+				continue
+			}
+			hit := false
+			for v := range entries[i].vars {
+				if _, ok := want[v]; ok {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				entries[i].used = true
+				changed = true
+				for v, w := range entries[i].vars {
+					want[v] = w
+				}
+			}
+		}
+	}
+	var out []*expr.Expr
+	for _, e := range entries {
+		if e.used {
+			out = append(out, e.c)
+		}
+	}
+	return out
+}
+
+// MayBeTrue reports whether cond can be true under the path
+// constraints: SAT(pc ∧ cond). The path condition is sliced to the
+// constraints relevant to cond first.
+func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
+	rel := Slice(pc, cond)
+	return s.Satisfiable(append(rel, cond))
+}
+
+// MustBeTrue reports whether cond is implied by the path constraints:
+// UNSAT(pc ∧ ¬cond).
+func (s *Solver) MustBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
+	return !s.MayBeTrue(pc, expr.Not(cond))
+}
+
+// Model returns a satisfying assignment for the constraints, or ok =
+// false if they are unsatisfiable. Variables not mentioned in the
+// constraints are absent from the model (they may take any value;
+// expr.Eval treats them as zero).
+func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
+	s.queries++
+	var live []*expr.Expr
+	for _, c := range constraints {
+		if c.IsFalse() {
+			return nil, false
+		}
+		if !c.IsTrue() {
+			live = append(live, c)
+		}
+	}
+	b := newBlaster()
+	for _, c := range live {
+		out := b.blast(c)
+		b.s.AddClause(out[0])
+	}
+	if !b.s.Solve() {
+		s.cache[fingerprint(live)] = false
+		return nil, false
+	}
+	s.cache[fingerprint(live)] = true
+	model := map[string]uint32{}
+	for name, bits := range b.syms {
+		var v uint32
+		for i, lit := range bits {
+			if b.s.Value(lit.Var()) != lit.Sign() {
+				v |= 1 << i
+			}
+		}
+		model[name] = v
+	}
+	return model, true
+}
+
+// Concretize returns a concrete value e can take under the path
+// constraints, plus ok=false if the constraints are unsatisfiable.
+// This implements the address/value concretization RevNIC applies to
+// symbolic memory addresses and to OS-visible values.
+func (s *Solver) Concretize(pc []*expr.Expr, e *expr.Expr) (uint32, bool) {
+	if v, ok := e.IsConst(); ok {
+		return v, true
+	}
+	// Only the constraints touching e's variables can restrict its
+	// value; independent ones are satisfiable separately.
+	model, ok := s.Model(Slice(pc, e))
+	if !ok {
+		return 0, false
+	}
+	return expr.Eval(e, model), true
+}
+
+// Values enumerates up to max distinct concrete values e can take
+// under the path constraints, in the order the solver discovers them.
+// This implements the jump-table enumeration of §3.4: "Since there
+// are typically only a few concrete values, RevNIC generates all of
+// them and forks the execution for each such value."
+func (s *Solver) Values(pc []*expr.Expr, e *expr.Expr, max int) []uint32 {
+	if v, ok := e.IsConst(); ok {
+		return []uint32{v}
+	}
+	var out []uint32
+	cons := Slice(pc, e)
+	for len(out) < max {
+		model, ok := s.Model(cons)
+		if !ok {
+			break
+		}
+		v := expr.Eval(e, model)
+		out = append(out, v)
+		cons = append(cons, expr.Not(expr.Eq(e, expr.C(v, e.Width))))
+	}
+	return out
+}
+
+// blaster converts expression DAGs to CNF over a fresh SAT instance.
+// Bit i of a value is lits[i] (LSB first).
+type blaster struct {
+	s     *sat.Solver
+	memo  map[*expr.Expr][]sat.Lit
+	syms  map[string][]sat.Lit
+	true_ sat.Lit
+}
+
+func newBlaster() *blaster {
+	b := &blaster{
+		s:    sat.New(),
+		memo: map[*expr.Expr][]sat.Lit{},
+		syms: map[string][]sat.Lit{},
+	}
+	v := b.s.NewVar()
+	b.true_ = sat.Pos(v)
+	b.s.AddClause(b.true_)
+	return b
+}
+
+func (b *blaster) constLit(v bool) sat.Lit {
+	if v {
+		return b.true_
+	}
+	return b.true_.Not()
+}
+
+func (b *blaster) isConst(l sat.Lit) (bool, bool) {
+	if l == b.true_ {
+		return true, true
+	}
+	if l == b.true_.Not() {
+		return false, true
+	}
+	return false, false
+}
+
+func (b *blaster) fresh() sat.Lit { return sat.Pos(b.s.NewVar()) }
+
+// gateAnd returns a literal equivalent to x ∧ y.
+func (b *blaster) gateAnd(x, y sat.Lit) sat.Lit {
+	if v, ok := b.isConst(x); ok {
+		if !v {
+			return b.constLit(false)
+		}
+		return y
+	}
+	if v, ok := b.isConst(y); ok {
+		if !v {
+			return b.constLit(false)
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	if x == y.Not() {
+		return b.constLit(false)
+	}
+	out := b.fresh()
+	b.s.AddClause(out.Not(), x)
+	b.s.AddClause(out.Not(), y)
+	b.s.AddClause(out, x.Not(), y.Not())
+	return out
+}
+
+func (b *blaster) gateOr(x, y sat.Lit) sat.Lit {
+	return b.gateAnd(x.Not(), y.Not()).Not()
+}
+
+func (b *blaster) gateXor(x, y sat.Lit) sat.Lit {
+	if v, ok := b.isConst(x); ok {
+		if v {
+			return y.Not()
+		}
+		return y
+	}
+	if v, ok := b.isConst(y); ok {
+		if v {
+			return x.Not()
+		}
+		return x
+	}
+	if x == y {
+		return b.constLit(false)
+	}
+	if x == y.Not() {
+		return b.constLit(true)
+	}
+	out := b.fresh()
+	b.s.AddClause(out.Not(), x, y)
+	b.s.AddClause(out.Not(), x.Not(), y.Not())
+	b.s.AddClause(out, x.Not(), y)
+	b.s.AddClause(out, x, y.Not())
+	return out
+}
+
+// gateMux returns c ? x : y.
+func (b *blaster) gateMux(c, x, y sat.Lit) sat.Lit {
+	if v, ok := b.isConst(c); ok {
+		if v {
+			return x
+		}
+		return y
+	}
+	if x == y {
+		return x
+	}
+	out := b.fresh()
+	b.s.AddClause(c.Not(), x.Not(), out)
+	b.s.AddClause(c.Not(), x, out.Not())
+	b.s.AddClause(c, y.Not(), out)
+	b.s.AddClause(c, y, out.Not())
+	return out
+}
+
+// fullAdder returns (sum, carryOut) for x + y + cin.
+func (b *blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
+	sum = b.gateXor(b.gateXor(x, y), cin)
+	cout = b.gateOr(b.gateAnd(x, y), b.gateAnd(cin, b.gateXor(x, y)))
+	return sum, cout
+}
+
+func (b *blaster) adder(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out
+}
+
+func (b *blaster) negBits(x []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i, l := range x {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// ult returns the borrow chain result of a - b: true iff a < b
+// unsigned.
+func (b *blaster) ult(x, y []sat.Lit) sat.Lit {
+	borrow := b.constLit(false)
+	for i := range x {
+		// borrow' = (~x & y) | ((~x | y) & borrow)
+		nx := x[i].Not()
+		borrow = b.gateOr(b.gateAnd(nx, y[i]), b.gateAnd(b.gateOr(nx, y[i]), borrow))
+	}
+	return borrow
+}
+
+func (b *blaster) shiftConst(x []sat.Lit, k int, kind expr.Kind) []sat.Lit {
+	w := len(x)
+	out := make([]sat.Lit, w)
+	for i := range out {
+		switch kind {
+		case expr.KShl:
+			if i-k >= 0 {
+				out[i] = x[i-k]
+			} else {
+				out[i] = b.constLit(false)
+			}
+		case expr.KLshr:
+			if i+k < w {
+				out[i] = x[i+k]
+			} else {
+				out[i] = b.constLit(false)
+			}
+		case expr.KAshr:
+			if i+k < w {
+				out[i] = x[i+k]
+			} else {
+				out[i] = x[w-1]
+			}
+		}
+	}
+	return out
+}
+
+// blast returns the bit literals of e, LSB first.
+func (b *blaster) blast(e *expr.Expr) []sat.Lit {
+	if bits, ok := b.memo[e]; ok {
+		return bits
+	}
+	bits := b.blastUncached(e)
+	if len(bits) != int(e.Width) {
+		panic("solver: width mismatch in blasting")
+	}
+	b.memo[e] = bits
+	return bits
+}
+
+func (b *blaster) blastUncached(e *expr.Expr) []sat.Lit {
+	w := int(e.Width)
+	switch e.Kind {
+	case expr.KConst:
+		out := make([]sat.Lit, w)
+		for i := range out {
+			out[i] = b.constLit(e.Val>>i&1 == 1)
+		}
+		return out
+	case expr.KSym:
+		if bits, ok := b.syms[e.Name]; ok {
+			if len(bits) != w {
+				panic("solver: symbol " + e.Name + " used at two widths")
+			}
+			return bits
+		}
+		bits := make([]sat.Lit, w)
+		for i := range bits {
+			bits[i] = b.fresh()
+		}
+		b.syms[e.Name] = bits
+		return bits
+	case expr.KAdd:
+		return b.adder(b.blast(e.A), b.blast(e.B), b.constLit(false))
+	case expr.KSub:
+		return b.adder(b.blast(e.A), b.negBits(b.blast(e.B)), b.constLit(true))
+	case expr.KMul:
+		x, y := b.blast(e.A), b.blast(e.B)
+		acc := make([]sat.Lit, w)
+		for i := range acc {
+			acc[i] = b.constLit(false)
+		}
+		for i := 0; i < w; i++ {
+			// Partial product: (x << i) masked by y[i].
+			pp := make([]sat.Lit, w)
+			for j := range pp {
+				if j < i {
+					pp[j] = b.constLit(false)
+				} else {
+					pp[j] = b.gateAnd(x[j-i], y[i])
+				}
+			}
+			acc = b.adder(acc, pp, b.constLit(false))
+		}
+		return acc
+	case expr.KAnd, expr.KOr, expr.KXor:
+		x, y := b.blast(e.A), b.blast(e.B)
+		out := make([]sat.Lit, w)
+		for i := range out {
+			switch e.Kind {
+			case expr.KAnd:
+				out[i] = b.gateAnd(x[i], y[i])
+			case expr.KOr:
+				out[i] = b.gateOr(x[i], y[i])
+			case expr.KXor:
+				out[i] = b.gateXor(x[i], y[i])
+			}
+		}
+		return out
+	case expr.KShl, expr.KLshr, expr.KAshr:
+		x := b.blast(e.A)
+		if k, ok := e.B.IsConst(); ok {
+			return b.shiftConst(x, int(k%32), e.Kind)
+		}
+		// Barrel shifter over the low 5 bits of the amount (shifts
+		// are defined mod 32, matching expr.Eval and the VM).
+		amt := b.blast(e.B)
+		cur := x
+		for stage := 0; stage < 5 && 1<<stage < 32; stage++ {
+			if stage >= len(amt) {
+				break
+			}
+			shifted := b.shiftConst(cur, 1<<stage, e.Kind)
+			next := make([]sat.Lit, w)
+			for i := range next {
+				next[i] = b.gateMux(amt[stage], shifted[i], cur[i])
+			}
+			cur = next
+		}
+		return cur
+	case expr.KEq:
+		x, y := b.blast(e.A), b.blast(e.B)
+		acc := b.constLit(true)
+		for i := range x {
+			acc = b.gateAnd(acc, b.gateXor(x[i], y[i]).Not())
+		}
+		return []sat.Lit{acc}
+	case expr.KUlt:
+		return []sat.Lit{b.ult(b.blast(e.A), b.blast(e.B))}
+	case expr.KSlt:
+		// Flip sign bits and compare unsigned.
+		x := append([]sat.Lit{}, b.blast(e.A)...)
+		y := append([]sat.Lit{}, b.blast(e.B)...)
+		x[len(x)-1] = x[len(x)-1].Not()
+		y[len(y)-1] = y[len(y)-1].Not()
+		return []sat.Lit{b.ult(x, y)}
+	case expr.KNot:
+		return b.negBits(b.blast(e.A))
+	case expr.KZext:
+		x := b.blast(e.A)
+		out := make([]sat.Lit, w)
+		for i := range out {
+			if i < len(x) {
+				out[i] = x[i]
+			} else {
+				out[i] = b.constLit(false)
+			}
+		}
+		return out
+	case expr.KTrunc:
+		return b.blast(e.A)[:w:w]
+	case expr.KConcat:
+		lo := b.blast(e.B)
+		hi := b.blast(e.A)
+		out := make([]sat.Lit, 0, w)
+		out = append(out, lo...)
+		out = append(out, hi...)
+		return out
+	case expr.KIte:
+		c := b.blast(e.A)[0]
+		x, y := b.blast(e.B), b.blast(e.C)
+		out := make([]sat.Lit, w)
+		for i := range out {
+			out[i] = b.gateMux(c, x[i], y[i])
+		}
+		return out
+	}
+	panic("solver: cannot blast kind")
+}

@@ -1,0 +1,312 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"revnic/internal/expr"
+)
+
+func TestBasicQueries(t *testing.T) {
+	s := New()
+	x := expr.S("x", 32)
+	// x + 1 == 5  is satisfiable with x = 4.
+	c := expr.Eq(expr.Add(x, expr.C(1, 32)), expr.C(5, 32))
+	if !s.Satisfiable([]*expr.Expr{c}) {
+		t.Fatal("x+1==5 should be SAT")
+	}
+	m, ok := s.Model([]*expr.Expr{c})
+	if !ok || m["x"] != 4 {
+		t.Fatalf("model = %v", m)
+	}
+	// x < 2 && x > 5 is UNSAT.
+	u := []*expr.Expr{
+		expr.Ult(x, expr.C(2, 32)),
+		expr.Ult(expr.C(5, 32), x),
+	}
+	if s.Satisfiable(u) {
+		t.Fatal("x<2 && x>5 should be UNSAT")
+	}
+}
+
+func TestMustMayBeTrue(t *testing.T) {
+	s := New()
+	x := expr.S("x", 8)
+	pc := []*expr.Expr{expr.Ult(x, expr.C(10, 8))}
+	lt20 := expr.Ult(x, expr.C(20, 8))
+	lt5 := expr.Ult(x, expr.C(5, 8))
+	if !s.MustBeTrue(pc, lt20) {
+		t.Error("x<10 must imply x<20")
+	}
+	if s.MustBeTrue(pc, lt5) {
+		t.Error("x<10 must not imply x<5")
+	}
+	if !s.MayBeTrue(pc, lt5) {
+		t.Error("x<5 must be possible under x<10")
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	s := New()
+	x := expr.S("x", 8)
+	// x <s 0 && x >u 200: signed-negative bytes are 128..255 unsigned,
+	// so this is SAT (e.g. 201).
+	cons := []*expr.Expr{
+		expr.Slt(x, expr.C(0, 8)),
+		expr.Ult(expr.C(200, 8), x),
+	}
+	m, ok := s.Model(cons)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if !(m["x"] > 200) || int8(m["x"]) >= 0 {
+		t.Fatalf("model x=%d does not satisfy", m["x"])
+	}
+	// x <s 0 && x <u 100 is UNSAT at width 8.
+	if s.Satisfiable([]*expr.Expr{
+		expr.Slt(x, expr.C(0, 8)),
+		expr.Ult(x, expr.C(100, 8)),
+	}) {
+		t.Fatal("negative byte cannot be <u 100")
+	}
+}
+
+// TestRandomConstraintModels builds random constraints, and whenever
+// the solver reports SAT, verifies the model by evaluation; whenever
+// it reports UNSAT at width 8 over one variable, cross-checks by
+// exhaustive enumeration.
+func TestRandomConstraintModels(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	mkExpr := func(x *expr.Expr, depth int) *expr.Expr {
+		e := x
+		for i := 0; i < depth; i++ {
+			c := expr.C(uint32(r.Intn(256)), 8)
+			switch r.Intn(7) {
+			case 0:
+				e = expr.Add(e, c)
+			case 1:
+				e = expr.Sub(e, c)
+			case 2:
+				e = expr.And(e, c)
+			case 3:
+				e = expr.Or(e, c)
+			case 4:
+				e = expr.Xor(e, c)
+			case 5:
+				e = expr.Mul(e, c)
+			case 6:
+				e = expr.Shl(e, expr.C(uint32(r.Intn(8)), 8))
+			}
+		}
+		return e
+	}
+	for trial := 0; trial < 120; trial++ {
+		s := New()
+		x := expr.S("x", 8)
+		var cons []*expr.Expr
+		for i := 0; i < 1+r.Intn(3); i++ {
+			lhs := mkExpr(x, 1+r.Intn(3))
+			c := expr.C(uint32(r.Intn(256)), 8)
+			switch r.Intn(3) {
+			case 0:
+				cons = append(cons, expr.Eq(lhs, c))
+			case 1:
+				cons = append(cons, expr.Ult(lhs, c))
+			case 2:
+				cons = append(cons, expr.Not(expr.Eq(lhs, c)))
+			}
+		}
+		// Exhaustive ground truth.
+		want := false
+		for v := uint32(0); v < 256; v++ {
+			env := map[string]uint32{"x": v}
+			all := true
+			for _, c := range cons {
+				if expr.Eval(c, env) == 0 {
+					all = false
+					break
+				}
+			}
+			if all {
+				want = true
+				break
+			}
+		}
+		got := s.Satisfiable(cons)
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cons=%v", trial, got, want, cons)
+		}
+		if got {
+			m, ok := s.Model(cons)
+			if !ok {
+				t.Fatalf("trial %d: Satisfiable but no model", trial)
+			}
+			for _, c := range cons {
+				if expr.Eval(c, m) == 0 {
+					t.Fatalf("trial %d: model %v violates %s", trial, m, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiVariable(t *testing.T) {
+	s := New()
+	a, b := expr.S("a", 16), expr.S("b", 16)
+	// a + b == 0x1234 && a == 0x1000
+	cons := []*expr.Expr{
+		expr.Eq(expr.Add(a, b), expr.C(0x1234, 16)),
+		expr.Eq(a, expr.C(0x1000, 16)),
+	}
+	m, ok := s.Model(cons)
+	if !ok || m["a"] != 0x1000 || m["b"] != 0x234 {
+		t.Fatalf("model = %v", m)
+	}
+}
+
+func TestVariableShift(t *testing.T) {
+	s := New()
+	x, k := expr.S("x", 32), expr.S("k", 32)
+	// (x << k) == 0x100 && k == 4  forces x & 0xF0000000.. well x*16==0x100 → x low bits 0x10.
+	cons := []*expr.Expr{
+		expr.Eq(expr.Shl(x, k), expr.C(0x100, 32)),
+		expr.Eq(k, expr.C(4, 32)),
+	}
+	m, ok := s.Model(cons)
+	if !ok {
+		t.Fatal("should be SAT")
+	}
+	if got := (m["x"] << 4); got != 0x100 {
+		t.Fatalf("model x=%#x gives %#x", m["x"], got)
+	}
+}
+
+func TestConcretizeAndValues(t *testing.T) {
+	s := New()
+	x := expr.S("x", 32)
+	pc := []*expr.Expr{expr.Ult(x, expr.C(3, 32))}
+	vals := s.Values(pc, x, 10)
+	if len(vals) != 3 {
+		t.Fatalf("Values = %v, want 3 values", vals)
+	}
+	seen := map[uint32]bool{}
+	for _, v := range vals {
+		if v >= 3 || seen[v] {
+			t.Fatalf("Values = %v", vals)
+		}
+		seen[v] = true
+	}
+	v, ok := s.Concretize(pc, expr.Add(x, expr.C(100, 32)))
+	if !ok || v < 100 || v > 102 {
+		t.Fatalf("Concretize = %d, %v", v, ok)
+	}
+	// Constant shortcut.
+	if v, _ := s.Concretize(nil, expr.C(7, 32)); v != 7 {
+		t.Fatal("const concretize")
+	}
+}
+
+func TestUnsatConcretize(t *testing.T) {
+	s := New()
+	x := expr.S("x", 8)
+	pc := []*expr.Expr{expr.Eq(x, expr.C(1, 8)), expr.Eq(x, expr.C(2, 8))}
+	if _, ok := s.Concretize(pc, x); ok {
+		t.Fatal("UNSAT pc should not concretize")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	x, y, z := expr.S("x", 32), expr.S("y", 32), expr.S("z", 32)
+	pc := []*expr.Expr{
+		expr.Ult(x, expr.C(10, 32)),            // touches x
+		expr.Eq(y, expr.Add(x, expr.C(1, 32))), // links y to x
+		expr.Ult(z, expr.C(5, 32)),             // independent
+	}
+	got := Slice(pc, expr.Eq(y, expr.C(3, 32)))
+	if len(got) != 2 {
+		t.Fatalf("slice kept %d constraints, want 2 (x and y chain)", len(got))
+	}
+	for _, c := range got {
+		for _, v := range expr.VarNames(c) {
+			if v == "z" {
+				t.Fatal("independent constraint retained")
+			}
+		}
+	}
+	// Slicing must not change satisfiability verdicts.
+	s := New()
+	cond := expr.Ult(expr.C(10, 32), y) // y > 10 contradicts y = x+1, x < 10... x<10 -> y<=10
+	if s.MayBeTrue(pc, cond) {
+		t.Error("y>10 should be infeasible under x<10, y=x+1")
+	}
+	if !s.MayBeTrue(pc, expr.Eq(z, expr.C(4, 32))) {
+		t.Error("z==4 feasible")
+	}
+	if s.MayBeTrue(pc, expr.Eq(z, expr.C(7, 32))) {
+		t.Error("z==7 must respect the z<5 constraint")
+	}
+	// Constant target slices to nothing.
+	if got := Slice(pc, expr.C(1, 1)); got != nil {
+		t.Error("constant target should slice to empty")
+	}
+}
+
+func TestSliceConcretizeRespectsConstraints(t *testing.T) {
+	s := New()
+	x, z := expr.S("x", 8), expr.S("z", 8)
+	pc := []*expr.Expr{
+		expr.Ult(expr.C(100, 8), x), // x > 100
+		expr.Ult(z, expr.C(3, 8)),
+	}
+	v, ok := s.Concretize(pc, x)
+	if !ok || v <= 100 {
+		t.Errorf("concretize x = %d", v)
+	}
+	vals := s.Values(pc, z, 10)
+	if len(vals) != 3 {
+		t.Errorf("Values(z) = %v", vals)
+	}
+}
+
+func TestCache(t *testing.T) {
+	s := New()
+	x := expr.S("x", 32)
+	c := expr.Eq(x, expr.C(1, 32))
+	s.Satisfiable([]*expr.Expr{c})
+	s.Satisfiable([]*expr.Expr{c})
+	if q, h := s.Stats(); q != 2 || h != 1 {
+		t.Fatalf("queries=%d hits=%d", q, h)
+	}
+}
+
+func TestByteMemoryPattern(t *testing.T) {
+	// The pattern symbolic memory produces: store a 32-bit symbol
+	// byte-wise, reload 16 bits, compare. Checks Trunc/Lshr/Concat
+	// blasting against evaluation.
+	s := New()
+	x := expr.S("x", 32)
+	lo := expr.ExtractByte(x, 0)
+	hi := expr.ExtractByte(x, 1)
+	v16 := expr.FromBytes16(lo, hi)
+	cons := []*expr.Expr{expr.Eq(v16, expr.C(0xBEEF, 16))}
+	m, ok := s.Model(cons)
+	if !ok || m["x"]&0xFFFF != 0xBEEF {
+		t.Fatalf("model = %v", m)
+	}
+}
+
+func TestIteBlasting(t *testing.T) {
+	s := New()
+	x := expr.S("x", 8)
+	cond := expr.Ult(x, expr.C(8, 8))
+	e := expr.Ite(cond, expr.C(1, 8), expr.C(2, 8))
+	// ite == 1 forces x < 8.
+	m, ok := s.Model([]*expr.Expr{expr.Eq(e, expr.C(1, 8))})
+	if !ok || m["x"] >= 8 {
+		t.Fatalf("model = %v", m)
+	}
+	m, ok = s.Model([]*expr.Expr{expr.Eq(e, expr.C(2, 8))})
+	if !ok || m["x"] < 8 {
+		t.Fatalf("model = %v", m)
+	}
+}

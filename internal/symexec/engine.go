@@ -1,0 +1,728 @@
+package symexec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"revnic/internal/expr"
+	"revnic/internal/guestos"
+	"revnic/internal/hw"
+	"revnic/internal/ir"
+	"revnic/internal/isa"
+	"revnic/internal/solver"
+	"revnic/internal/trace"
+	"revnic/internal/vm"
+)
+
+// Strategy selects the index of the next state to run from the live
+// set. The paper's default picks the state whose next block has the
+// lowest global execution count (§3.2); DFS and BFS exist for the
+// ablation study.
+type Strategy int
+
+// Exploration strategies.
+const (
+	StrategyMinCount Strategy = iota
+	StrategyDFS
+	StrategyBFS
+)
+
+// Config parameterizes an exploration run. Zero values select the
+// defaults the paper's prototype effectively uses.
+type Config struct {
+	// Shell is the PCI descriptor of the shell device: "the vendor
+	// and product identifier of the device whose driver is being
+	// reverse engineered, the I/O memory ranges, and the interrupt
+	// line. The developer obtains these parameters from the Windows
+	// device manager" (§3.4).
+	Shell hw.PCIConfig
+	// Strategy picks the path-selection heuristic.
+	Strategy Strategy
+	// PollThreshold is the per-state repeat count after which the
+	// polling-loop killer discards the staying path.
+	PollThreshold int
+	// CompleteTarget is the number of successful entry-point
+	// completions after which remaining paths are discarded.
+	CompleteTarget int
+	// MaxStates bounds the live state set.
+	MaxStates int
+	// PhaseBudget bounds translation blocks executed per entry point.
+	PhaseBudget int
+	// StagnationBudget ends a phase after this many blocks without
+	// new coverage.
+	StagnationBudget int
+	// DisableLoopKill turns off the polling-loop heuristic (ablation).
+	DisableLoopKill bool
+	// ConcreteHardware replaces symbolic hardware reads with a fixed
+	// concrete value (ablation: what a real, passive device would
+	// return on most reads).
+	ConcreteHardware bool
+	// Seed drives the random successful-path choice.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.PollThreshold == 0 {
+		c.PollThreshold = 48
+	}
+	if c.CompleteTarget == 0 {
+		// High enough that shallow handler paths (quick OID
+		// successes) do not starve deep ones (re-initialization)
+		// before they complete.
+		c.CompleteTarget = 32
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 512
+	}
+	if c.PhaseBudget == 0 {
+		c.PhaseBudget = 120000
+	}
+	if c.StagnationBudget == 0 {
+		c.StagnationBudget = 20000
+	}
+}
+
+// CoveragePoint samples coverage growth for Figure 8.
+type CoveragePoint struct {
+	ExecutedBlocks int64
+	CoveredBlocks  int
+}
+
+// Result is the outcome of reverse-engineering exploration.
+type Result struct {
+	Collector *trace.Collector
+	Entries   guestos.EntryPoints
+	// Coverage is the growth curve sampled during exploration.
+	Coverage []CoveragePoint
+	// ExecutedBlocks is the total number of translation blocks run.
+	ExecutedBlocks int64
+	// ForkCount is the number of state forks.
+	ForkCount int64
+	// InitFailed is set when MiniportInitialize never produced a
+	// usable adapter context, so later entry points could not be
+	// exercised (happens under the concrete-hardware ablation: the
+	// driver correctly refuses to load without a responding device).
+	InitFailed bool
+	// KilledLoops counts polling-loop discards.
+	KilledLoops int64
+	// DMARegions are the shared-memory regions the driver registered.
+	DMARegions [][2]uint32
+}
+
+// Engine drives selective symbolic execution of one driver binary.
+type Engine struct {
+	cfg   Config
+	prog  *isa.Program
+	cache *ir.Cache
+	col   *trace.Collector
+	sol   *solver.Solver
+	rng   *rand.Rand
+
+	baseRAM []byte
+	entries guestos.EntryPoints
+	timer   uint32
+	dma     hw.DMARegistry
+
+	symCount int
+	stateID  int
+	exec     int64
+	forks    int64
+	killed   int64
+	coverage []CoveragePoint
+	lastCov  int
+
+	nextBuf uint32
+	bufs    []bufSpec
+}
+
+type imageReader struct{ ram []byte }
+
+func (r imageReader) FetchInstr(addr uint32) (isa.Instr, error) {
+	if int(addr)+isa.InstrSize > len(r.ram) {
+		return isa.Instr{}, fmt.Errorf("symexec: fetch outside RAM at %#x", addr)
+	}
+	return isa.Decode(r.ram[addr:])
+}
+
+// New prepares an engine for the given driver binary. Only the
+// binary image is consumed — no symbols, exactly like the real tool.
+func New(prog *isa.Program, cfg Config) *Engine {
+	cfg.defaults()
+	ram := make([]byte, hw.RAMSize)
+	copy(ram[prog.Base:], prog.Code)
+	e := &Engine{
+		cfg:     cfg,
+		prog:    prog,
+		col:     trace.NewCollector(),
+		sol:     solver.New(),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		baseRAM: ram,
+	}
+	e.cache = ir.NewCache(imageReader{ram})
+	return e
+}
+
+// freshSym mints a new hardware/input symbol.
+func (e *Engine) freshSym(prefix string, w uint8) *expr.Expr {
+	e.symCount++
+	return expr.S(fmt.Sprintf("%s_%d", prefix, e.symCount), w)
+}
+
+func (e *Engine) newState() *State {
+	e.stateID++
+	s := &State{
+		ID:         e.stateID,
+		Mem:        NewMemory(e.baseRAM),
+		heapNext:   0x00080000,
+		localCount: map[uint32]int{},
+	}
+	for i := range s.Regs {
+		s.Regs[i] = expr.C(0, 32)
+	}
+	s.Regs[isa.SP] = expr.C(hw.StackTop, 32)
+	return s
+}
+
+func (e *Engine) fork(s *State) *State {
+	e.stateID++
+	e.forks++
+	return s.Fork(e.stateID)
+}
+
+// inDriver reports whether addr is inside the driver image.
+func (e *Engine) inDriver(addr uint32) bool {
+	return addr >= e.prog.Base && addr < e.prog.Base+uint32(len(e.prog.Code))
+}
+
+// concretizeU32 returns a concrete value for v under the state's path
+// constraints, additionally constraining v to that value.
+func (e *Engine) concretizeU32(s *State, v *expr.Expr) (uint32, bool) {
+	if c, ok := v.IsConst(); ok {
+		return c, true
+	}
+	val, ok := e.sol.Concretize(s.Constraints, v)
+	if !ok {
+		return 0, false
+	}
+	s.Constrain(expr.Eq(v, expr.C(val, v.Width)))
+	return val, true
+}
+
+// sampleCoverage appends a coverage point when coverage changed.
+func (e *Engine) sampleCoverage() {
+	if c := e.col.CoveredBlocks(); c != e.lastCov {
+		e.lastCov = c
+		e.coverage = append(e.coverage, CoveragePoint{e.exec, c})
+	}
+}
+
+// --- hardware and OS models -------------------------------------------------
+
+// hwRead models symbolic hardware (§3.1/§3.4): every read from the
+// device returns an unconstrained symbolic value.
+func (e *Engine) hwRead(s *State, bi *trace.BlockInfo, instrAddr, addr uint32, size int, class trace.Class) *expr.Expr {
+	e.col.IO(bi, trace.Access{
+		InstrAddr: instrAddr, Addr: addr, Size: size, Class: class, Symbolic: true,
+	})
+	if e.cfg.ConcreteHardware {
+		// Ablation: a passive concrete device. Status registers read
+		// as zero, which is what idle hardware mostly returns.
+		return expr.C(0, 32)
+	}
+	return expr.Zext(e.freshSym("hw", uint8(size*8)), 32)
+}
+
+func (e *Engine) hwWrite(s *State, bi *trace.BlockInfo, instrAddr, addr uint32, size int, v *expr.Expr) {
+	e.col.IO(bi, trace.Access{
+		InstrAddr: instrAddr, Addr: addr, Size: size, Write: true,
+		Class: classOf(addr, true, &e.dma), Value: expr.Eval(v, nil),
+		Symbolic: v.Kind != expr.KConst,
+	})
+}
+
+func classOf(addr uint32, mmioSpace bool, dma *hw.DMARegistry) trace.Class {
+	if hw.IsMMIO(addr) {
+		return trace.ClassMMIO
+	}
+	if dma.Contains(addr) {
+		return trace.ClassDMA
+	}
+	return trace.ClassRegular
+}
+
+// apiModel emulates the concrete OS side of selective symbolic
+// execution at the API boundary. The driver's view matches package
+// guestos exactly; symbolic arguments crossing into the OS are
+// concretized, "keeping the OS unaware of symbolic execution" (§3.4).
+func (e *Engine) apiModel(s *State, bi *trace.BlockInfo, callSite uint32, index uint32) error {
+	if index >= guestos.NumAPIs {
+		return fmt.Errorf("symexec: unknown API %d", index)
+	}
+	d := guestos.Table[index]
+	sp, _ := s.Regs[isa.SP].IsConst()
+	args := make([]uint32, d.NArgs)
+	for i := range args {
+		v, ok := e.concretizeU32(s, s.Mem.Read(sp+uint32(4*i), 4))
+		if !ok {
+			return fmt.Errorf("symexec: unsatisfiable API argument")
+		}
+		args[i] = v
+	}
+	ret := uint32(guestos.StatusSuccess)
+	switch index {
+	case guestos.APIRegisterMiniport:
+		p := args[0]
+		get := func(off uint32) uint32 {
+			v, _ := s.Mem.Read(p+off, 4).IsConst()
+			return v
+		}
+		e.entries = guestos.EntryPoints{
+			Init:  get(guestos.CharInit),
+			Send:  get(guestos.CharSend),
+			ISR:   get(guestos.CharISR),
+			Query: get(guestos.CharQuery),
+			Set:   get(guestos.CharSet),
+			Halt:  get(guestos.CharHalt),
+		}
+	case guestos.APIAllocateMemory, guestos.APIAllocateSharedMemory:
+		n := (args[0] + 7) &^ 7
+		ret = s.heapNext
+		s.heapNext += n
+		if index == guestos.APIAllocateSharedMemory {
+			// Track DMA regions and report them to the shell device
+			// (§3.4): reads from them return symbolic values.
+			e.dma.Register(ret, args[0])
+		}
+	case guestos.APIReadPCIConfig:
+		switch args[0] {
+		case guestos.PCICfgID:
+			ret = uint32(e.cfg.Shell.VendorID) | uint32(e.cfg.Shell.DeviceID)<<16
+		case guestos.PCICfgIOBase:
+			ret = e.cfg.Shell.IOBase
+		case guestos.PCICfgIRQ:
+			ret = uint32(e.cfg.Shell.IRQLine)
+		default:
+			ret = 0
+		}
+	case guestos.APIInitializeTimer:
+		e.timer = args[0]
+	case guestos.APIGetSystemUpTime:
+		ret = 1000
+	}
+	e.col.API(bi, trace.APICallRecord{CallSite: callSite, Index: index, Name: d.Name, Args: args})
+	// stdcall: the callee (here, the OS) pops the arguments. The call
+	// instruction has not pushed a return address in this model; the
+	// caller resumes at the instruction after the call.
+	s.Regs[isa.SP] = expr.C(sp+uint32(4*d.NArgs), 32)
+	s.Regs[isa.R0] = expr.C(ret, 32)
+	return nil
+}
+
+// --- instruction execution --------------------------------------------------
+
+// stepBlock executes one translation block on the state, returning
+// the follow-on states (usually just s; two on a fork; none if the
+// state terminated).
+func (e *Engine) stepBlock(s *State) ([]*State, error) {
+	b, err := e.cache.Get(s.PC)
+	if err != nil {
+		// Fetch outside mapped code: an error path (§3.2) — kill it.
+		s.Reason = TermError
+		return nil, nil
+	}
+	// Register snapshots are sampled on a block's first execution
+	// only (the wiretap keeps one sample pair); evaluating witness
+	// values for every repeat execution of hot blocks would dominate
+	// exploration time on deep paths.
+	isNew := e.col.BlockCount(b.Addr) == 0
+	var regsIn [8]uint32
+	if isNew {
+		regsIn = s.ConcreteRegs()
+	}
+	bi := e.col.Block(b, regsIn, regsIn)
+	s.lastBlock = b.Addr
+	s.hasLast = true
+	if e.inDriver(b.Addr) {
+		e.exec++
+		s.Depth++
+		s.localCount[b.Addr]++
+		e.sampleCoverage()
+	}
+
+	out, err := e.execInstrs(s, b, bi)
+	if isNew {
+		bi.RegsOutSample = s.ConcreteRegs()
+	}
+	return out, err
+}
+
+func (e *Engine) src2(s *State, in isa.Instr) *expr.Expr {
+	if in.HasImmOperand() {
+		return expr.C(in.Imm, 32)
+	}
+	return s.Regs[in.Rs2]
+}
+
+// condExpr builds the boolean for a branch condition.
+func condExpr(c isa.Cond, a, b *expr.Expr) *expr.Expr {
+	switch c {
+	case isa.EQ:
+		return expr.Eq(a, b)
+	case isa.NE:
+		return expr.Not(expr.Eq(a, b))
+	case isa.LT:
+		return expr.Slt(a, b)
+	case isa.GE:
+		return expr.Not(expr.Slt(a, b))
+	case isa.LTU:
+		return expr.Ult(a, b)
+	case isa.GEU:
+		return expr.Not(expr.Ult(a, b))
+	}
+	panic("symexec: bad cond")
+}
+
+// readsR0 reports whether the instruction consumes r0 as a source.
+func readsR0(in isa.Instr) bool {
+	switch in.Op {
+	case isa.MOV, isa.LD8, isa.LD16, isa.LD32, isa.IN8, isa.IN16, isa.IN32,
+		isa.PUSH, isa.JR, isa.CALLR, isa.BRI:
+		return in.Rs1 == isa.R0
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR, isa.MUL, isa.BR:
+		return in.Rs1 == isa.R0 || (!in.HasImmOperand() && in.Rs2 == isa.R0)
+	case isa.ST8, isa.ST16, isa.ST32, isa.OUT8, isa.OUT16, isa.OUT32:
+		return in.Rs1 == isa.R0 || in.Rs2 == isa.R0
+	}
+	return false
+}
+
+// writesR0 reports whether the instruction defines r0.
+func writesR0(in isa.Instr) bool {
+	switch in.Op {
+	case isa.MOVI, isa.MOV, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SAR, isa.MUL,
+		isa.LD8, isa.LD16, isa.LD32, isa.IN8, isa.IN16, isa.IN32, isa.POP:
+		return in.Rd == isa.R0
+	}
+	return false
+}
+
+// execInstrs runs the instructions of b on s. It returns follow-on
+// states; a terminated state returns nil with s.Reason set.
+func (e *Engine) execInstrs(s *State, b *ir.Block, bi *trace.BlockInfo) ([]*State, error) {
+	for i, in := range b.Instrs {
+		addr := b.InstrAddr(i)
+		nextPC := addr + isa.InstrSize
+		// Return-value liveness (§4.1): a read of r0 after a return,
+		// before any redefinition, proves the callee has a return
+		// value.
+		if s.pendingRet != 0 {
+			if readsR0(in) {
+				e.col.Returns(s.pendingRet)
+				s.pendingRet = 0
+			} else if writesR0(in) {
+				s.pendingRet = 0
+			}
+		}
+		switch in.Op {
+		case isa.NOP:
+		case isa.MOVI:
+			s.Regs[in.Rd] = expr.C(in.Imm, 32)
+		case isa.MOV:
+			s.Regs[in.Rd] = s.Regs[in.Rs1]
+		case isa.ADD:
+			s.Regs[in.Rd] = expr.Add(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.SUB:
+			s.Regs[in.Rd] = expr.Sub(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.AND:
+			s.Regs[in.Rd] = expr.And(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.OR:
+			s.Regs[in.Rd] = expr.Or(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.XOR:
+			s.Regs[in.Rd] = expr.Xor(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.SHL:
+			s.Regs[in.Rd] = expr.Shl(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.SHR:
+			s.Regs[in.Rd] = expr.Lshr(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.SAR:
+			s.Regs[in.Rd] = expr.Ashr(s.Regs[in.Rs1], e.src2(s, in))
+		case isa.MUL:
+			s.Regs[in.Rd] = expr.Mul(s.Regs[in.Rs1], e.src2(s, in))
+
+		case isa.LD8, isa.LD16, isa.LD32:
+			v, err := e.load(s, bi, addr, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)), in.Op.AccessSize())
+			if err != nil {
+				s.Reason = TermError
+				return nil, nil
+			}
+			s.Regs[in.Rd] = v
+		case isa.ST8, isa.ST16, isa.ST32:
+			if err := e.store(s, bi, addr, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)), in.Op.AccessSize(), s.Regs[in.Rs2]); err != nil {
+				s.Reason = TermError
+				return nil, nil
+			}
+		case isa.IN8, isa.IN16, isa.IN32:
+			port, ok := e.concretizeU32(s, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)))
+			if !ok {
+				s.Reason = TermError
+				return nil, nil
+			}
+			s.Regs[in.Rd] = e.hwRead(s, bi, addr, port, in.Op.AccessSize(), trace.ClassPortIO)
+		case isa.OUT8, isa.OUT16, isa.OUT32:
+			port, ok := e.concretizeU32(s, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)))
+			if !ok {
+				s.Reason = TermError
+				return nil, nil
+			}
+			sz := in.Op.AccessSize()
+			v := expr.Trunc(s.Regs[in.Rs2], uint8(sz*8))
+			e.col.IO(bi, trace.Access{
+				InstrAddr: addr, Addr: port, Size: sz, Write: true,
+				Class: trace.ClassPortIO, Value: expr.Eval(v, nil),
+				Symbolic: v.Kind != expr.KConst,
+			})
+		case isa.PUSH:
+			sp := expr.Sub(s.Regs[isa.SP], expr.C(4, 32))
+			s.Regs[isa.SP] = sp
+			if err := e.store(s, bi, addr, sp, 4, s.Regs[in.Rs1]); err != nil {
+				s.Reason = TermError
+				return nil, nil
+			}
+		case isa.POP:
+			v, err := e.load(s, bi, addr, s.Regs[isa.SP], 4)
+			if err != nil {
+				s.Reason = TermError
+				return nil, nil
+			}
+			s.Regs[in.Rd] = v
+			s.Regs[isa.SP] = expr.Add(s.Regs[isa.SP], expr.C(4, 32))
+
+		case isa.JMP:
+			e.col.Edge(addr, in.Imm, trace.EdgeBranch)
+			s.PC = in.Imm
+			return []*State{s}, nil
+		case isa.JR:
+			return e.indirectJump(s, bi, addr, s.Regs[in.Rs1], false)
+		case isa.BR, isa.BRI:
+			var rhs *expr.Expr
+			if in.Op == isa.BRI {
+				rhs = expr.C(uint32(uint8(in.Rs2)), 32)
+			} else {
+				rhs = s.Regs[in.Rs2]
+			}
+			return e.branch(s, bi, addr, condExpr(in.Cond(), s.Regs[in.Rs1], rhs), in.Imm, b.EndAddr())
+		case isa.CALL, isa.CALLR:
+			targetE := expr.C(in.Imm, 32)
+			if in.Op == isa.CALLR {
+				targetE = s.Regs[in.Rs1]
+			}
+			target, ok := e.concretizeU32(s, targetE)
+			if !ok {
+				s.Reason = TermError
+				return nil, nil
+			}
+			if hw.IsAPIGate(target) {
+				if err := e.apiModel(s, bi, addr, hw.APIIndex(target)); err != nil {
+					s.Reason = TermError
+					return nil, nil
+				}
+				s.PC = nextPC
+				continue // API call does not end the path
+			}
+			sp := expr.Sub(s.Regs[isa.SP], expr.C(4, 32))
+			s.Regs[isa.SP] = sp
+			if err := e.store(s, bi, addr, sp, 4, expr.C(nextPC, 32)); err != nil {
+				s.Reason = TermError
+				return nil, nil
+			}
+			spV, _ := sp.IsConst()
+			s.Frames = append(s.Frames, frame{callSite: addr, target: target, retAddr: nextPC, entrySP: spV})
+			e.col.Call(addr, target)
+			e.col.Edge(addr, target, trace.EdgeCall)
+			s.PC = target
+			return []*State{s}, nil
+		case isa.RET:
+			ra, err := e.load(s, bi, addr, s.Regs[isa.SP], 4)
+			if err != nil {
+				s.Reason = TermError
+				return nil, nil
+			}
+			raV, ok := e.concretizeU32(s, ra)
+			if !ok {
+				s.Reason = TermError
+				return nil, nil
+			}
+			s.Regs[isa.SP] = expr.Add(s.Regs[isa.SP], expr.C(4+in.Imm, 32))
+			if len(s.Frames) > 0 {
+				s.pendingRet = s.Frames[len(s.Frames)-1].target
+				s.Frames = s.Frames[:len(s.Frames)-1]
+			}
+			if raV == vm.MagicReturn {
+				s.Reason = TermCompleted
+				s.Result = s.Regs[isa.R0]
+				return nil, nil
+			}
+			e.col.Edge(addr, raV, trace.EdgeReturn)
+			s.PC = raV
+			return []*State{s}, nil
+		case isa.IRET, isa.HLT:
+			s.Reason = TermCompleted
+			s.Result = s.Regs[isa.R0]
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("symexec: unimplemented op %v", in.Op)
+		}
+		s.PC = nextPC
+	}
+	// Block ended without terminator (MaxBlockInstrs hit): continue.
+	return []*State{s}, nil
+}
+
+// load routes a memory read: device windows and DMA regions are
+// symbolic hardware; everything else is symbolic RAM. Symbolic
+// addresses are concretized (§3.4).
+func (e *Engine) load(s *State, bi *trace.BlockInfo, instrAddr uint32, addrE *expr.Expr, size int) (*expr.Expr, error) {
+	addr, ok := e.concretizeU32(s, addrE)
+	if !ok {
+		return nil, fmt.Errorf("unsat address")
+	}
+	if hw.IsMMIO(addr) {
+		return e.hwRead(s, bi, instrAddr, addr, size, trace.ClassMMIO), nil
+	}
+	if e.dma.Contains(addr) {
+		// DMA memory is written by the device, so its contents are
+		// symbolic hardware input too (§3.4).
+		e.col.IO(bi, trace.Access{InstrAddr: instrAddr, Addr: addr, Size: size, Class: trace.ClassDMA, Symbolic: true})
+		return expr.Zext(e.freshSym("dma", uint8(size*8)), 32), nil
+	}
+	if int(addr)+size > len(e.baseRAM) {
+		return nil, fmt.Errorf("read outside RAM")
+	}
+	// Parameter-recovery evidence (§4.1): a read above the current
+	// frame's entry SP reaches into the parent's stack frame.
+	if n := len(s.Frames); n > 0 {
+		f := s.Frames[n-1]
+		if f.entrySP != 0 && addr >= f.entrySP+4 && addr < f.entrySP+4+16*4 {
+			e.col.Param(f.target, int(addr-f.entrySP-4)/4)
+		}
+	}
+	return s.Mem.Read(addr, size), nil
+}
+
+func (e *Engine) store(s *State, bi *trace.BlockInfo, instrAddr uint32, addrE *expr.Expr, size int, v *expr.Expr) error {
+	addr, ok := e.concretizeU32(s, addrE)
+	if !ok {
+		return fmt.Errorf("unsat address")
+	}
+	if hw.IsMMIO(addr) {
+		e.hwWrite(s, bi, instrAddr, addr, size, v)
+		return nil
+	}
+	if e.dma.Contains(addr) {
+		e.col.IO(bi, trace.Access{
+			InstrAddr: instrAddr, Addr: addr, Size: size, Write: true,
+			Class: trace.ClassDMA, Value: expr.Eval(v, nil),
+			Symbolic: v.Kind != expr.KConst,
+		})
+		// DMA writes also land in RAM so the driver can read back
+		// its own descriptors.
+	}
+	if int(addr)+size > len(e.baseRAM) {
+		return fmt.Errorf("write outside RAM")
+	}
+	s.Mem.Write(addr, size, expr.Trunc(v, uint8(size*8)))
+	return nil
+}
+
+// branch resolves a conditional: concrete conditions follow directly;
+// symbolic ones fork when both sides are feasible. The polling-loop
+// killer prunes the side that stays in an already-hot block.
+func (e *Engine) branch(s *State, bi *trace.BlockInfo, instrAddr uint32, cond *expr.Expr, taken, fallthrough_ uint32) ([]*State, error) {
+	if cond.IsTrue() {
+		e.col.Edge(instrAddr, taken, trace.EdgeBranch)
+		s.PC = taken
+		return []*State{s}, nil
+	}
+	if cond.IsFalse() {
+		e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
+		s.PC = fallthrough_
+		return []*State{s}, nil
+	}
+	mayTake := e.sol.MayBeTrue(s.Constraints, cond)
+	mayFall := e.sol.MayBeTrue(s.Constraints, expr.Not(cond))
+	switch {
+	case mayTake && !mayFall:
+		s.Constrain(cond)
+		e.col.Edge(instrAddr, taken, trace.EdgeBranch)
+		s.PC = taken
+		return []*State{s}, nil
+	case !mayTake && mayFall:
+		s.Constrain(expr.Not(cond))
+		e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
+		s.PC = fallthrough_
+		return []*State{s}, nil
+	case !mayTake && !mayFall:
+		s.Reason = TermError
+		return nil, nil
+	}
+	// Both feasible: fork. Polling-loop heuristic: if one target has
+	// re-executed beyond the threshold in this state, keep only the
+	// path that steps out of the loop (§3.2).
+	if !e.cfg.DisableLoopKill {
+		if s.localCount[taken] >= e.cfg.PollThreshold && s.localCount[fallthrough_] < e.cfg.PollThreshold {
+			e.killed++
+			s.Constrain(expr.Not(cond))
+			e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
+			s.PC = fallthrough_
+			return []*State{s}, nil
+		}
+		if s.localCount[fallthrough_] >= e.cfg.PollThreshold && s.localCount[taken] < e.cfg.PollThreshold {
+			e.killed++
+			s.Constrain(cond)
+			e.col.Edge(instrAddr, taken, trace.EdgeBranch)
+			s.PC = taken
+			return []*State{s}, nil
+		}
+	}
+	c := e.fork(s)
+	s.Constrain(cond)
+	s.PC = taken
+	e.col.Edge(instrAddr, taken, trace.EdgeBranch)
+	c.Constrain(expr.Not(cond))
+	c.PC = fallthrough_
+	e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
+	return []*State{s, c}, nil
+}
+
+// indirectJump enumerates the feasible targets of a symbolic jump
+// (jump tables from switch statements, §3.4) and forks one state per
+// concrete target.
+func (e *Engine) indirectJump(s *State, bi *trace.BlockInfo, instrAddr uint32, target *expr.Expr, isCall bool) ([]*State, error) {
+	if v, ok := target.IsConst(); ok {
+		e.col.Edge(instrAddr, v, trace.EdgeBranch)
+		s.PC = v
+		return []*State{s}, nil
+	}
+	values := e.sol.Values(s.Constraints, target, 16)
+	var out []*State
+	for i, v := range values {
+		if !e.inDriver(v) {
+			continue // wild target: error path, drop
+		}
+		var st *State
+		if i == len(values)-1 {
+			st = s
+		} else {
+			st = e.fork(s)
+		}
+		st.Constrain(expr.Eq(target, expr.C(v, target.Width)))
+		st.PC = v
+		e.col.Edge(instrAddr, v, trace.EdgeBranch)
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		s.Reason = TermError
+		return nil, nil
+	}
+	return out, nil
+}

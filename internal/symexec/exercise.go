@@ -1,0 +1,387 @@
+package symexec
+
+import (
+	"fmt"
+
+	"revnic/internal/expr"
+	"revnic/internal/guestos"
+	"revnic/internal/isa"
+	"revnic/internal/vm"
+)
+
+// argSpec describes one entry-point argument in a phase: either a
+// concrete value or a fresh symbolic one ("RevNIC selectively
+// converts the parameters of kernel-to-driver calls into symbolic
+// values", §2).
+type argSpec struct {
+	concrete uint32
+	symbolic string // non-empty: fresh symbol of this name prefix
+}
+
+func conc(v uint32) argSpec   { return argSpec{concrete: v} }
+func sym(name string) argSpec { return argSpec{symbolic: name} }
+
+// phase is one step of the exercise script.
+type phase struct {
+	name  string
+	entry func() uint32
+	args  func(ctx uint32) []argSpec
+	// success tests a completed state's return value; successful
+	// completions count toward the discard heuristic and are
+	// eligible to seed the next phase.
+	success func(e *Engine, s *State) bool
+	// bindCtx extracts the adapter context from the seeding state.
+	bindCtx bool
+}
+
+func statusOK(e *Engine, s *State) bool {
+	return e.sol.MayBeTrue(s.Constraints, expr.Eq(s.Result, expr.C(guestos.StatusSuccess, 32)))
+}
+
+func nonZero(e *Engine, s *State) bool {
+	return e.sol.MayBeTrue(s.Constraints, expr.Not(expr.Eq(s.Result, expr.C(0, 32))))
+}
+
+func anyResult(e *Engine, s *State) bool { return true }
+
+// Explore runs the full exercise script symbolically: load, init,
+// IOCTLs (query/set with symbolic OIDs and buffers), send with
+// symbolic packet data and length, interrupt handling under symbolic
+// hardware, the timer, and unload — mirroring §3.2's user-mode
+// script, with interrupt injection after entry points return.
+func (e *Engine) Explore() (*Result, error) {
+	// Phase 0: DriverEntry, executed symbolically like everything
+	// else (its RegisterMiniport call is monitored to discover entry
+	// points).
+	seed := e.newState()
+	completed, err := e.runPhase(seed, "load", e.prog.Base, nil, anyResult)
+	if err != nil {
+		return nil, err
+	}
+	if !e.entries.Registered() {
+		return nil, fmt.Errorf("symexec: driver did not register entry points")
+	}
+	e.col.Entry(e.prog.Base, "load")
+	e.col.Entry(e.entries.Init, "initialize")
+	e.col.Entry(e.entries.Send, "send")
+	e.col.Entry(e.entries.ISR, "isr")
+	if e.entries.Query != 0 {
+		e.col.Entry(e.entries.Query, "query")
+	}
+	if e.entries.Set != 0 {
+		e.col.Entry(e.entries.Set, "set")
+	}
+	e.col.Entry(e.entries.Halt, "halt")
+	seed = e.pickSeed(completed, anyResult)
+	if seed == nil {
+		return nil, fmt.Errorf("symexec: DriverEntry never completed")
+	}
+
+	var ctx uint32
+	initFailed := false
+	phases := []phase{
+		{name: "initialize", entry: func() uint32 { return e.entries.Init },
+			args:    func(uint32) []argSpec { return nil },
+			success: nonZero, bindCtx: true},
+		{name: "query", entry: func() uint32 { return e.entries.Query },
+			args: func(ctx uint32) []argSpec {
+				// Symbolic OID explores every handler and the
+				// unsupported-OID error path in one invocation.
+				return []argSpec{conc(ctx), sym("oid"), conc(e.symBuffer(64, nil)), conc(64)}
+			},
+			success: statusOK},
+		// Set IOCTLs are exercised the way the user-mode script issues
+		// them — one call per IOCTL class — mixing concrete and
+		// symbolic buffer data to keep exploration tractable (§3.2:
+		// "Existing techniques can be employed to mix concrete and
+		// symbolic data within the same buffer, in order to speed up
+		// exploration").
+		{name: "set-flags", entry: func() uint32 { return e.entries.Set },
+			args: func(ctx uint32) []argSpec {
+				// Symbolic OID + a symbolic flag word: covers the
+				// packet filter bit combinations, duplex/WOL/LED
+				// on/off branches, and the default error path. The
+				// zero length makes the multicast-list loop exit
+				// immediately; the list itself is exercised next.
+				return []argSpec{conc(ctx), sym("oid"), conc(e.symBuffer(64, []int{0, 1, 2, 3})), conc(0)}
+			},
+			success: statusOK},
+		{name: "set-multicast", entry: func() uint32 { return e.entries.Set },
+			args: func(ctx uint32) []argSpec {
+				// Concrete group addresses keep the CRC-32 hashing
+				// concrete (covering the whole algorithm without a
+				// 2^48 fork storm) while the symbolic length explores
+				// the list-walking loop bounds.
+				return []argSpec{conc(ctx), conc(guestos.OIDMulticastList),
+					conc(e.symBuffer(64, nil)), sym("inlen")}
+			},
+			success: statusOK},
+		{name: "send", entry: func() uint32 { return e.entries.Send },
+			args: func(ctx uint32) []argSpec {
+				// Symbolic length covers the runt/giant boundary
+				// checks and every copy-loop exit; the EtherType
+				// bytes stay symbolic so packet-type-dependent
+				// driver logic (ARP vs IP vs VLAN, §2) would fork.
+				return []argSpec{conc(ctx), conc(e.symBuffer(1514, []int{12, 13})), sym("pktlen")}
+			},
+			success: statusOK},
+		{name: "isr", entry: func() uint32 { return e.entries.ISR },
+			args:    func(ctx uint32) []argSpec { return []argSpec{conc(ctx)} },
+			success: anyResult},
+		{name: "timer", entry: func() uint32 { return e.timer },
+			args:    func(ctx uint32) []argSpec { return []argSpec{conc(ctx)} },
+			success: anyResult},
+		{name: "halt", entry: func() uint32 { return e.entries.Halt },
+			args:    func(ctx uint32) []argSpec { return []argSpec{conc(ctx)} },
+			success: anyResult},
+	}
+
+	e.col.Async(e.entries.ISR)
+	for _, ph := range phases {
+		entry := ph.entry()
+		if entry == 0 {
+			continue // optional entry point not registered
+		}
+		if ph.name == "timer" {
+			// The timer handler was registered at run time via
+			// NdisMInitializeTimer (§3.2); it is an asynchronous
+			// event root like the ISR.
+			e.col.Entry(entry, "timer")
+			e.col.Async(entry)
+		}
+		st := e.fork(seed)
+		st.Reason = TermRunning
+		var specs []argSpec
+		if ph.args != nil {
+			specs = ph.args(ctx)
+		}
+		completed, err := e.runPhase(st, ph.name, entry, specs, ph.success)
+		if err != nil {
+			return nil, err
+		}
+		next := e.pickSeed(completed, ph.success)
+		if next == nil {
+			// The entry point never completed successfully (e.g. a
+			// hardware-dependent wait): fall back to any completed
+			// path, else keep the old seed.
+			next = e.pickSeed(completed, anyResult)
+		}
+		if next != nil {
+			if ph.bindCtx {
+				v, ok := e.concretizeU32(next, next.Result)
+				if !ok || v == 0 {
+					// The driver refused to initialize (e.g. no
+					// responding device under the concrete-hardware
+					// ablation): report what was covered so far.
+					initFailed = true
+					break
+				}
+				ctx = v
+			}
+			seed = next
+		} else if ph.bindCtx {
+			initFailed = true
+			break
+		}
+	}
+
+	return &Result{
+		InitFailed:     initFailed,
+		Collector:      e.col,
+		Entries:        e.entries,
+		Coverage:       e.coverage,
+		ExecutedBlocks: e.exec,
+		ForkCount:      e.forks,
+		KilledLoops:    e.killed,
+		DMARegions:     e.dma.Regions(),
+	}, nil
+}
+
+// Timer returns the timer handler address registered during
+// exploration (0 if none).
+func (e *Engine) Timer() uint32 { return e.timer }
+
+// symBuffer reserves a guest buffer filled with deterministic
+// concrete data except at the listed offsets, which become fresh
+// symbolic bytes when the phase state is prepared (mixed
+// concrete/symbolic buffers, §3.2). symBytes == nil means fully
+// concrete content.
+func (e *Engine) symBuffer(n uint32, symBytes []int) uint32 {
+	// Buffers live in a dedicated window above the OS heap.
+	addr := e.nextBuf
+	if addr == 0 {
+		addr = 0x000C0000
+	}
+	e.nextBuf = addr + ((n + 15) &^ 15)
+	e.bufs = append(e.bufs, bufSpec{addr, n, symBytes})
+	return addr
+}
+
+type bufSpec struct {
+	addr, n  uint32
+	symBytes []int
+}
+
+// pickSeed chooses one successful completed state at random — the
+// entry-point completion heuristic's "one successful one chosen at
+// random" (§3.2).
+func (e *Engine) pickSeed(completed []*State, ok func(*Engine, *State) bool) *State {
+	var eligible []*State
+	for _, s := range completed {
+		if s.Result != nil && ok(e, s) {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	return eligible[e.rng.Intn(len(eligible))]
+}
+
+// runPhase symbolically executes one entry point from the given seed
+// state until the state set drains, the budget expires, or coverage
+// stagnates.
+func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, success func(*Engine, *State) bool) ([]*State, error) {
+	// Fill pending buffers: patterned concrete data with symbolic
+	// bytes at the requested offsets. The concrete pattern includes
+	// two multicast group addresses so list-processing code sees
+	// realistic input.
+	for _, b := range e.bufs {
+		pattern := []byte{
+			0x01, 0x00, 0x5E, 0x00, 0x00, 0x01,
+			0x01, 0x00, 0x5E, 0x7F, 0xFF, 0xFA,
+		}
+		for i := uint32(0); i < b.n; i++ {
+			if int(i) < len(pattern) {
+				st.Mem.SetByte(b.addr+i, expr.C(uint32(pattern[i]), 8))
+			} else {
+				st.Mem.SetByte(b.addr+i, expr.C(uint32(i*7)&0xFF, 8))
+			}
+		}
+		for _, off := range b.symBytes {
+			if uint32(off) < b.n {
+				st.Mem.SetByte(b.addr+uint32(off), e.freshSym("buf", 8))
+			}
+		}
+	}
+	e.bufs = nil
+
+	// Push arguments right-to-left, then the completion sentinel.
+	sp, _ := st.Regs[isa.SP].IsConst()
+	for i := len(args) - 1; i >= 0; i-- {
+		sp -= 4
+		var v *expr.Expr
+		if args[i].symbolic != "" {
+			v = e.freshSym(args[i].symbolic, 32)
+		} else {
+			v = expr.C(args[i].concrete, 32)
+		}
+		st.Mem.Write(sp, 4, v)
+	}
+	sp -= 4
+	st.Mem.Write(sp, 4, expr.C(vm.MagicReturn, 32))
+	st.Regs[isa.SP] = expr.C(sp, 32)
+	st.PC = entry
+	st.localCount = map[uint32]int{}
+	// The kernel's invocation is the root frame: parameter reads at
+	// [sp+4+4i] are the entry point's own arguments.
+	st.Frames = []frame{{target: entry, entrySP: sp}}
+
+	live := []*State{st}
+	var completed []*State
+	successes := 0
+	startExec := e.exec
+	lastCovExec := e.exec
+	lastCov := e.col.CoveredBlocks()
+
+	for len(live) > 0 {
+		if e.exec-startExec > int64(e.cfg.PhaseBudget) ||
+			e.exec-lastCovExec > int64(e.cfg.StagnationBudget) {
+			for _, s := range live {
+				s.Reason = TermBudget
+			}
+			break
+		}
+		i := e.pick(live)
+		s := live[i]
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+
+		out, err := e.stepBlock(s)
+		if err != nil {
+			return nil, fmt.Errorf("symexec: phase %s: %w", name, err)
+		}
+		live = append(live, out...)
+
+		if c := e.col.CoveredBlocks(); c != lastCov {
+			lastCov = c
+			lastCovExec = e.exec
+		}
+
+		if s.Reason == TermCompleted {
+			completed = append(completed, s)
+			if success(e, s) {
+				successes++
+				if successes >= e.cfg.CompleteTarget {
+					// Discard all remaining paths of this entry point
+					// (§3.2), freeing memory and moving on.
+					for _, l := range live {
+						l.Reason = TermKilledDiscard
+					}
+					live = nil
+				}
+			}
+		}
+		// State-cap pressure: discard the states deepest into
+		// re-executed code (they are the least likely to find new
+		// blocks).
+		if len(live) > e.cfg.MaxStates {
+			live = e.shedStates(live)
+		}
+	}
+	return completed, nil
+}
+
+// pick implements the state-selection strategies.
+func (e *Engine) pick(live []*State) int {
+	switch e.cfg.Strategy {
+	case StrategyDFS:
+		return len(live) - 1
+	case StrategyBFS:
+		return 0
+	}
+	// Min-count: run the state whose next block has executed least
+	// (§3.2). "A good side effect ... it does not get stuck in
+	// loops."
+	best, bestCount := 0, int64(1)<<62
+	for i, s := range live {
+		c := e.col.BlockCount(s.PC)
+		if c < bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// shedStates drops the most loop-bound half of an oversized state
+// set, emulating the memory-pressure discards of §3.4.
+func (e *Engine) shedStates(live []*State) []*State {
+	keep := make([]*State, 0, len(live))
+	// Keep states whose current block is cold; kill the hottest.
+	for _, s := range live {
+		if e.col.BlockCount(s.PC) < 4*int64(e.cfg.PollThreshold) || len(keep) < e.cfg.MaxStates/2 {
+			keep = append(keep, s)
+		} else {
+			s.Reason = TermKilledLoop
+			e.killed++
+		}
+	}
+	if len(keep) > e.cfg.MaxStates {
+		for _, s := range keep[e.cfg.MaxStates:] {
+			s.Reason = TermKilledLoop
+			e.killed++
+		}
+		keep = keep[:e.cfg.MaxStates]
+	}
+	return keep
+}

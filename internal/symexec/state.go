@@ -1,0 +1,111 @@
+package symexec
+
+import (
+	"revnic/internal/expr"
+	"revnic/internal/isa"
+)
+
+// TermReason says why a state stopped executing.
+type TermReason int
+
+// Termination reasons.
+const (
+	TermRunning       TermReason = iota
+	TermCompleted                // entry point returned to the sentinel
+	TermKilledLoop               // polling-loop heuristic discarded it
+	TermKilledDiscard            // entry-point completion discard (§3.2)
+	TermError                    // infeasible/faulting path, terminated (§3.2:
+	// "When any error state is reached, RevNIC terminates the
+	// execution path and resumes a different one.")
+	TermBudget // exploration budget exhausted
+)
+
+// frame tracks one guest call for function-boundary reconstruction
+// and def-use parameter recovery.
+type frame struct {
+	callSite uint32 // address of the call instruction
+	target   uint32 // callee entry
+	retAddr  uint32
+	entrySP  uint32 // SP value at function entry ([entrySP] = RA)
+}
+
+// State is one <path, block> execution state (§3.2): the registers,
+// the COW symbolic memory, the accumulated path constraints, and
+// bookkeeping for the exploration heuristics.
+type State struct {
+	ID   int
+	PC   uint32
+	Regs [isa.NumRegs]*expr.Expr
+	Mem  *Memory
+
+	// Constraints is the path condition.
+	Constraints []*expr.Expr
+
+	// Stack of guest calls, for call/return trace markers.
+	Frames []frame
+
+	// Reason records why the state stopped (TermRunning while live).
+	Reason TermReason
+	// Result is r0 at completion.
+	Result *expr.Expr
+
+	// heapNext is the per-state OS allocator cursor (the OS side is
+	// emulated by the engine during symbolic execution).
+	heapNext uint32
+
+	// localCount counts per-state block executions, feeding the
+	// polling-loop detector.
+	localCount map[uint32]int
+	// lastBlock is the previous block's address for edge recording.
+	lastBlock uint32
+	hasLast   bool
+	// pendingRet is the entry address of the function that just
+	// returned, until r0 is next read (proving a return value) or
+	// written (proving none) — §4.1's liveness check.
+	pendingRet uint32
+	// Depth counts blocks executed on this path.
+	Depth int
+}
+
+// Fork clones the state for a branch split. Constraints and frames
+// are copied shallowly then extended per side; memory forks COW.
+func (s *State) Fork(id int) *State {
+	c := &State{
+		ID:         id,
+		PC:         s.PC,
+		Regs:       s.Regs,
+		Mem:        s.Mem.Fork(),
+		heapNext:   s.heapNext,
+		lastBlock:  s.lastBlock,
+		hasLast:    s.hasLast,
+		pendingRet: s.pendingRet,
+		Depth:      s.Depth,
+	}
+	c.Constraints = append([]*expr.Expr{}, s.Constraints...)
+	c.Frames = append([]frame{}, s.Frames...)
+	c.localCount = make(map[uint32]int, len(s.localCount))
+	for k, v := range s.localCount {
+		c.localCount[k] = v
+	}
+	return c
+}
+
+// Constrain appends a path constraint.
+func (s *State) Constrain(c *expr.Expr) {
+	if !c.IsTrue() {
+		s.Constraints = append(s.Constraints, c)
+	}
+}
+
+// ConcreteRegs returns a concrete witness of the register file under
+// the empty model (symbolic registers evaluate with unset variables
+// as zero); used for trace snapshots.
+func (s *State) ConcreteRegs() [8]uint32 {
+	var out [8]uint32
+	for i, r := range s.Regs {
+		if r != nil {
+			out[i] = expr.Eval(r, nil)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FuncChange describes one function-level difference between two
+// synthesis outputs.
+type FuncChange struct {
+	// Kind is "added", "removed" or "changed".
+	Kind string
+	Name string
+	Role string
+}
+
+// Diff compares two synthesis outputs function by function — the §6
+// maintenance workflow: "RevNIC can be rerun easily every time there
+// is an update to the original binary driver. The resulting source
+// code can be compared to the initially reverse engineered code and
+// the differences merged into the reverse engineered driver, like in
+// a version control system."
+//
+// Functions are matched by role when they have one (entry points keep
+// their role across driver versions even when code moves), and by
+// name otherwise. A function is "changed" when its generated body
+// differs textually.
+func Diff(old, new_ *Output) []FuncChange {
+	oldBodies := extractBodies(old)
+	newBodies := extractBodies(new_)
+	oldByKey := map[string]FuncInfo{}
+	for _, f := range old.Funcs {
+		oldByKey[funcKey(f)] = f
+	}
+	newByKey := map[string]FuncInfo{}
+	for _, f := range new_.Funcs {
+		newByKey[funcKey(f)] = f
+	}
+
+	var out []FuncChange
+	for k, f := range newByKey {
+		if _, ok := oldByKey[k]; !ok {
+			out = append(out, FuncChange{Kind: "added", Name: f.Name, Role: f.Role})
+			continue
+		}
+		if normalizeBody(oldBodies[oldByKey[k].Name]) != normalizeBody(newBodies[f.Name]) {
+			out = append(out, FuncChange{Kind: "changed", Name: f.Name, Role: f.Role})
+		}
+	}
+	for k, f := range oldByKey {
+		if _, ok := newByKey[k]; !ok {
+			out = append(out, FuncChange{Kind: "removed", Name: f.Name, Role: f.Role})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// funcKey matches functions across versions: by role when present
+// (addresses shift between builds), by name otherwise.
+func funcKey(f FuncInfo) string {
+	if f.Role != "" {
+		return "role:" + f.Role
+	}
+	return "name:" + f.Name
+}
+
+// extractBodies splits the generated file into per-function bodies.
+func extractBodies(o *Output) map[string]string {
+	out := map[string]string{}
+	code := o.Code
+	for _, f := range o.Funcs {
+		// The body starts at the definition (prototype followed by
+		// "\n{") and ends at the matching close brace column 0.
+		marker := f.Name + "("
+		idx := strings.Index(code, marker)
+		if idx < 0 {
+			continue
+		}
+		// Skip the forward declaration: find the occurrence followed
+		// by a body.
+		for idx >= 0 {
+			braceIdx := strings.Index(code[idx:], "\n{")
+			semiIdx := strings.Index(code[idx:], ";")
+			if braceIdx >= 0 && (semiIdx < 0 || braceIdx < semiIdx) {
+				break
+			}
+			next := strings.Index(code[idx+1:], marker)
+			if next < 0 {
+				idx = -1
+				break
+			}
+			idx += 1 + next
+		}
+		if idx < 0 {
+			continue
+		}
+		end := strings.Index(code[idx:], "\n}\n")
+		if end < 0 {
+			end = len(code) - idx
+		} else {
+			end += 3
+		}
+		out[f.Name] = code[idx : idx+end]
+	}
+	return out
+}
+
+// normalizeBody strips label addresses and goto targets so that pure
+// code motion (same instructions at different load addresses) does
+// not register as a change.
+func normalizeBody(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "L_") && strings.HasSuffix(trimmed, ":") {
+			b.WriteString("L:\n")
+			continue
+		}
+		for {
+			i := strings.Index(trimmed, "goto L_")
+			if i < 0 {
+				break
+			}
+			j := i + len("goto L_")
+			for j < len(trimmed) && trimmed[j] != ';' {
+				j++
+			}
+			trimmed = trimmed[:i] + "goto L" + trimmed[j:]
+		}
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderDiff prints a change list.
+func RenderDiff(changes []FuncChange) string {
+	if len(changes) == 0 {
+		return "no functional changes\n"
+	}
+	var b strings.Builder
+	for _, c := range changes {
+		role := ""
+		if c.Role != "" {
+			role = " (" + c.Role + ")"
+		}
+		fmt.Fprintf(&b, "%-8s %s%s\n", c.Kind, c.Name, role)
+	}
+	return b.String()
+}

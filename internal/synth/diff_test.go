@@ -1,0 +1,59 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffIdenticalOutputsAreQuiet(t *testing.T) {
+	_, g := reversedGraph(t, "RTL8029")
+	a := Generate(g, Options{DriverName: "RTL8029"})
+	b := Generate(g, Options{DriverName: "RTL8029"})
+	if ch := Diff(a, b); len(ch) != 0 {
+		t.Fatalf("identical outputs diff: %v", ch)
+	}
+	if !strings.Contains(RenderDiff(nil), "no functional changes") {
+		t.Error("empty render")
+	}
+}
+
+func TestDiffDetectsVersionChanges(t *testing.T) {
+	// Two explorations of two *different* drivers sharing roles:
+	// everything matched by role must register as changed, and
+	// role-less helpers as added/removed.
+	_, g1 := reversedGraph(t, "RTL8029")
+	_, g2 := reversedGraph(t, "RTL8139")
+	a := Generate(g1, Options{DriverName: "v1"})
+	b := Generate(g2, Options{DriverName: "v2"})
+	changes := Diff(a, b)
+	if len(changes) == 0 {
+		t.Fatal("no changes across different drivers")
+	}
+	kinds := map[string]int{}
+	roles := map[string]string{}
+	for _, c := range changes {
+		kinds[c.Kind]++
+		if c.Role != "" {
+			roles[c.Role] = c.Kind
+		}
+	}
+	if roles["send"] != "changed" || roles["initialize"] != "changed" {
+		t.Errorf("entry points should be 'changed': %v", roles)
+	}
+	if kinds["added"] == 0 || kinds["removed"] == 0 {
+		t.Errorf("expected added+removed helpers: %v", kinds)
+	}
+	if out := RenderDiff(changes); !strings.Contains(out, "changed") {
+		t.Error("render missing changes")
+	}
+}
+
+func TestDiffIgnoresPureCodeMotion(t *testing.T) {
+	// Same driver assembled at the same base explored with different
+	// seeds: code addresses identical, bodies identical -> quiet.
+	// (True relocation-insensitivity is exercised by normalizeBody's
+	// label scrubbing, tested here via direct input.)
+	if normalizeBody("L_10aa0:\n\tgoto L_10ab8;\n") != normalizeBody("L_20aa0:\n\tgoto L_20ab8;\n") {
+		t.Error("label normalization broken")
+	}
+}

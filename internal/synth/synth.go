@@ -1,0 +1,412 @@
+// Package synth turns the recovered CFG into C source code (§4.1 "From
+// CFG to C code"): one C function per recovered driver function,
+// control flow encoded with gotos, the original driver's local and
+// global state layout preserved through pointer arithmetic, hardware
+// I/O emitted as read_port/write_port/mmio intrinsics, and branches to
+// unexercised code flagged with warnings for the developer.
+//
+// The emitted code targets the driver templates of package template:
+// templates provide the intrinsics (port I/O, memory barriers) and
+// the OS boilerplate; the synthesized functions are the
+// hardware-protocol payload pasted into them.
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"revnic/internal/cfg"
+	"revnic/internal/guestos"
+	"revnic/internal/hw"
+	"revnic/internal/isa"
+	"revnic/internal/trace"
+)
+
+// Options tune code generation.
+type Options struct {
+	// DriverName labels the generated file.
+	DriverName string
+	// StackSlots sizes the per-function virtual stack frame.
+	StackSlots int
+}
+
+// FuncInfo describes one generated function for template placement.
+type FuncInfo struct {
+	Name      string
+	Entry     uint32
+	Role      string
+	NumParams int
+	HasReturn bool
+	// Class is the paper's taxonomy: "hw" (type 1), "os" (type 2),
+	// "mixed" (type 3), "algo" (type 4).
+	Class string
+	// Unexplored counts flagged branches to unexercised code.
+	Unexplored int
+}
+
+// Output is the synthesis result.
+type Output struct {
+	// Code is the complete C source.
+	Code string
+	// Funcs describes every generated function, address-ordered.
+	Funcs []FuncInfo
+	// Warnings lists human-readable issues (unexplored branches,
+	// indirect calls without observed targets).
+	Warnings []string
+}
+
+// Generate produces C code for the whole recovered graph.
+func Generate(g *cfg.Graph, opt Options) *Output {
+	if opt.StackSlots == 0 {
+		opt.StackSlots = 64
+	}
+	out := &Output{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* Synthesized by RevNIC from the %s binary driver.\n", opt.DriverName)
+	b.WriteString(" * The code preserves the original driver's state layout and hardware\n")
+	b.WriteString(" * protocol; control flow is encoded with gotos (see paper, Listing 1).\n")
+	b.WriteString(" * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the\n")
+	b.WriteString(" * target-OS driver template.\n */\n\n")
+	b.WriteString("#include \"revnic_runtime.h\"\n\n")
+
+	funcs := g.SortedFuncs()
+	// Forward declarations.
+	for _, f := range funcs {
+		b.WriteString(prototype(f))
+		b.WriteString(";\n")
+	}
+	b.WriteString("\n")
+
+	for _, f := range funcs {
+		fi := genFunc(&b, g, f, opt, out)
+		out.Funcs = append(out.Funcs, fi)
+	}
+	out.Code = b.String()
+	return out
+}
+
+func classOf(f *cfg.Function) string {
+	switch {
+	case f.HasOS && f.HasHW:
+		return "mixed"
+	case f.HasOS:
+		return "os"
+	case f.HasHW:
+		return "hw"
+	default:
+		return "algo"
+	}
+}
+
+func prototype(f *cfg.Function) string {
+	ret := "void"
+	if f.HasReturn {
+		ret = "uint32_t"
+	}
+	var args []string
+	for i := 0; i < f.NumParams; i++ {
+		name := fmt.Sprintf("arg%d", i)
+		if i == 0 && f.Role != "" && f.Role != "load" {
+			// Entry points receive the adapter context first, like
+			// Listing 1's GlobalState.
+			name = "GlobalState"
+		}
+		args = append(args, "uint32_t "+name)
+	}
+	if len(args) == 0 {
+		args = []string{"void"}
+	}
+	return fmt.Sprintf("%s %s(%s)", ret, f.Name(), strings.Join(args, ", "))
+}
+
+// genFunc emits one function body.
+func genFunc(b *strings.Builder, g *cfg.Graph, f *cfg.Function, opt Options, out *Output) FuncInfo {
+	fi := FuncInfo{
+		Name: f.Name(), Entry: f.Entry, Role: f.Role,
+		NumParams: f.NumParams, HasReturn: f.HasReturn, Class: classOf(f),
+	}
+	fmt.Fprintf(b, "/* original entry %#x", f.Entry)
+	if f.Role != "" {
+		fmt.Fprintf(b, " — %s entry point", f.Role)
+	}
+	fmt.Fprintf(b, "; class: %s */\n", fi.Class)
+	b.WriteString(prototype(f))
+	b.WriteString("\n{\n")
+	// Machine state: the architectural registers become locals; the
+	// original stack frame becomes a slot array with incoming
+	// arguments placed where the callee expects them ([sp+4+4i]).
+	b.WriteString("\tuint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;\n")
+	fmt.Fprintf(b, "\tuint32_t stk[%d]; uint32_t sp = %d;\n", opt.StackSlots+16, opt.StackSlots)
+	b.WriteString("\tstk[sp] = 0; /* return-address slot */\n")
+	for i := 0; i < f.NumParams; i++ {
+		name := fmt.Sprintf("arg%d", i)
+		if i == 0 && f.Role != "" && f.Role != "load" {
+			name = "GlobalState"
+		}
+		fmt.Fprintf(b, "\tstk[sp + %d] = %s;\n", i+1, name)
+	}
+	b.WriteString("\n")
+
+	blocks := f.SortedBlocks()
+	unexplored := map[uint32]bool{}
+	for bi, blk := range blocks {
+		fmt.Fprintf(b, "L_%x:\n", blk.Addr)
+		for ii, in := range blk.Instrs {
+			last := ii == len(blk.Instrs)-1
+			genInstr(b, g, f, blk, in, blk.Addr+uint32(ii)*isa.InstrSize, last, unexplored, out)
+		}
+		// A split block without a terminator falls through; make the
+		// goto explicit unless the next emitted block is the target.
+		if t := blk.Term(); !t.Op.IsTerminator() {
+			next := blk.EndAddr()
+			if bi+1 >= len(blocks) || blocks[bi+1].Addr != next {
+				fmt.Fprintf(b, "\tgoto L_%x;\n", next)
+			}
+		}
+	}
+	// Landing pads for unexplored targets.
+	for _, a := range sortedAddrs(unexplored) {
+		fi.Unexplored++
+		out.Warnings = append(out.Warnings,
+			fmt.Sprintf("%s: branch to unexercised code at %#x", f.Name(), a))
+		fmt.Fprintf(b, "L_%x: /* REVNIC-WARNING: unexercised basic block; force the DBT\n", a)
+		b.WriteString("\t * through this address and re-run synthesis to fill it in (see §4.1) */\n")
+		b.WriteString("\trevnic_unexplored();\n")
+	}
+	if f.HasReturn {
+		b.WriteString("\treturn r0;\n")
+	}
+	b.WriteString("}\n\n")
+	return fi
+}
+
+func sortedAddrs(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func reg(r isa.Reg) string {
+	if r == isa.SP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func src2(in isa.Instr) string {
+	if in.HasImmOperand() {
+		return fmt.Sprintf("%#xu", in.Imm)
+	}
+	return reg(in.Rs2)
+}
+
+// stackOff renders a [sp+K] address as a stk[] index expression.
+func stackOff(imm uint32) string {
+	return fmt.Sprintf("stk[sp + %d]", imm/4)
+}
+
+// jumpTo emits a goto, flagging targets that were never exercised.
+func jumpTo(b *strings.Builder, f *cfg.Function, target uint32, unexplored map[uint32]bool, indent string) {
+	if _, ok := f.Blocks[target]; !ok {
+		unexplored[target] = true
+	}
+	fmt.Fprintf(b, "%sgoto L_%x;\n", indent, target)
+}
+
+func condC(c isa.Cond, lhs, rhs string) string {
+	switch c {
+	case isa.EQ:
+		return fmt.Sprintf("%s == %s", lhs, rhs)
+	case isa.NE:
+		return fmt.Sprintf("%s != %s", lhs, rhs)
+	case isa.LT:
+		return fmt.Sprintf("(int32_t)%s < (int32_t)%s", lhs, rhs)
+	case isa.GE:
+		return fmt.Sprintf("(int32_t)%s >= (int32_t)%s", lhs, rhs)
+	case isa.LTU:
+		return fmt.Sprintf("%s < %s", lhs, rhs)
+	case isa.GEU:
+		return fmt.Sprintf("%s >= %s", lhs, rhs)
+	}
+	return "0"
+}
+
+func genInstr(b *strings.Builder, g *cfg.Graph, f *cfg.Function, blk *cfg.BasicBlock,
+	in isa.Instr, addr uint32, last bool, unexplored map[uint32]bool, out *Output) {
+
+	// Hardware access classification for this instruction, from the
+	// wiretap (regular vs device-mapped memory, §3.3).
+	ioClass := func() (trace.Class, bool) {
+		for _, a := range blk.IO {
+			if a.InstrAddr == addr {
+				return a.Class, true
+			}
+		}
+		return trace.ClassRegular, false
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.MOVI:
+		fmt.Fprintf(b, "\t%s = %#xu;\n", reg(in.Rd), in.Imm)
+	case isa.MOV:
+		fmt.Fprintf(b, "\t%s = %s;\n", reg(in.Rd), reg(in.Rs1))
+	case isa.ADD:
+		fmt.Fprintf(b, "\t%s = %s + %s;\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.SUB:
+		fmt.Fprintf(b, "\t%s = %s - %s;\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.AND:
+		fmt.Fprintf(b, "\t%s = %s & %s;\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.OR:
+		fmt.Fprintf(b, "\t%s = %s | %s;\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.XOR:
+		fmt.Fprintf(b, "\t%s = %s ^ %s;\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.SHL:
+		fmt.Fprintf(b, "\t%s = %s << (%s & 31);\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.SHR:
+		fmt.Fprintf(b, "\t%s = %s >> (%s & 31);\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.SAR:
+		fmt.Fprintf(b, "\t%s = (uint32_t)((int32_t)%s >> (%s & 31));\n", reg(in.Rd), reg(in.Rs1), src2(in))
+	case isa.MUL:
+		fmt.Fprintf(b, "\t%s = %s * %s;\n", reg(in.Rd), reg(in.Rs1), src2(in))
+
+	case isa.LD8, isa.LD16, isa.LD32:
+		sz := in.Op.AccessSize() * 8
+		if in.Rs1 == isa.SP {
+			// Local/parameter access through the virtual frame.
+			fmt.Fprintf(b, "\t%s = %s;\n", reg(in.Rd), stackOff(in.Imm))
+			return
+		}
+		if cls, ok := ioClass(); ok && cls != trace.ClassRegular {
+			// Device-mapped or DMA memory: must go through the
+			// ordering-preserving intrinsics.
+			fmt.Fprintf(b, "\t%s = mmio_read%d(%s + %#xu); /* %s */\n",
+				reg(in.Rd), sz, reg(in.Rs1), in.Imm, cls)
+			return
+		}
+		// Regular memory: the original pointer arithmetic survives
+		// (Listing 1 style).
+		fmt.Fprintf(b, "\t%s = *(uint%d_t *)(uintptr_t)(%s + %#xu);\n",
+			reg(in.Rd), sz, reg(in.Rs1), in.Imm)
+	case isa.ST8, isa.ST16, isa.ST32:
+		sz := in.Op.AccessSize() * 8
+		if in.Rs1 == isa.SP {
+			fmt.Fprintf(b, "\t%s = %s;\n", stackOff(in.Imm), reg(in.Rs2))
+			return
+		}
+		if cls, ok := ioClass(); ok && cls != trace.ClassRegular {
+			fmt.Fprintf(b, "\tmmio_write%d(%s + %#xu, %s); /* %s */\n",
+				sz, reg(in.Rs1), in.Imm, reg(in.Rs2), cls)
+			return
+		}
+		fmt.Fprintf(b, "\t*(uint%d_t *)(uintptr_t)(%s + %#xu) = (uint%d_t)%s;\n",
+			sz, reg(in.Rs1), in.Imm, sz, reg(in.Rs2))
+
+	case isa.IN8, isa.IN16, isa.IN32:
+		fmt.Fprintf(b, "\t%s = read_port%d(%s + %#xu);\n",
+			reg(in.Rd), in.Op.AccessSize()*8, reg(in.Rs1), in.Imm)
+	case isa.OUT8, isa.OUT16, isa.OUT32:
+		fmt.Fprintf(b, "\twrite_port%d(%s + %#xu, %s);\n",
+			in.Op.AccessSize()*8, reg(in.Rs1), in.Imm, reg(in.Rs2))
+
+	case isa.PUSH:
+		fmt.Fprintf(b, "\tstk[--sp] = %s;\n", reg(in.Rs1))
+	case isa.POP:
+		fmt.Fprintf(b, "\t%s = stk[sp++];\n", reg(in.Rd))
+
+	case isa.JMP:
+		jumpTo(b, f, in.Imm, unexplored, "\t")
+	case isa.BR, isa.BRI:
+		rhs := reg(in.Rs2)
+		if in.Op == isa.BRI {
+			rhs = fmt.Sprintf("%#xu", uint32(uint8(in.Rs2)))
+		}
+		fmt.Fprintf(b, "\tif (%s) ", condC(in.Cond(), reg(in.Rs1), rhs))
+		jumpTo(b, f, in.Imm, unexplored, "")
+		// The fallthrough successor continues; if it is not the
+		// lexically next block, emit an explicit goto.
+		fallthrough_ := blk.EndAddr()
+		if _, ok := f.Blocks[fallthrough_]; !ok {
+			jumpTo(b, f, fallthrough_, unexplored, "\t")
+		}
+	case isa.JR:
+		// Jump table: expand the observed targets (§3.4).
+		if len(blk.Succs) == 0 {
+			out.Warnings = append(out.Warnings,
+				fmt.Sprintf("%s: indirect jump at %#x with no observed targets", f.Name(), addr))
+			b.WriteString("\trevnic_unexplored(); /* indirect jump, no observed targets */\n")
+			return
+		}
+		fmt.Fprintf(b, "\tswitch (%s) { /* recovered jump table */\n", reg(in.Rs1))
+		for _, t := range blk.Succs {
+			fmt.Fprintf(b, "\tcase %#xu: goto L_%x;\n", t, t)
+		}
+		b.WriteString("\tdefault: revnic_unexplored();\n\t}\n")
+	case isa.CALL:
+		genCall(b, g, f, in.Imm, out)
+	case isa.CALLR:
+		out.Warnings = append(out.Warnings,
+			fmt.Sprintf("%s: indirect call at %#x", f.Name(), addr))
+		b.WriteString("\trevnic_unexplored(); /* indirect call */\n")
+	case isa.RET:
+		if f.HasReturn {
+			b.WriteString("\treturn r0;\n")
+		} else {
+			b.WriteString("\treturn;\n")
+		}
+	case isa.IRET:
+		b.WriteString("\treturn; /* interrupt return */\n")
+	case isa.HLT:
+		b.WriteString("\trevnic_halt();\n")
+	}
+}
+
+// genCall emits a guest-internal or OS API call. Arguments live on
+// the virtual stack (pushed by preceding code); stdcall semantics pop
+// them here, on the callee's behalf.
+func genCall(b *strings.Builder, g *cfg.Graph, f *cfg.Function, target uint32, out *Output) {
+	if hw.IsAPIGate(target) {
+		idx := hw.APIIndex(target)
+		name := fmt.Sprintf("api_%d", idx)
+		n := 0
+		if idx < guestos.NumAPIs {
+			name = guestos.Table[idx].Name
+			n = guestos.Table[idx].NArgs
+		}
+		args := make([]string, n)
+		for i := range args {
+			args[i] = fmt.Sprintf("stk[sp + %d]", i)
+		}
+		fmt.Fprintf(b, "\tr0 = os_%s(%s);\n", name, strings.Join(args, ", "))
+		if n > 0 {
+			fmt.Fprintf(b, "\tsp += %d;\n", n)
+		}
+		return
+	}
+	callee := g.Funcs[target]
+	if callee == nil {
+		out.Warnings = append(out.Warnings,
+			fmt.Sprintf("%s: call to unrecovered function %#x", f.Name(), target))
+		fmt.Fprintf(b, "\trevnic_unexplored(); /* call to unrecovered %#x */\n", target)
+		return
+	}
+	args := make([]string, callee.NumParams)
+	for i := range args {
+		args[i] = fmt.Sprintf("stk[sp + %d]", i)
+	}
+	if callee.HasReturn {
+		fmt.Fprintf(b, "\tr0 = %s(%s);\n", callee.Name(), strings.Join(args, ", "))
+	} else {
+		fmt.Fprintf(b, "\t%s(%s);\n", callee.Name(), strings.Join(args, ", "))
+	}
+	if callee.PopBytes > 0 {
+		// Restore the virtual stack by the callee's observed cleanup
+		// (its "ret n"), which may exceed the recovered parameter
+		// count if the callee ignores an argument.
+		fmt.Fprintf(b, "\tsp += %d; /* stdcall: callee pops */\n", callee.PopBytes/4)
+	}
+}

@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"revnic/internal/cfg"
+	"revnic/internal/drivers"
+	"revnic/internal/hw"
+	"revnic/internal/symexec"
+)
+
+func reversedGraph(t *testing.T, name string) (*drivers.Info, *cfg.Graph) {
+	t.Helper()
+	info, err := drivers.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := symexec.New(info.Program, symexec.Config{
+		Seed: 11,
+		Shell: hw.PCIConfig{VendorID: info.VendorID, DeviceID: info.DeviceID,
+			IOBase: 0xC000, IOSize: 0x100, IRQLine: 11},
+	})
+	res, err := eng.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, cfg.Build(res.Collector)
+}
+
+func TestGenerateStructure(t *testing.T) {
+	_, g := reversedGraph(t, "RTL8029")
+	out := Generate(g, Options{DriverName: "RTL8029"})
+	code := out.Code
+
+	// One C function per recovered function, each with a prototype
+	// forward declaration and a body.
+	for _, f := range g.SortedFuncs() {
+		if n := strings.Count(code, f.Name()+"("); n < 2 {
+			t.Errorf("function %s appears %d times, want >= 2 (decl+def)", f.Name(), n)
+		}
+	}
+	// Balanced braces — a cheap well-formedness check.
+	if strings.Count(code, "{") != strings.Count(code, "}") {
+		t.Error("unbalanced braces in generated code")
+	}
+	// Every goto must target a label that exists.
+	for _, line := range strings.Split(code, "\n") {
+		idx := strings.Index(line, "goto L_")
+		if idx < 0 {
+			continue
+		}
+		label := strings.TrimSuffix(strings.TrimSpace(line[idx+5:]), ";")
+		if !strings.Contains(code, label+":") {
+			t.Errorf("goto to missing label %q", label)
+		}
+	}
+	// Port I/O must use the template intrinsics, never raw pointers.
+	if !strings.Contains(code, "read_port8(") || !strings.Contains(code, "write_port8(") {
+		t.Error("port I/O intrinsics missing")
+	}
+	// Pointer-arithmetic state access survives (Listing 1).
+	if !strings.Contains(code, "*(uint32_t *)(uintptr_t)(") {
+		t.Error("preserved pointer arithmetic missing")
+	}
+}
+
+func TestGenerateFuncInfo(t *testing.T) {
+	info, g := reversedGraph(t, "RTL8029")
+	out := Generate(g, Options{DriverName: "RTL8029"})
+
+	byRole := map[string]FuncInfo{}
+	for _, f := range out.Funcs {
+		if f.Role != "" {
+			byRole[f.Role] = f
+		}
+	}
+	send, ok := byRole["send"]
+	if !ok {
+		t.Fatal("send function missing")
+	}
+	if send.NumParams != 3 {
+		t.Errorf("send params = %d", send.NumParams)
+	}
+	if send.Class != "mixed" {
+		t.Errorf("send class = %s, want mixed (hardware + error-log API)", send.Class)
+	}
+	// The CRC hash helper is a pure algorithm.
+	crcAddr := info.Program.Sym("crc32_hash")
+	for _, f := range out.Funcs {
+		if f.Entry == crcAddr && f.Class != "algo" {
+			t.Errorf("crc32_hash class = %s", f.Class)
+		}
+	}
+}
+
+func TestEntryPointsHaveReturnTypes(t *testing.T) {
+	_, g := reversedGraph(t, "RTL8029")
+	out := Generate(g, Options{DriverName: "RTL8029"})
+	for _, f := range out.Funcs {
+		if f.Role != "" && !f.HasReturn {
+			t.Errorf("entry point %s (%s) generated without return type", f.Name, f.Role)
+		}
+	}
+	// Initialize must be declared uint32_t so the template can test
+	// its context result.
+	if !strings.Contains(out.Code, "uint32_t mp_initialize_") {
+		t.Error("initialize not uint32_t")
+	}
+}
+
+func TestUnexploredFlagging(t *testing.T) {
+	// A tiny synthetic graph with a branch to a missing block must
+	// produce a REVNIC-WARNING and a landing pad.
+	_, g := reversedGraph(t, "SMSC 91C111")
+	out := Generate(g, Options{DriverName: "SMSC 91C111"})
+	// The 91C111 driver has an allocation-failure path that the
+	// exerciser cannot reach (the model always allocates); some
+	// drivers will legitimately have zero unexplored branches, so
+	// only check consistency: warnings match flagged labels.
+	warnings := 0
+	for _, w := range out.Warnings {
+		if strings.Contains(w, "unexercised") {
+			warnings++
+		}
+	}
+	flagged := strings.Count(out.Code, "REVNIC-WARNING")
+	if warnings != flagged {
+		t.Errorf("warnings %d != flagged labels %d", warnings, flagged)
+	}
+}

@@ -1,0 +1,100 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"revnic/internal/hw"
+	"revnic/internal/synth"
+)
+
+func testOutput() *synth.Output {
+	return &synth.Output{
+		Code: "/* code */\nuint32_t mp_initialize_10088(void) { return 1; }\n",
+		Funcs: []synth.FuncInfo{
+			{Name: "mp_initialize_10088", Role: "initialize", HasReturn: true},
+			{Name: "mp_send_103e0", Role: "send", NumParams: 3, HasReturn: true},
+			{Name: "mp_isr_10540", Role: "isr", NumParams: 1},
+		},
+	}
+}
+
+func TestRuntimeAllocatorMatchesGuestOS(t *testing.T) {
+	rt := NewRuntime(Linux, hw.PCIConfig{IOBase: 0xC000})
+	a := rt.AllocMemory(0x40)
+	b := rt.AllocShared(100)
+	// Same base and alignment discipline as the source-OS model, so
+	// allocation-order-identical drivers get identical addresses.
+	if a != 0x00080000 {
+		t.Errorf("first alloc at %#x", a)
+	}
+	if b != a+0x40 {
+		t.Errorf("second alloc at %#x", b)
+	}
+	if rt.AllocMemory(1)%8 != 0 {
+		t.Error("alignment broken")
+	}
+}
+
+func TestRuntimeUpcalls(t *testing.T) {
+	rt := NewRuntime(Windows, hw.PCIConfig{VendorID: 7, DeviceID: 9, IOBase: 0xC000, IRQLine: 4})
+	rt.IndicateReceive([]byte{1, 2, 3})
+	rt.SendComplete(0)
+	rt.Log(0xDEAD)
+	rt.InitializeTimer(0x1234)
+	if len(rt.Received) != 1 || rt.SendCompletes != 1 || len(rt.LogCodes) != 1 || rt.TimerHandler != 0x1234 {
+		t.Error("upcall bookkeeping wrong")
+	}
+	if rt.ReadPCIConfig(0) != 7|9<<16 || rt.ReadPCIConfig(4) != 0xC000 || rt.ReadPCIConfig(8) != 4 {
+		t.Error("PCI config wrong")
+	}
+	if rt.Name() != "windows" {
+		t.Error("name")
+	}
+	u1 := rt.UpTime()
+	if rt.UpTime() <= u1 {
+		t.Error("uptime must advance")
+	}
+}
+
+func TestInstantiatePerOS(t *testing.T) {
+	out := testOutput()
+	cases := map[OS][]string{
+		Windows: {"MiniportInitialize", "NDIS_STATUS_FAILURE", "mp_initialize_10088"},
+		Linux:   {"revnic_pci_init_one", "alloc_etherdev", "spin_lock", "sk_buff"},
+		UCOS:    {"OSIntEnter", "revnic_netif_init"},
+		KitOS:   {"kitos_main", "irq_pending"},
+	}
+	for os, wants := range cases {
+		src := Instantiate(os, "TESTDRV", out)
+		for _, w := range wants {
+			if !strings.Contains(src, w) {
+				t.Errorf("%s template missing %q", os, w)
+			}
+		}
+		// The synthesized payload is always appended.
+		if !strings.Contains(src, out.Code) {
+			t.Errorf("%s template does not embed synthesized code", os)
+		}
+	}
+}
+
+func TestMissingRoleIsFlagged(t *testing.T) {
+	src := Instantiate(Linux, "X", &synth.Output{Code: "/**/"})
+	if !strings.Contains(src, "no initialize function recovered") {
+		t.Error("missing role not flagged in template")
+	}
+}
+
+func TestPersonDaysTable(t *testing.T) {
+	// Table 3 ordering and values.
+	want := map[OS]int{Windows: 5, Linux: 3, UCOS: 1, KitOS: 0}
+	for os, d := range want {
+		if PersonDays[os] != d {
+			t.Errorf("%s = %d person-days, want %d", os, PersonDays[os], d)
+		}
+	}
+	if len(AllOS) != 4 {
+		t.Error("AllOS")
+	}
+}

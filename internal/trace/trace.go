@@ -1,0 +1,255 @@
+// Package trace implements the RevNIC wiretap (§3.3): it records, for
+// every translation block the driver executes, the block's IR, the
+// processor registers at block entry and exit, the type of every
+// memory access (regular memory vs. device-mapped vs. DMA), and the
+// transferred data, plus markers for calls, returns, OS API
+// invocations and asynchronous events.
+//
+// The collector merges the records of all explored execution paths as
+// they are produced, which is exactly the information the CFG builder
+// (package cfg) and the code synthesizer (package synth) consume.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"revnic/internal/ir"
+)
+
+// Class classifies a memory access, the distinction that is
+// "notoriously difficult to do statically on architectures like x86"
+// (§2) and trivial for the VM-based wiretap.
+type Class uint8
+
+// Access classes.
+const (
+	ClassRegular Class = iota
+	ClassPortIO
+	ClassMMIO
+	ClassDMA
+)
+
+// String returns a short tag for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassRegular:
+		return "mem"
+	case ClassPortIO:
+		return "port"
+	case ClassMMIO:
+		return "mmio"
+	case ClassDMA:
+		return "dma"
+	}
+	return "?"
+}
+
+// Access is one recorded memory or I/O access.
+type Access struct {
+	InstrAddr uint32
+	Addr      uint32
+	Size      int
+	Write     bool
+	Class     Class
+	// Value is the transferred data; for symbolic values this is a
+	// solver-concretized witness and Symbolic is set.
+	Value    uint32
+	Symbolic bool
+}
+
+// EdgeKind classifies an observed control transfer between blocks.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeFallthrough EdgeKind = iota
+	EdgeBranch
+	EdgeCall
+	EdgeReturn
+	EdgeAsync // transition into/out of an asynchronous event handler
+)
+
+// Edge is one observed control transfer.
+type Edge struct {
+	From uint32 // address of the terminator instruction
+	To   uint32
+	Kind EdgeKind
+}
+
+// BlockInfo aggregates everything observed about one translation
+// block across all paths.
+type BlockInfo struct {
+	Block *ir.Block
+	// Count is the number of times the block executed (all paths);
+	// this counter drives the paper's state-selection heuristic.
+	Count int64
+	// IO records hardware accesses performed by instructions of this
+	// block (deduplicated by instruction and class).
+	IO []Access
+	// TouchesOS is set if the block calls an OS API function.
+	TouchesOS bool
+	// RegsInSample/RegsOutSample are one recorded register snapshot
+	// pair (entry/exit), used for async-event detection and
+	// debugging.
+	RegsInSample  [8]uint32
+	RegsOutSample [8]uint32
+}
+
+// APICallRecord is one OS API invocation observed at the boundary.
+type APICallRecord struct {
+	CallSite uint32
+	Index    uint32
+	Name     string
+	// Args holds concretized argument witnesses.
+	Args []uint32
+}
+
+// Collector is the wiretap sink. It is not safe for concurrent use;
+// the engine is single-threaded like the original RevNIC prototype.
+type Collector struct {
+	Blocks map[uint32]*BlockInfo
+	Edges  map[Edge]int64
+	// Calls maps call-site -> callee for guest-internal calls.
+	Calls map[uint32]map[uint32]bool
+	// APICalls are the OS-boundary invocations.
+	APICalls []APICallRecord
+	// AsyncEntries are the first block addresses of asynchronous
+	// events (interrupt/timer handlers), detected by the engine when
+	// it injects them; the CFG builder treats them like function
+	// roots (§4.1: detected "by checking for register value changes
+	// between two consecutively executed translation blocks").
+	AsyncEntries map[uint32]bool
+	// EntryPoints maps the address of each exercised driver entry
+	// point to its role name (init, send, isr, ...).
+	EntryPoints map[uint32]string
+	// FuncParams records, per function entry, the highest parameter
+	// slot observed being read from the parent stack frame — the
+	// def-use evidence of §4.1 ("memory accesses whose addresses are
+	// computed by adding an offset to the stack frame pointer,
+	// resulting in an access to the stack frame of the parent
+	// function").
+	FuncParams map[uint32]int
+	// FuncReturns records functions whose return register was
+	// observed being used by a caller without an intervening
+	// redefinition (§4.1's return-value liveness check).
+	FuncReturns map[uint32]bool
+
+	ioSeen map[ioKey]bool
+}
+
+type ioKey struct {
+	instr uint32
+	class Class
+	write bool
+}
+
+// NewCollector returns an empty wiretap sink.
+func NewCollector() *Collector {
+	return &Collector{
+		Blocks:       map[uint32]*BlockInfo{},
+		Edges:        map[Edge]int64{},
+		Calls:        map[uint32]map[uint32]bool{},
+		AsyncEntries: map[uint32]bool{},
+		EntryPoints:  map[uint32]string{},
+		FuncParams:   map[uint32]int{},
+		FuncReturns:  map[uint32]bool{},
+		ioSeen:       map[ioKey]bool{},
+	}
+}
+
+// Param records that function fn read its n-th (0-based) stack
+// parameter.
+func (c *Collector) Param(fn uint32, n int) {
+	if n+1 > c.FuncParams[fn] {
+		c.FuncParams[fn] = n + 1
+	}
+}
+
+// Returns records that fn's return value was consumed by a caller.
+func (c *Collector) Returns(fn uint32) { c.FuncReturns[fn] = true }
+
+// Block records one execution of a translation block.
+func (c *Collector) Block(b *ir.Block, regsIn, regsOut [8]uint32) *BlockInfo {
+	bi := c.Blocks[b.Addr]
+	if bi == nil {
+		bi = &BlockInfo{Block: b, RegsInSample: regsIn, RegsOutSample: regsOut}
+		c.Blocks[b.Addr] = bi
+	}
+	bi.Count++
+	return bi
+}
+
+// IO records a hardware access within a block, deduplicated per
+// instruction/class/direction.
+func (c *Collector) IO(bi *BlockInfo, a Access) {
+	k := ioKey{a.InstrAddr, a.Class, a.Write}
+	if !c.ioSeen[k] {
+		c.ioSeen[k] = true
+		bi.IO = append(bi.IO, a)
+	}
+}
+
+// Edge records a control transfer.
+func (c *Collector) Edge(from, to uint32, kind EdgeKind) {
+	c.Edges[Edge{from, to, kind}]++
+}
+
+// Call records a guest-internal function call.
+func (c *Collector) Call(site, target uint32) {
+	m := c.Calls[site]
+	if m == nil {
+		m = map[uint32]bool{}
+		c.Calls[site] = m
+	}
+	m[target] = true
+}
+
+// API records an OS API invocation from the given call site and marks
+// the containing block as OS-touching.
+func (c *Collector) API(bi *BlockInfo, rec APICallRecord) {
+	if bi != nil {
+		bi.TouchesOS = true
+	}
+	c.APICalls = append(c.APICalls, rec)
+}
+
+// Async marks addr as the start of an asynchronous event handler.
+func (c *Collector) Async(addr uint32) { c.AsyncEntries[addr] = true }
+
+// Entry marks addr as a named driver entry point.
+func (c *Collector) Entry(addr uint32, role string) { c.EntryPoints[addr] = role }
+
+// CoveredBlocks returns the number of distinct translation-block
+// start addresses executed.
+func (c *Collector) CoveredBlocks() int { return len(c.Blocks) }
+
+// BlockCount returns the execution count of the block at addr (0 if
+// never executed); the min-count heuristic queries this.
+func (c *Collector) BlockCount(addr uint32) int64 {
+	if bi := c.Blocks[addr]; bi != nil {
+		return bi.Count
+	}
+	return 0
+}
+
+// SortedBlockAddrs returns all executed block addresses in ascending
+// order, for deterministic iteration.
+func (c *Collector) SortedBlockAddrs() []uint32 {
+	addrs := make([]uint32, 0, len(c.Blocks))
+	for a := range c.Blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Summary renders collection statistics.
+func (c *Collector) Summary() string {
+	io := 0
+	for _, b := range c.Blocks {
+		io += len(b.IO)
+	}
+	return fmt.Sprintf("blocks=%d edges=%d api-calls=%d io-points=%d async=%d",
+		len(c.Blocks), len(c.Edges), len(c.APICalls), io, len(c.AsyncEntries))
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"testing"
+
+	"revnic/internal/ir"
+	"revnic/internal/isa"
+)
+
+func mkBlock(addr uint32, n int) *ir.Block {
+	b := &ir.Block{Addr: addr}
+	for i := 0; i < n-1; i++ {
+		b.Instrs = append(b.Instrs, isa.Instr{Op: isa.NOP})
+	}
+	b.Instrs = append(b.Instrs, isa.Instr{Op: isa.RET})
+	return b
+}
+
+func TestBlockCounting(t *testing.T) {
+	c := NewCollector()
+	b := mkBlock(0x1000, 3)
+	var regs [8]uint32
+	bi := c.Block(b, regs, regs)
+	c.Block(b, regs, regs)
+	if bi.Count != 2 {
+		t.Errorf("count = %d", bi.Count)
+	}
+	if c.BlockCount(0x1000) != 2 || c.BlockCount(0x9999) != 0 {
+		t.Error("BlockCount wrong")
+	}
+	if c.CoveredBlocks() != 1 {
+		t.Error("CoveredBlocks")
+	}
+	c.Block(mkBlock(0x2000, 1), regs, regs)
+	addrs := c.SortedBlockAddrs()
+	if len(addrs) != 2 || addrs[0] != 0x1000 || addrs[1] != 0x2000 {
+		t.Errorf("SortedBlockAddrs = %v", addrs)
+	}
+}
+
+func TestIODeduplication(t *testing.T) {
+	c := NewCollector()
+	var regs [8]uint32
+	bi := c.Block(mkBlock(0x1000, 2), regs, regs)
+	a := Access{InstrAddr: 0x1000, Addr: 0xC000, Size: 1, Class: ClassPortIO}
+	c.IO(bi, a)
+	c.IO(bi, a) // same instruction, same class: deduplicated
+	aw := a
+	aw.Write = true
+	c.IO(bi, aw) // same instruction, other direction: kept
+	if len(bi.IO) != 2 {
+		t.Errorf("IO entries = %d, want 2", len(bi.IO))
+	}
+}
+
+func TestEdgesCallsAndMarkers(t *testing.T) {
+	c := NewCollector()
+	c.Edge(0x10, 0x20, EdgeBranch)
+	c.Edge(0x10, 0x20, EdgeBranch)
+	c.Edge(0x10, 0x30, EdgeFallthrough)
+	if c.Edges[Edge{0x10, 0x20, EdgeBranch}] != 2 {
+		t.Error("edge count")
+	}
+	c.Call(0x40, 0x100)
+	c.Call(0x40, 0x200) // indirect call site with two targets
+	if len(c.Calls[0x40]) != 2 {
+		t.Error("call targets")
+	}
+	c.Async(0x500)
+	c.Entry(0x600, "send")
+	if !c.AsyncEntries[0x500] || c.EntryPoints[0x600] != "send" {
+		t.Error("markers")
+	}
+}
+
+func TestDefUseRecording(t *testing.T) {
+	c := NewCollector()
+	c.Param(0x100, 0)
+	c.Param(0x100, 2)
+	c.Param(0x100, 1) // lower than the max: must not regress
+	if c.FuncParams[0x100] != 3 {
+		t.Errorf("params = %d, want 3", c.FuncParams[0x100])
+	}
+	c.Returns(0x100)
+	if !c.FuncReturns[0x100] {
+		t.Error("returns")
+	}
+}
+
+func TestAPIRecordMarksBlock(t *testing.T) {
+	c := NewCollector()
+	var regs [8]uint32
+	bi := c.Block(mkBlock(0x1000, 2), regs, regs)
+	c.API(bi, APICallRecord{CallSite: 0x1000, Index: 3, Name: "NdisFoo", Args: []uint32{1}})
+	if !bi.TouchesOS {
+		t.Error("block not marked OS-touching")
+	}
+	if len(c.APICalls) != 1 || c.APICalls[0].Name != "NdisFoo" {
+		t.Error("API log")
+	}
+	// nil block info must not panic (calls outside known blocks).
+	c.API(nil, APICallRecord{Index: 1, Name: "X"})
+}
+
+func TestClassStrings(t *testing.T) {
+	for cl, want := range map[Class]string{
+		ClassRegular: "mem", ClassPortIO: "port", ClassMMIO: "mmio", ClassDMA: "dma",
+	} {
+		if cl.String() != want {
+			t.Errorf("%d.String() = %s", cl, cl.String())
+		}
+	}
+	if c := NewCollector(); c.Summary() == "" {
+		t.Error("summary")
+	}
+}

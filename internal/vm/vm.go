@@ -1,0 +1,439 @@
+// Package vm implements the concrete virtual machine in which guest
+// drivers execute: CPU, RAM, translation-block dispatch, interrupt
+// delivery, and interception of OS API call gates.
+//
+// The concrete VM serves three roles in the reproduction: it runs the
+// original binary drivers against the behavioural NIC models ("real
+// hardware") to record reference I/O traces; it is the concrete
+// execution domain of selective symbolic execution (the OS side); and
+// it hosts the synthesized drivers for the equivalence checks of §5.2.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"revnic/internal/hw"
+	"revnic/internal/ir"
+	"revnic/internal/isa"
+)
+
+// MagicReturn is the sentinel return address pushed when the OS model
+// invokes a driver entry point; reaching it ends the invocation.
+const MagicReturn = 0xFFFFFFF0
+
+// OSCallHandler is invoked when the guest calls an OS API gate. The
+// handler must complete the call by invoking Machine.APIReturn.
+type OSCallHandler func(m *Machine, index uint32) error
+
+// IOTap observes every hardware I/O operation the CPU performs; the
+// wiretap and the equivalence checker register taps.
+type IOTap func(port bool, write bool, addr uint32, size int, value uint32)
+
+// Machine is a concrete guest machine.
+type Machine struct {
+	RAM  []byte
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+
+	Bus *hw.Bus
+	// OSCall intercepts API-gate calls; nil faults them.
+	OSCall OSCallHandler
+	// IntVector is the interrupt handler address, 0 = none installed.
+	IntVector uint32
+	// IntEnabled gates interrupt delivery.
+	IntEnabled bool
+
+	Halted bool
+	Cycles uint64
+	// Blocks counts executed translation blocks.
+	Blocks uint64
+
+	cache *ir.Cache
+	taps  []IOTap
+	inISR bool
+}
+
+// New returns a machine with zeroed RAM attached to bus.
+func New(bus *hw.Bus) *Machine {
+	m := &Machine{RAM: make([]byte, hw.RAMSize), Bus: bus}
+	m.cache = ir.NewCache(m)
+	return m
+}
+
+// AddIOTap registers an observer of hardware I/O.
+func (m *Machine) AddIOTap(t IOTap) { m.taps = append(m.taps, t) }
+
+func (m *Machine) tapIO(port, write bool, addr uint32, size int, v uint32) {
+	for _, t := range m.taps {
+		t(port, write, addr, size, v)
+	}
+}
+
+// LoadImage copies a program image into RAM at its base address.
+func (m *Machine) LoadImage(p *isa.Program) error {
+	if int(p.Base)+len(p.Code) > len(m.RAM) {
+		return fmt.Errorf("vm: image at %#x size %d exceeds RAM", p.Base, len(p.Code))
+	}
+	copy(m.RAM[p.Base:], p.Code)
+	m.cache.Flush()
+	return nil
+}
+
+// FetchInstr implements ir.Reader over guest RAM.
+func (m *Machine) FetchInstr(addr uint32) (isa.Instr, error) {
+	if int(addr)+isa.InstrSize > len(m.RAM) {
+		return isa.Instr{}, fmt.Errorf("vm: instruction fetch outside RAM at %#x", addr)
+	}
+	return isa.Decode(m.RAM[addr:])
+}
+
+// ReadMem implements hw.MemBus for device DMA.
+func (m *Machine) ReadMem(addr uint32, p []byte) {
+	if int(addr)+len(p) <= len(m.RAM) {
+		copy(p, m.RAM[addr:])
+	}
+}
+
+// WriteMem implements hw.MemBus for device DMA.
+func (m *Machine) WriteMem(addr uint32, p []byte) {
+	if int(addr)+len(p) <= len(m.RAM) {
+		copy(m.RAM[addr:], p)
+	}
+}
+
+// Read reads size bytes of guest memory, routing MMIO to the bus.
+func (m *Machine) Read(addr uint32, size int) (uint32, error) {
+	if hw.IsMMIO(addr) {
+		v := m.Bus.MMIORead(addr, size)
+		m.tapIO(false, false, addr, size, v)
+		return v, nil
+	}
+	if int(addr)+size > len(m.RAM) {
+		return 0, fmt.Errorf("vm: memory read outside RAM at %#x", addr)
+	}
+	switch size {
+	case 1:
+		return uint32(m.RAM[addr]), nil
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(m.RAM[addr:])), nil
+	case 4:
+		return binary.LittleEndian.Uint32(m.RAM[addr:]), nil
+	}
+	return 0, fmt.Errorf("vm: invalid read size %d", size)
+}
+
+// Write writes size bytes of guest memory, routing MMIO to the bus.
+func (m *Machine) Write(addr uint32, size int, v uint32) error {
+	if hw.IsMMIO(addr) {
+		m.Bus.MMIOWrite(addr, size, v)
+		m.tapIO(false, true, addr, size, v)
+		return nil
+	}
+	if int(addr)+size > len(m.RAM) {
+		return fmt.Errorf("vm: memory write outside RAM at %#x", addr)
+	}
+	switch size {
+	case 1:
+		m.RAM[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.RAM[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.RAM[addr:], v)
+	default:
+		return fmt.Errorf("vm: invalid write size %d", size)
+	}
+	return nil
+}
+
+// Read32 is a convenience wrapper for 32-bit reads.
+func (m *Machine) Read32(addr uint32) uint32 {
+	v, _ := m.Read(addr, 4)
+	return v
+}
+
+// Write32 is a convenience wrapper for 32-bit writes.
+func (m *Machine) Write32(addr, v uint32) { _ = m.Write(addr, 4, v) }
+
+// Push pushes v on the guest stack.
+func (m *Machine) Push(v uint32) error {
+	m.Regs[isa.SP] -= 4
+	return m.Write(m.Regs[isa.SP], 4, v)
+}
+
+// Pop pops the top of the guest stack.
+func (m *Machine) Pop() (uint32, error) {
+	v, err := m.Read(m.Regs[isa.SP], 4)
+	m.Regs[isa.SP] += 4
+	return v, err
+}
+
+// Arg returns the i-th (0-based) stack argument of the current API
+// call or entry-point invocation: [sp+4] is argument 0 (sp points at
+// the return address).
+func (m *Machine) Arg(i int) uint32 {
+	return m.Read32(m.Regs[isa.SP] + 4 + uint32(i)*4)
+}
+
+// APIReturn completes an intercepted OS API call: sets the return
+// value, pops the return address and nargs stack arguments (stdcall).
+func (m *Machine) APIReturn(ret uint32, nargs int) error {
+	m.Regs[isa.R0] = ret
+	ra, err := m.Pop()
+	if err != nil {
+		return err
+	}
+	m.Regs[isa.SP] += uint32(nargs) * 4
+	m.PC = ra
+	return nil
+}
+
+func (m *Machine) src2(in isa.Instr) uint32 {
+	if in.HasImmOperand() {
+		return in.Imm
+	}
+	return m.Regs[in.Rs2]
+}
+
+func condTrue(c isa.Cond, a, b uint32) bool {
+	switch c {
+	case isa.EQ:
+		return a == b
+	case isa.NE:
+		return a != b
+	case isa.LT:
+		return int32(a) < int32(b)
+	case isa.GE:
+		return int32(a) >= int32(b)
+	case isa.LTU:
+		return a < b
+	case isa.GEU:
+		return a >= b
+	}
+	panic("vm: bad condition")
+}
+
+// StepBlock executes one translation block (or delivers one pending
+// interrupt). It returns the block executed, or nil when an interrupt
+// was delivered or the machine is halted.
+func (m *Machine) StepBlock() (*ir.Block, error) {
+	if m.Halted {
+		return nil, nil
+	}
+	// Interrupt delivery between blocks, like QEMU between TBs.
+	if m.IntEnabled && !m.inISR && m.IntVector != 0 && m.Bus.Line.Pending() {
+		if err := m.Push(m.PC); err != nil {
+			return nil, err
+		}
+		m.PC = m.IntVector
+		m.inISR = true
+		return nil, nil
+	}
+	b, err := m.cache.Get(m.PC)
+	if err != nil {
+		return nil, err
+	}
+	m.Blocks++
+	for i, in := range b.Instrs {
+		if err := m.exec(in, b.InstrAddr(i)); err != nil {
+			return b, fmt.Errorf("vm: at %#x (%s): %w", b.InstrAddr(i), in.Disassemble(), err)
+		}
+		m.Cycles++
+	}
+	return b, nil
+}
+
+func (m *Machine) exec(in isa.Instr, addr uint32) error {
+	nextPC := addr + isa.InstrSize
+	switch in.Op {
+	case isa.NOP:
+	case isa.MOVI:
+		m.Regs[in.Rd] = in.Imm
+	case isa.MOV:
+		m.Regs[in.Rd] = m.Regs[in.Rs1]
+	case isa.ADD:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] + m.src2(in)
+	case isa.SUB:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] - m.src2(in)
+	case isa.AND:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] & m.src2(in)
+	case isa.OR:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] | m.src2(in)
+	case isa.XOR:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] ^ m.src2(in)
+	case isa.SHL:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] << (m.src2(in) % 32)
+	case isa.SHR:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] >> (m.src2(in) % 32)
+	case isa.SAR:
+		m.Regs[in.Rd] = uint32(int32(m.Regs[in.Rs1]) >> (m.src2(in) % 32))
+	case isa.MUL:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] * m.src2(in)
+	case isa.LD8, isa.LD16, isa.LD32:
+		v, err := m.Read(m.Regs[in.Rs1]+in.Imm, in.Op.AccessSize())
+		if err != nil {
+			return err
+		}
+		m.Regs[in.Rd] = v
+	case isa.ST8, isa.ST16, isa.ST32:
+		if err := m.Write(m.Regs[in.Rs1]+in.Imm, in.Op.AccessSize(), m.Regs[in.Rs2]); err != nil {
+			return err
+		}
+	case isa.IN8, isa.IN16, isa.IN32:
+		port := m.Regs[in.Rs1] + in.Imm
+		v := m.Bus.PortRead(port, in.Op.AccessSize())
+		m.tapIO(true, false, port, in.Op.AccessSize(), v)
+		m.Regs[in.Rd] = v
+	case isa.OUT8, isa.OUT16, isa.OUT32:
+		port := m.Regs[in.Rs1] + in.Imm
+		v := m.Regs[in.Rs2] & hw.SizeMask(in.Op.AccessSize())
+		m.Bus.PortWrite(port, in.Op.AccessSize(), v)
+		m.tapIO(true, true, port, in.Op.AccessSize(), v)
+	case isa.PUSH:
+		if err := m.Push(m.Regs[in.Rs1]); err != nil {
+			return err
+		}
+	case isa.POP:
+		v, err := m.Pop()
+		if err != nil {
+			return err
+		}
+		m.Regs[in.Rd] = v
+	case isa.JMP:
+		nextPC = in.Imm
+	case isa.JR:
+		nextPC = m.Regs[in.Rs1]
+	case isa.BR:
+		if condTrue(in.Cond(), m.Regs[in.Rs1], m.Regs[in.Rs2]) {
+			nextPC = in.Imm
+		}
+	case isa.BRI:
+		if condTrue(in.Cond(), m.Regs[in.Rs1], uint32(uint8(in.Rs2))) {
+			nextPC = in.Imm
+		}
+	case isa.CALL, isa.CALLR:
+		target := in.Imm
+		if in.Op == isa.CALLR {
+			target = m.Regs[in.Rs1]
+		}
+		if err := m.Push(nextPC); err != nil {
+			return err
+		}
+		if hw.IsAPIGate(target) {
+			if m.OSCall == nil {
+				return fmt.Errorf("API call %#x with no OS handler", target)
+			}
+			// The handler ends with APIReturn, which sets PC.
+			m.PC = target
+			if err := m.OSCall(m, hw.APIIndex(target)); err != nil {
+				return err
+			}
+			return nil
+		}
+		nextPC = target
+	case isa.RET:
+		ra, err := m.Pop()
+		if err != nil {
+			return err
+		}
+		m.Regs[isa.SP] += in.Imm
+		nextPC = ra
+		if ra == MagicReturn {
+			m.Halted = true
+		}
+	case isa.IRET:
+		ra, err := m.Pop()
+		if err != nil {
+			return err
+		}
+		m.inISR = false
+		nextPC = ra
+		if ra == MagicReturn {
+			m.Halted = true
+		}
+	case isa.HLT:
+		m.Halted = true
+	default:
+		return fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+	m.PC = nextPC
+	return nil
+}
+
+// Run executes until the machine halts or maxBlocks translation
+// blocks have run, whichever is first. It returns the number of
+// blocks executed.
+func (m *Machine) Run(maxBlocks int) (int, error) {
+	n := 0
+	for !m.Halted && n < maxBlocks {
+		if _, err := m.StepBlock(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// CallEntry invokes a guest function at addr with the given stack
+// arguments (stdcall: callee pops them) and runs it to completion.
+// It returns the function's r0 return value.
+func (m *Machine) CallEntry(addr uint32, maxBlocks int, args ...uint32) (uint32, error) {
+	if m.Regs[isa.SP] == 0 {
+		m.Regs[isa.SP] = hw.StackTop
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		if err := m.Push(args[i]); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.Push(MagicReturn); err != nil {
+		return 0, err
+	}
+	m.PC = addr
+	m.Halted = false
+	n, err := m.Run(maxBlocks)
+	if err != nil {
+		return 0, err
+	}
+	if n >= maxBlocks && !m.Halted {
+		return 0, fmt.Errorf("vm: entry %#x did not complete within %d blocks", addr, maxBlocks)
+	}
+	m.Halted = false
+	return m.Regs[isa.R0], nil
+}
+
+// ServiceInterrupt runs the installed interrupt handler to completion
+// if the line is pending, returning whether a handler ran. It is used
+// when the guest is otherwise idle (no entry point executing), which
+// is when real hardware would interrupt the idle loop.
+func (m *Machine) ServiceInterrupt(maxBlocks int) (bool, error) {
+	if !m.Bus.Line.Pending() || m.IntVector == 0 || !m.IntEnabled || m.inISR {
+		return false, nil
+	}
+	if m.Regs[isa.SP] == 0 {
+		m.Regs[isa.SP] = hw.StackTop
+	}
+	if err := m.Push(MagicReturn); err != nil {
+		return false, err
+	}
+	m.PC = m.IntVector
+	m.inISR = true
+	m.Halted = false
+	n, err := m.Run(maxBlocks)
+	if err != nil {
+		return true, err
+	}
+	if n >= maxBlocks && !m.Halted {
+		return true, fmt.Errorf("vm: interrupt handler did not complete within %d blocks", maxBlocks)
+	}
+	m.Halted = false
+	m.inISR = false
+	return true, nil
+}
+
+// TranslationCache exposes the machine's block cache (for the
+// wiretap, which records IR for executed blocks).
+func (m *Machine) TranslationCache() *ir.Cache { return m.cache }
+
+// InISR reports whether the CPU is inside an interrupt handler.
+func (m *Machine) InISR() bool { return m.inISR }
