@@ -12,6 +12,8 @@
 package revnic_test
 
 import (
+	"flag"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -24,6 +26,16 @@ import (
 	"revnic/internal/template"
 )
 
+// workersFlag sets the exploration worker count for every benchmark
+// that runs the reverse-engineering pipeline, e.g.
+//
+//	go test -bench 'Table2|Fig8' -workers=1
+//	go test -bench 'Table2|Fig8' -workers=4
+//
+// Results (coverage %, trace equality, synthesized code) are
+// identical for any value; only wall time changes.
+var workersFlag = flag.Int("workers", runtime.GOMAXPROCS(0), "exploration worker goroutines for pipeline benchmarks")
+
 var (
 	ctxOnce sync.Once
 	ctx     *experiments.Context
@@ -32,7 +44,7 @@ var (
 
 func sharedCtx(b *testing.B) *experiments.Context {
 	b.Helper()
-	ctxOnce.Do(func() { ctx, ctxErr = experiments.NewContext() })
+	ctxOnce.Do(func() { ctx, ctxErr = experiments.NewContextWorkers(*workersFlag) })
 	if ctxErr != nil {
 		b.Fatal(ctxErr)
 	}
@@ -159,7 +171,7 @@ func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rev, err := core.ReverseEngineer(info.Program, core.Options{
 			Shell: core.ShellConfig(info), DriverName: info.Name,
-			Engine: symexec.Config{Seed: int64(i)},
+			Engine: symexec.Config{Seed: int64(i), Workers: *workersFlag},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -227,6 +239,56 @@ func BenchmarkTemplateInstantiation(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel pipeline ablation ---------------------------------------
+
+// benchExploreWorkers reverse engineers RTL8029 end to end with a
+// fixed worker count; compare BenchmarkExploreSerial with
+// BenchmarkExploreParallel to see what the fork-join mode buys on
+// this machine. The reported coverage metric must be identical for
+// both (the parallel mode is bit-deterministic in the worker count).
+func benchExploreWorkers(b *testing.B, workers int) {
+	info, err := drivers.ByName("RTL8029")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		rev, err := core.ReverseEngineer(info.Program, core.Options{
+			Shell: core.ShellConfig(info), DriverName: info.Name,
+			Engine: symexec.Config{Seed: 42, Workers: workers},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = 100 * rev.Coverage()
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkExploreSerial runs the exploration shards on one goroutine.
+func BenchmarkExploreSerial(b *testing.B) { benchExploreWorkers(b, 1) }
+
+// BenchmarkExploreParallel runs the shards on one goroutine per CPU.
+func BenchmarkExploreParallel(b *testing.B) { benchExploreWorkers(b, runtime.GOMAXPROCS(0)) }
+
+// benchContextWorkers rebuilds the full four-driver context (the
+// expensive shared setup of every experiment) with a fixed pool size.
+func benchContextWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewContextWorkers(workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContextSerial reverse engineers the four drivers one at a
+// time on a single-worker pool.
+func BenchmarkContextSerial(b *testing.B) { benchContextWorkers(b, 1) }
+
+// BenchmarkContextParallel reverse engineers the four drivers on one
+// worker per CPU.
+func BenchmarkContextParallel(b *testing.B) { benchContextWorkers(b, runtime.GOMAXPROCS(0)) }
 
 // --- ablations ---------------------------------------------------------
 

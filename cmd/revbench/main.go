@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"revnic/internal/experiments"
@@ -19,16 +20,17 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (table1..table4, fig2..fig9) or 'all'")
-		list = flag.Bool("list", false, "list experiment ids")
+		exp     = flag.String("exp", "all", "experiment id (table1..table4, fig2..fig9) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the reverse-engineering context (results are identical for any value)")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.List(), "\n"))
 		return
 	}
-	fmt.Fprintln(os.Stderr, "revbench: reverse engineering all four drivers (shared context)...")
-	ctx, err := experiments.NewContext()
+	fmt.Fprintf(os.Stderr, "revbench: reverse engineering all four drivers (%d workers)...\n", *workers)
+	ctx, err := experiments.NewContextWorkers(*workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"revnic/internal/core"
@@ -32,6 +33,7 @@ func main() {
 		report     = flag.Bool("report", false, "print coverage and classification report")
 		seed       = flag.Int64("seed", 1, "exploration random seed")
 		strategy   = flag.String("strategy", "mincount", "path selection strategy: mincount, dfs, bfs")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines exploring phase shards concurrently (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 	rev, err := core.ReverseEngineer(info.Program, core.Options{
 		Shell:      core.ShellConfig(info),
 		DriverName: info.Name,
-		Engine:     symexec.Config{Seed: *seed, Strategy: strat},
+		Engine:     symexec.Config{Seed: *seed, Strategy: strat, Workers: *workers},
 	})
 	if err != nil {
 		fatal("reverse engineering failed: %v", err)

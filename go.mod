@@ -1,0 +1,3 @@
+module revnic
+
+go 1.24

@@ -123,8 +123,11 @@ func Build(col *trace.Collector) *Graph {
 
 	// 2. Split translation blocks into basic blocks. Overlapping
 	// translation blocks reduce to identical basic blocks, so keyed
-	// insertion deduplicates them.
-	for _, bi := range col.Blocks {
+	// insertion deduplicates them. Address order keeps the build a
+	// pure function of the trace contents (map order must not leak
+	// into which variant's IO records a merged block keeps).
+	for _, a := range col.SortedBlockAddrs() {
+		bi := col.Blocks[a]
 		tb := bi.Block
 		start := 0
 		for i := range tb.Instrs {
@@ -226,21 +229,56 @@ func (g *Graph) addBasicBlock(col *trace.Collector, bi *trace.BlockInfo, addr ui
 	if len(instrs) == 0 {
 		return
 	}
+	merged := bi.Count
+	touchesOS := bi.TouchesOS
+	var oldIO []trace.Access
 	if old := g.Blocks[addr]; old != nil {
-		// Keep the longer variant; counts merge.
+		// Keep the longer variant; counts, OS-call marks and IO
+		// records merge either way so the result does not depend on
+		// insertion order. Merging IO matters because the collector
+		// dedups accesses globally per instruction — a record lives
+		// in exactly one translation-block variant, and dropping the
+		// losing variant's records would lose hardware accesses.
 		if len(instrs) <= len(old.Instrs) {
 			old.Count += bi.Count
+			old.TouchesOS = old.TouchesOS || bi.TouchesOS
+			mergeIO(old, bi.IO)
 			return
 		}
+		merged += old.Count
+		touchesOS = touchesOS || old.TouchesOS
+		oldIO = old.IO
 	}
-	b := &BasicBlock{Addr: addr, Instrs: instrs, Count: bi.Count, TouchesOS: bi.TouchesOS}
+	b := &BasicBlock{Addr: addr, Instrs: instrs, Count: merged, TouchesOS: touchesOS}
 	end := b.EndAddr()
 	for _, a := range bi.IO {
 		if a.InstrAddr >= addr && a.InstrAddr < end {
 			b.IO = append(b.IO, a)
 		}
 	}
+	mergeIO(b, oldIO)
 	g.Blocks[addr] = b
+}
+
+// mergeIO appends the in-range accesses of io not already present in
+// b (same instruction, class and direction), preserving io's order.
+func mergeIO(b *BasicBlock, io []trace.Access) {
+	end := b.EndAddr()
+	for _, a := range io {
+		if a.InstrAddr < b.Addr || a.InstrAddr >= end {
+			continue
+		}
+		dup := false
+		for _, have := range b.IO {
+			if have.InstrAddr == a.InstrAddr && have.Class == a.Class && have.Write == a.Write {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			b.IO = append(b.IO, a)
+		}
+	}
 }
 
 // linkBlock computes successors; targets never observed in the traces
@@ -261,12 +299,17 @@ func (g *Graph) linkBlock(col *trace.Collector, b *BasicBlock) {
 		add(t.Imm)
 		add(b.EndAddr())
 	case isa.JR:
-		// Observed indirect targets come from the edge set.
+		// Observed indirect targets come from the edge set, in
+		// address order (the edge set is a map).
 		site := b.InstrAddrOfTerm()
+		targets := map[uint32]bool{}
 		for e := range col.Edges {
 			if e.From == site {
-				add(e.To)
+				targets[e.To] = true
 			}
+		}
+		for _, to := range sortedKeys(targets) {
+			add(to)
 		}
 	case isa.CALL, isa.CALLR:
 		// Control returns to the fallthrough; the callee is a

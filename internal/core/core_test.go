@@ -159,3 +159,41 @@ func TestPortingToAllTargets(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkersBitIdentical checks the end-to-end guarantee of the
+// parallel exploration mode: the whole pipeline output — synthesized
+// C code, coverage, and the recovered graph's statistics — is
+// bit-identical between a serial and a parallel run with the same
+// seed.
+func TestWorkersBitIdentical(t *testing.T) {
+	info, err := drivers.ByName("RTL8029")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Reversed {
+		rev, err := ReverseEngineer(info.Program, Options{
+			Shell:      ShellConfig(info),
+			DriverName: info.Name,
+			Engine:     symexec.Config{Seed: 11, Workers: workers},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rev
+	}
+	serial, parallel := run(1), run(4)
+	if serial.Synth.Code != parallel.Synth.Code {
+		t.Error("synthesized code differs between worker counts")
+	}
+	if serial.Coverage() != parallel.Coverage() {
+		t.Errorf("coverage differs: %v vs %v", serial.Coverage(), parallel.Coverage())
+	}
+	if serial.Graph.ComputeStats() != parallel.Graph.ComputeStats() {
+		t.Error("graph statistics differ between worker counts")
+	}
+	for _, os := range template.AllOS {
+		if serial.InstantiateTemplate(os) != parallel.InstantiateTemplate(os) {
+			t.Errorf("%s template differs between worker counts", os)
+		}
+	}
+}

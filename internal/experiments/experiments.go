@@ -8,7 +8,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 
 	"revnic/internal/cfg"
 	"revnic/internal/core"
@@ -26,19 +28,62 @@ type Context struct {
 	Reversed map[string]*core.Reversed
 }
 
-// NewContext reverse engineers all four drivers.
-func NewContext() (*Context, error) {
+// NewContext reverse engineers all four drivers, running the
+// per-driver pipelines concurrently on one goroutine per available
+// CPU. Results are identical to a serial build: each driver uses its
+// own engine with a fixed seed, and the parallel exploration mode is
+// bit-deterministic in the worker count.
+func NewContext() (*Context, error) { return NewContextWorkers(0) }
+
+// NewContextWorkers builds the context on a bounded worker pool.
+// workers caps both the number of drivers reverse engineered at once
+// and each engine's internal exploration parallelism (cmd/revnic's
+// -workers knob); 0 uses GOMAXPROCS.
+func NewContextWorkers(workers int) (*Context, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	all := drivers.All()
+	revs := make([]*core.Reversed, len(all))
+	errs := make([]error, len(all))
+	// Split the budget between the driver-level pool and each
+	// engine's internal exploration workers so the total stays near
+	// `workers` goroutines instead of oversubscribing to the product
+	// of the two. Engine results are identical for any Workers value,
+	// so the split never changes the context's contents.
+	pool := workers
+	if pool > len(all) {
+		pool = len(all)
+	}
+	perEngine := workers / pool
+	if perEngine < 1 {
+		perEngine = 1
+	}
+	// errgroup-style bounded pool: semaphore slots cap concurrency,
+	// results land in per-driver slots so error reporting stays in
+	// driver order regardless of completion order.
+	sem := make(chan struct{}, pool)
+	var wg sync.WaitGroup
+	for i, d := range all {
+		wg.Add(1)
+		go func(i int, d *drivers.Info) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			revs[i], errs[i] = core.ReverseEngineer(d.Program, core.Options{
+				Shell:      core.ShellConfig(d),
+				DriverName: d.Name,
+				Engine:     symexec.Config{Seed: 42, Workers: perEngine},
+			})
+		}(i, d)
+	}
+	wg.Wait()
 	c := &Context{Reversed: map[string]*core.Reversed{}}
-	for _, d := range drivers.All() {
-		rev, err := core.ReverseEngineer(d.Program, core.Options{
-			Shell:      core.ShellConfig(d),
-			DriverName: d.Name,
-			Engine:     symexec.Config{Seed: 42},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+	for i, d := range all {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, errs[i])
 		}
-		c.Reversed[d.Name] = rev
+		c.Reversed[d.Name] = revs[i]
 	}
 	return c, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates expression nodes.
@@ -60,7 +61,12 @@ type Expr struct {
 	B     *Expr
 	C     *Expr
 
-	hash uint64 // lazy structural hash; 0 = not yet computed
+	// hash is the lazily computed structural hash; 0 = not yet
+	// computed. Accessed atomically: expression DAGs are shared
+	// between concurrently explored states, and the hash is a pure
+	// function of the immutable node, so racing writers store the
+	// same value.
+	hash atomic.Uint64
 }
 
 func mask(w uint8) uint32 {
@@ -507,8 +513,8 @@ func evalNode(e *Expr, env map[string]uint32, memo map[*Expr]uint32) uint32 {
 // cached in the node. Structurally equal DAGs hash equally; it is
 // DAG-aware (linear in distinct nodes), unlike String.
 func (e *Expr) Hash() uint64 {
-	if e.hash != 0 {
-		return e.hash
+	if h := e.hash.Load(); h != 0 {
+		return h
 	}
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
@@ -534,7 +540,7 @@ func (e *Expr) Hash() uint64 {
 	if h == 0 {
 		h = 1
 	}
-	e.hash = h
+	e.hash.Store(h)
 	return h
 }
 

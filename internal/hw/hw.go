@@ -144,6 +144,31 @@ func (d *DMARegistry) Unregister(addr uint32) {
 	}
 }
 
+// Clone returns an independent copy of the registry. Exploration
+// workers start from a clone of the shared registry so concurrent
+// registrations never alias.
+func (d *DMARegistry) Clone() DMARegistry {
+	return DMARegistry{regions: append([]dmaRegion(nil), d.regions...)}
+}
+
+// Merge adds o's regions not already present (same address and size)
+// in registration order, so merging worker registries in a fixed
+// order yields a deterministic combined registry.
+func (d *DMARegistry) Merge(o *DMARegistry) {
+	for _, r := range o.regions {
+		dup := false
+		for _, have := range d.regions {
+			if have == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d.regions = append(d.regions, r)
+		}
+	}
+}
+
 // Contains reports whether addr lies in any registered DMA region.
 func (d *DMARegistry) Contains(addr uint32) bool {
 	for _, r := range d.regions {

@@ -17,6 +17,8 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"revnic/internal/isa"
 )
@@ -91,10 +93,16 @@ func Translate(r Reader, addr uint32) (*Block, error) {
 // Cache memoizes translation blocks by address. Driver code in this
 // system is not self-modifying, so entries never need invalidation;
 // Flush exists for tests.
+//
+// The cache is safe for concurrent use: the parallel exploration mode
+// shares one translation cache between all worker goroutines, so a
+// block is translated at most once per engine regardless of how many
+// workers race to execute it.
 type Cache struct {
 	r      Reader
+	mu     sync.RWMutex
 	blocks map[uint32]*Block
-	misses int64
+	misses atomic.Int64
 }
 
 // NewCache returns an empty translation cache over r.
@@ -104,6 +112,14 @@ func NewCache(r Reader) *Cache {
 
 // Get returns the translation block at addr, translating on miss.
 func (c *Cache) Get(addr uint32) (*Block, error) {
+	c.mu.RLock()
+	b, ok := c.blocks[addr]
+	c.mu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if b, ok := c.blocks[addr]; ok {
 		return b, nil
 	}
@@ -111,13 +127,17 @@ func (c *Cache) Get(addr uint32) (*Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.misses++
+	c.misses.Add(1)
 	c.blocks[addr] = b
 	return b, nil
 }
 
 // Flush drops all cached blocks.
-func (c *Cache) Flush() { c.blocks = map[uint32]*Block{} }
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocks = map[uint32]*Block{}
+}
 
 // Misses returns the number of translations performed.
-func (c *Cache) Misses() int64 { return c.misses }
+func (c *Cache) Misses() int64 { return c.misses.Load() }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"revnic/internal/expr"
 	"revnic/internal/sat"
@@ -27,22 +29,86 @@ const (
 	Sat
 )
 
+// DefaultCacheLimit bounds the query cache. When an exploration
+// would grow the cache past the limit the cache is reset (an epoch
+// flush), so long runs hold at most one epoch of memoized queries;
+// Evictions reports how often that happened.
+const DefaultCacheLimit = 1 << 16
+
 // Solver answers bitvector queries with memoization. The zero value
 // is not usable; call New.
+//
+// A Solver is safe for concurrent use: the query cache is
+// mutex-guarded and the statistics counters are atomic, so parallel
+// exploration workers may share one instance (each bit-blasted query
+// still runs on its own private SAT instance).
 type Solver struct {
-	cache   map[string]bool
-	queries int64
-	hits    int64
+	mu         sync.Mutex
+	cache      map[string]bool
+	cacheLimit int
+	queries    atomic.Int64
+	hits       atomic.Int64
+	evictions  atomic.Int64
 }
 
-// New returns a solver with an empty cache.
+// New returns a solver with an empty cache bounded at
+// DefaultCacheLimit entries.
 func New() *Solver {
-	return &Solver{cache: map[string]bool{}}
+	return &Solver{cache: map[string]bool{}, cacheLimit: DefaultCacheLimit}
 }
 
 // Stats returns the number of queries answered and the cache hits
-// among them.
-func (s *Solver) Stats() (queries, cacheHits int64) { return s.queries, s.hits }
+// among them. It is safe to call while queries are in flight.
+func (s *Solver) Stats() (queries, cacheHits int64) {
+	return s.queries.Load(), s.hits.Load()
+}
+
+// CacheSize returns the current number of memoized queries.
+func (s *Solver) CacheSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Evictions returns how many times the cache hit its limit and was
+// flushed.
+func (s *Solver) Evictions() int64 { return s.evictions.Load() }
+
+// SetCacheLimit overrides the cache bound (entries); n <= 0 restores
+// the default. The bound affects memory and hit rate only, never
+// query answers.
+func (s *Solver) SetCacheLimit(n int) {
+	if n <= 0 {
+		n = DefaultCacheLimit
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheLimit = n
+	if len(s.cache) > n {
+		s.cache = map[string]bool{}
+		s.evictions.Add(1)
+	}
+}
+
+// cacheGet looks up a memoized query result.
+func (s *Solver) cacheGet(fp string) (bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.cache[fp]
+	return r, ok
+}
+
+// cachePut memoizes a query result, flushing the cache first if it
+// is full.
+func (s *Solver) cachePut(fp string, r bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cache) >= s.cacheLimit {
+		s.cache = map[string]bool{}
+		s.evictions.Add(1)
+	}
+	s.cache[fp] = r
+}
 
 // fingerprint keys the query cache on the constraints' structural
 // hashes. String() rendering would be exponential on heavily shared
@@ -59,7 +125,7 @@ func fingerprint(constraints []*expr.Expr) string {
 // Satisfiable reports whether the conjunction of the given width-1
 // constraints has a model.
 func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
-	s.queries++
+	s.queries.Add(1)
 	// Cheap pass: constant constraints.
 	var live []*expr.Expr
 	for _, c := range constraints {
@@ -74,8 +140,8 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 		return true
 	}
 	fp := fingerprint(live)
-	if r, ok := s.cache[fp]; ok {
-		s.hits++
+	if r, ok := s.cacheGet(fp); ok {
+		s.hits.Add(1)
 		return r
 	}
 	b := newBlaster()
@@ -84,7 +150,7 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 		b.s.AddClause(out[0])
 	}
 	r := b.s.Solve()
-	s.cache[fp] = r
+	s.cachePut(fp, r)
 	return r
 }
 
@@ -161,7 +227,7 @@ func (s *Solver) MustBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
 // constraints are absent from the model (they may take any value;
 // expr.Eval treats them as zero).
 func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
-	s.queries++
+	s.queries.Add(1)
 	var live []*expr.Expr
 	for _, c := range constraints {
 		if c.IsFalse() {
@@ -177,10 +243,10 @@ func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 		b.s.AddClause(out[0])
 	}
 	if !b.s.Solve() {
-		s.cache[fingerprint(live)] = false
+		s.cachePut(fingerprint(live), false)
 		return nil, false
 	}
-	s.cache[fingerprint(live)] = true
+	s.cachePut(fingerprint(live), true)
 	model := map[string]uint32{}
 	for name, bits := range b.syms {
 		var v uint32

@@ -1,7 +1,9 @@
 package solver
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"revnic/internal/expr"
@@ -308,5 +310,83 @@ func TestIteBlasting(t *testing.T) {
 	m, ok = s.Model([]*expr.Expr{expr.Eq(e, expr.C(2, 8))})
 	if !ok || m["x"] < 8 {
 		t.Fatalf("model = %v", m)
+	}
+}
+
+// TestConcurrentSolving exercises the solver from many goroutines at
+// once — the parallel exploration mode shares solvers across workers
+// — while Stats and CacheSize are polled mid-flight. Run under
+// `go test -race` this doubles as the data-race regression test for
+// the mutex-guarded cache and atomic counters.
+func TestConcurrentSolving(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := expr.S(fmt.Sprintf("x%d", g%3), 16)
+			for i := 0; i < 40; i++ {
+				want := uint32(i % 100)
+				c := expr.Eq(expr.Add(x, expr.C(1, 16)), expr.C(want+1, 16))
+				if !s.Satisfiable([]*expr.Expr{c}) {
+					t.Errorf("x==%d should be SAT", want)
+					return
+				}
+				if m, ok := s.Model([]*expr.Expr{c}); !ok || m[x.Name] != want {
+					t.Errorf("model = %v, want x=%d", m, want)
+					return
+				}
+				if s.Satisfiable([]*expr.Expr{c, expr.Not(c)}) {
+					t.Error("c && !c should be UNSAT")
+					return
+				}
+			}
+		}(g)
+	}
+	// Poll statistics while queries are in flight: must be safe and
+	// monotone.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var lastQ int64
+		for i := 0; i < 100; i++ {
+			q, h := s.Stats()
+			if q < lastQ {
+				t.Errorf("queries went backwards: %d -> %d", lastQ, q)
+				return
+			}
+			if h > q {
+				t.Errorf("hits %d exceed queries %d", h, q)
+				return
+			}
+			lastQ = q
+			_ = s.CacheSize()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if q, _ := s.Stats(); q == 0 {
+		t.Error("no queries recorded")
+	}
+}
+
+// TestCacheBound verifies the query cache cannot grow past its limit:
+// overflow flushes an epoch and is reported via Evictions.
+func TestCacheBound(t *testing.T) {
+	s := New()
+	s.SetCacheLimit(8)
+	x := expr.S("x", 32)
+	for i := 0; i < 100; i++ {
+		c := expr.Eq(x, expr.C(uint32(i), 32))
+		if !s.Satisfiable([]*expr.Expr{c}) {
+			t.Fatalf("x==%d should be SAT", i)
+		}
+		if got := s.CacheSize(); got > 8 {
+			t.Fatalf("cache grew to %d entries past limit 8", got)
+		}
+	}
+	if s.Evictions() == 0 {
+		t.Error("expected at least one epoch flush")
 	}
 }

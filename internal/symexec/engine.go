@@ -59,6 +59,22 @@ type Config struct {
 	ConcreteHardware bool
 	// Seed drives the random successful-path choice.
 	Seed int64
+	// Workers is the number of goroutines that execute exploration
+	// shards concurrently within each exercise phase. It sets
+	// concurrency only: for a fixed Seed (and Shards) the explored
+	// paths, traces and coverage are bit-identical for every Workers
+	// value. 0 and 1 both run the shards serially.
+	Workers int
+	// Shards is the fan-out width of the fork-join exploration: each
+	// phase first spreads serially until this many independent live
+	// states exist, then explores each group to completion with
+	// worker-local collectors that are merged back in seed order.
+	// Unlike Workers, Shards is part of the deterministic schedule
+	// (it decides where path groups stop seeing each other's block
+	// counts), so changing it changes the explored paths. 0 selects
+	// the default; 1 disables fan-out entirely (the original fully
+	// serial schedule).
+	Shards int
 }
 
 func (c *Config) defaults() {
@@ -79,6 +95,15 @@ func (c *Config) defaults() {
 	}
 	if c.StagnationBudget == 0 {
 		c.StagnationBudget = 20000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 }
 
@@ -131,8 +156,27 @@ type Engine struct {
 	coverage []CoveragePoint
 	lastCov  int
 
+	// symPrefix namespaces fresh symbols minted by a worker child so
+	// they can never collide with symbols already present in the seed
+	// state's constraints (empty on the root engine).
+	symPrefix string
+	// jobSeq numbers worker children across all phases of this
+	// engine, keeping their symbol namespaces globally unique.
+	jobSeq int
+	// discov logs the first execution of each translation block with
+	// its local exec stamp; the fork-join merge replays worker logs
+	// in seed order to rebuild one global coverage curve.
+	discov []covDiscovery
+
 	nextBuf uint32
 	bufs    []bufSpec
+}
+
+// covDiscovery is one first-execution event in an engine's local
+// exploration, used to merge worker coverage curves deterministically.
+type covDiscovery struct {
+	addr uint32
+	exec int64
 }
 
 type imageReader struct{ ram []byte }
@@ -165,7 +209,35 @@ func New(prog *isa.Program, cfg Config) *Engine {
 // freshSym mints a new hardware/input symbol.
 func (e *Engine) freshSym(prefix string, w uint8) *expr.Expr {
 	e.symCount++
-	return expr.S(fmt.Sprintf("%s_%d", prefix, e.symCount), w)
+	return expr.S(fmt.Sprintf("%s%s_%d", e.symPrefix, prefix, e.symCount), w)
+}
+
+// jobIDSpan reserves a state-ID range per worker child so IDs stay
+// unique (and deterministic) across the fork-join.
+const jobIDSpan = 1 << 20
+
+// child builds the execution context of one exploration worker: it
+// shares the immutable inputs (program image, translation cache,
+// configuration) with the parent but gets its own collector, solver,
+// counters and a snapshot of the mutable registries, so a group of
+// states can be explored without touching the parent. The join
+// (mergeChild) folds everything back in seed order.
+func (e *Engine) child(idx int) *Engine {
+	e.jobSeq++
+	return &Engine{
+		cfg:       e.cfg,
+		prog:      e.prog,
+		cache:     e.cache,
+		col:       trace.NewCollector(),
+		sol:       solver.New(),
+		rng:       rand.New(rand.NewSource(e.cfg.Seed + int64(e.jobSeq))),
+		baseRAM:   e.baseRAM,
+		entries:   e.entries,
+		timer:     e.timer,
+		dma:       e.dma.Clone(),
+		symPrefix: fmt.Sprintf("j%d.", e.jobSeq),
+		stateID:   e.stateID + (idx+1)*jobIDSpan,
+	}
 }
 
 func (e *Engine) newState() *State {
@@ -209,10 +281,11 @@ func (e *Engine) concretizeU32(s *State, v *expr.Expr) (uint32, bool) {
 }
 
 // sampleCoverage appends a coverage point when coverage changed.
-func (e *Engine) sampleCoverage() {
+func (e *Engine) sampleCoverage(blockAddr uint32) {
 	if c := e.col.CoveredBlocks(); c != e.lastCov {
 		e.lastCov = c
 		e.coverage = append(e.coverage, CoveragePoint{e.exec, c})
+		e.discov = append(e.discov, covDiscovery{blockAddr, e.exec})
 	}
 }
 
@@ -346,7 +419,7 @@ func (e *Engine) stepBlock(s *State) ([]*State, error) {
 		e.exec++
 		s.Depth++
 		s.localCount[b.Addr]++
-		e.sampleCoverage()
+		e.sampleCoverage(b.Addr)
 	}
 
 	out, err := e.execInstrs(s, b, bi)

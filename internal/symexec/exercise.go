@@ -21,6 +21,11 @@ type argSpec struct {
 func conc(v uint32) argSpec   { return argSpec{concrete: v} }
 func sym(name string) argSpec { return argSpec{symbolic: name} }
 
+// successFn tests a completed state's return value. During shard
+// execution it runs against the worker's engine, so it must only use
+// the engine's solver and the state itself.
+type successFn func(e *Engine, s *State) bool
+
 // phase is one step of the exercise script.
 type phase struct {
 	name  string
@@ -29,7 +34,7 @@ type phase struct {
 	// success tests a completed state's return value; successful
 	// completions count toward the discard heuristic and are
 	// eligible to seed the next phase.
-	success func(e *Engine, s *State) bool
+	success successFn
 	// bindCtx extracts the adapter context from the seeding state.
 	bindCtx bool
 }
@@ -240,8 +245,12 @@ func (e *Engine) pickSeed(completed []*State, ok func(*Engine, *State) bool) *St
 
 // runPhase symbolically executes one entry point from the given seed
 // state until the state set drains, the budget expires, or coverage
-// stagnates.
-func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, success func(*Engine, *State) bool) ([]*State, error) {
+// stagnates. With Shards > 1 the phase runs fork-join: a serial
+// spread grows the live set to Shards independent state groups, the
+// groups are explored on up to Config.Workers goroutines, and the
+// results are merged back in seed order, so the outcome is the same
+// for every Workers value.
+func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, success successFn) ([]*State, error) {
 	// Fill pending buffers: patterned concrete data with symbolic
 	// bytes at the requested offsets. The concrete pattern includes
 	// two multicast group addresses so list-processing code sees
@@ -287,16 +296,50 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 	// [sp+4+4i] are the entry point's own arguments.
 	st.Frames = []frame{{target: entry, entrySP: sp}}
 
-	live := []*State{st}
-	var completed []*State
+	bdg := phaseBudgets{
+		blocks:     int64(e.cfg.PhaseBudget),
+		stagnation: int64(e.cfg.StagnationBudget),
+		successes:  e.cfg.CompleteTarget,
+		maxStates:  e.cfg.MaxStates,
+	}
+	spreadTo := 0
+	if e.cfg.Shards > 1 {
+		spreadTo = e.cfg.Shards
+	}
+	completed, live, used, err := e.exploreSet([]*State{st}, name, bdg, success, spreadTo)
+	if err != nil {
+		return nil, err
+	}
+	if len(live) == 0 {
+		// The phase drained (or hit its budget) before fanning out.
+		return completed, nil
+	}
+	bdg.blocks -= used
+	forked, err := e.exploreShards(live, name, bdg, success)
+	if err != nil {
+		return nil, err
+	}
+	return append(completed, forked...), nil
+}
+
+// exploreSet runs the state-selection loop over live until the set
+// drains, the budgets expire, enough successful completions
+// accumulate, or — when spreadTo > 0 — the live set has grown to
+// spreadTo states (the fan-out point of the fork-join mode, in which
+// case the still-live remainder is returned). used reports the
+// translation blocks consumed against bdg.blocks.
+func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, success successFn, spreadTo int) (completed, remaining []*State, used int64, err error) {
 	successes := 0
 	startExec := e.exec
 	lastCovExec := e.exec
 	lastCov := e.col.CoveredBlocks()
 
 	for len(live) > 0 {
-		if e.exec-startExec > int64(e.cfg.PhaseBudget) ||
-			e.exec-lastCovExec > int64(e.cfg.StagnationBudget) {
+		if spreadTo > 0 && len(live) >= spreadTo {
+			return completed, live, e.exec - startExec, nil
+		}
+		if e.exec-startExec > bdg.blocks ||
+			e.exec-lastCovExec > bdg.stagnation {
 			for _, s := range live {
 				s.Reason = TermBudget
 			}
@@ -309,7 +352,7 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 
 		out, err := e.stepBlock(s)
 		if err != nil {
-			return nil, fmt.Errorf("symexec: phase %s: %w", name, err)
+			return nil, nil, e.exec - startExec, fmt.Errorf("symexec: phase %s: %w", name, err)
 		}
 		live = append(live, out...)
 
@@ -322,7 +365,7 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 			completed = append(completed, s)
 			if success(e, s) {
 				successes++
-				if successes >= e.cfg.CompleteTarget {
+				if successes >= bdg.successes {
 					// Discard all remaining paths of this entry point
 					// (§3.2), freeing memory and moving on.
 					for _, l := range live {
@@ -335,11 +378,11 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 		// State-cap pressure: discard the states deepest into
 		// re-executed code (they are the least likely to find new
 		// blocks).
-		if len(live) > e.cfg.MaxStates {
-			live = e.shedStates(live)
+		if len(live) > bdg.maxStates {
+			live = e.shedStates(live, bdg.maxStates)
 		}
 	}
-	return completed, nil
+	return completed, nil, e.exec - startExec, nil
 }
 
 // pick implements the state-selection strategies.
@@ -364,24 +407,25 @@ func (e *Engine) pick(live []*State) int {
 }
 
 // shedStates drops the most loop-bound half of an oversized state
-// set, emulating the memory-pressure discards of §3.4.
-func (e *Engine) shedStates(live []*State) []*State {
+// set, emulating the memory-pressure discards of §3.4. maxStates is
+// the cap of the calling exploration (per shard in fork-join mode).
+func (e *Engine) shedStates(live []*State, maxStates int) []*State {
 	keep := make([]*State, 0, len(live))
 	// Keep states whose current block is cold; kill the hottest.
 	for _, s := range live {
-		if e.col.BlockCount(s.PC) < 4*int64(e.cfg.PollThreshold) || len(keep) < e.cfg.MaxStates/2 {
+		if e.col.BlockCount(s.PC) < 4*int64(e.cfg.PollThreshold) || len(keep) < maxStates/2 {
 			keep = append(keep, s)
 		} else {
 			s.Reason = TermKilledLoop
 			e.killed++
 		}
 	}
-	if len(keep) > e.cfg.MaxStates {
-		for _, s := range keep[e.cfg.MaxStates:] {
+	if len(keep) > maxStates {
+		for _, s := range keep[maxStates:] {
 			s.Reason = TermKilledLoop
 			e.killed++
 		}
-		keep = keep[:e.cfg.MaxStates]
+		keep = keep[:maxStates]
 	}
 	return keep
 }

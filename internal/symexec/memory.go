@@ -39,10 +39,17 @@ func NewMemory(base []byte) *Memory {
 }
 
 // Fork produces a child memory sharing all pages copy-on-write.
+//
+// A page flips to shared only while it is still owned by exactly one
+// memory (and therefore one exploration goroutine); once shared it is
+// immutable — SetByte copies it before writing — so fork trees may be
+// partitioned across concurrently explored state sets without races.
 func (m *Memory) Fork() *Memory {
 	child := &Memory{base: m.base, pages: make(map[uint32]*page, len(m.pages))}
 	for k, p := range m.pages {
-		p.shared = true
+		if !p.shared {
+			p.shared = true
+		}
 		child.pages[k] = p
 	}
 	return child

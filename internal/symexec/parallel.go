@@ -1,0 +1,167 @@
+package symexec
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file implements the fork-join parallel exploration mode: once
+// a phase's serial spread has grown the live set to Config.Shards
+// independent state groups, each group is explored to completion by a
+// worker child engine (its own collector, solver, counters and
+// registry snapshots), and the results are merged back in seed
+// order. The decomposition depends only on Config.Shards and the
+// deterministic spread — never on Config.Workers, which sets the
+// goroutine count alone — so traces, coverage and synthesized code
+// are bit-identical for every Workers value, including the fully
+// serial Workers=1 run.
+
+// phaseBudgets carries the remaining exploration allowances of one
+// phase across the serial spread and the per-shard explorations.
+type phaseBudgets struct {
+	// blocks is the translation-block budget left in the phase.
+	blocks int64
+	// stagnation ends exploration after this many blocks without new
+	// coverage.
+	stagnation int64
+	// successes is how many successful completions trigger the
+	// remaining-path discard of §3.2.
+	successes int
+	// maxStates caps the live set.
+	maxStates int
+}
+
+// minShardStagnation keeps a shard's stagnation allowance from
+// rounding down to a value too small to escape a cold start.
+const minShardStagnation = 5000
+
+// split divides the phase's remaining allowances evenly among n
+// shards, with floors so every shard can make progress.
+func (b phaseBudgets) split(n int) phaseBudgets {
+	per := phaseBudgets{
+		blocks:     b.blocks / int64(n),
+		stagnation: b.stagnation / int64(n),
+		successes:  (b.successes + n - 1) / n,
+		maxStates:  b.maxStates / n,
+	}
+	if per.blocks < 0 {
+		per.blocks = 0
+	}
+	if per.stagnation < minShardStagnation {
+		per.stagnation = minShardStagnation
+	}
+	if per.successes < 1 {
+		per.successes = 1
+	}
+	if per.maxStates < 32 {
+		per.maxStates = 32
+	}
+	return per
+}
+
+// exploreShards partitions the live set into up to Config.Shards
+// groups, explores each on a worker child engine (at most
+// Config.Workers goroutines run concurrently), and merges the
+// children back in seed order. The partition orders states by their
+// creation ID, so it is a pure function of the spread, not of the
+// worker count or scheduling.
+func (e *Engine) exploreShards(live []*State, name string, bdg phaseBudgets, success successFn) ([]*State, error) {
+	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
+	n := e.cfg.Shards
+	if n > len(live) {
+		n = len(live)
+	}
+	groups := make([][]*State, n)
+	for i, s := range live {
+		groups[i%n] = append(groups[i%n], s)
+	}
+	per := bdg.split(n)
+
+	// Children are created serially so jobSeq (and with it symbol
+	// namespaces and state-ID ranges) advances deterministically.
+	children := make([]*Engine, n)
+	for i := range children {
+		children[i] = e.child(i)
+	}
+
+	completedByShard := make([][]*State, n)
+	errs := make([]error, n)
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for idx := 0; idx < n; idx++ {
+			completedByShard[idx], _, _, errs[idx] =
+				children[idx].exploreSet(groups[idx], name, per, success, 0)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					completedByShard[idx], _, _, errs[idx] =
+						children[idx].exploreSet(groups[idx], name, per, success, 0)
+				}
+			}()
+		}
+		for idx := 0; idx < n; idx++ {
+			jobs <- idx
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Join: fold the children back in seed order; concatenating the
+	// per-shard completion lists in the same order keeps the
+	// pickSeed RNG consumption identical across worker counts.
+	var completed []*State
+	for i := 0; i < n; i++ {
+		e.mergeChild(children[i])
+		completed = append(completed, completedByShard[i]...)
+	}
+	// Skip past every child's reserved ID range (child i allocates
+	// upward from stateID + (i+1)*jobIDSpan), so parent IDs minted
+	// after the join stay unique.
+	e.stateID += (n + 1) * jobIDSpan
+	return completed, nil
+}
+
+// mergeChild folds one worker child engine back into the parent:
+// coverage discoveries are replayed (keeping only globally new
+// blocks) to extend the parent's coverage curve, counters are summed,
+// and the collector, DMA registry, entry points and timer handler are
+// merged. Merge order is the caller's responsibility; calling in seed
+// order makes the join deterministic.
+func (e *Engine) mergeChild(c *Engine) {
+	covered := make(map[uint32]bool, len(e.col.Blocks))
+	for a := range e.col.Blocks {
+		covered[a] = true
+	}
+	for _, d := range c.discov {
+		if !covered[d.addr] {
+			covered[d.addr] = true
+			e.coverage = append(e.coverage, CoveragePoint{e.exec + d.exec, len(covered)})
+		}
+	}
+	e.exec += c.exec
+	e.forks += c.forks
+	e.killed += c.killed
+	e.col.Merge(c.col)
+	e.dma.Merge(&c.dma)
+	if !e.entries.Registered() && c.entries.Registered() {
+		e.entries = c.entries
+	}
+	if e.timer == 0 {
+		e.timer = c.timer
+	}
+	e.lastCov = e.col.CoveredBlocks()
+}

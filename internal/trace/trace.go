@@ -233,6 +233,58 @@ func (c *Collector) BlockCount(addr uint32) int64 {
 	return 0
 }
 
+// Merge folds another collector's records into c, as if o's
+// executions had been observed after c's own. Per-block data merges
+// in ascending address order and slice-valued records (IO points, API
+// calls) keep o's internal order, so the merged collector depends
+// only on the argument sequence — the parallel exploration mode
+// merges worker collectors in seed order to keep results identical to
+// a serial run. o must not be used concurrently with the merge.
+func (c *Collector) Merge(o *Collector) {
+	for _, addr := range o.SortedBlockAddrs() {
+		ob := o.Blocks[addr]
+		bi := c.Blocks[addr]
+		if bi == nil {
+			bi = &BlockInfo{Block: ob.Block, RegsInSample: ob.RegsInSample, RegsOutSample: ob.RegsOutSample}
+			c.Blocks[addr] = bi
+		}
+		bi.Count += ob.Count
+		if ob.TouchesOS {
+			bi.TouchesOS = true
+		}
+		for _, a := range ob.IO {
+			k := ioKey{a.InstrAddr, a.Class, a.Write}
+			if !c.ioSeen[k] {
+				c.ioSeen[k] = true
+				bi.IO = append(bi.IO, a)
+			}
+		}
+	}
+	for e, n := range o.Edges {
+		c.Edges[e] += n
+	}
+	for site, targets := range o.Calls {
+		for t := range targets {
+			c.Call(site, t)
+		}
+	}
+	c.APICalls = append(c.APICalls, o.APICalls...)
+	for a := range o.AsyncEntries {
+		c.AsyncEntries[a] = true
+	}
+	for a, role := range o.EntryPoints {
+		c.EntryPoints[a] = role
+	}
+	for fn, n := range o.FuncParams {
+		if n > c.FuncParams[fn] {
+			c.FuncParams[fn] = n
+		}
+	}
+	for fn := range o.FuncReturns {
+		c.FuncReturns[fn] = true
+	}
+}
+
 // SortedBlockAddrs returns all executed block addresses in ascending
 // order, for deterministic iteration.
 func (c *Collector) SortedBlockAddrs() []uint32 {
