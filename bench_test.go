@@ -21,6 +21,7 @@ import (
 	"revnic/internal/core"
 	"revnic/internal/drivers"
 	"revnic/internal/experiments"
+	"revnic/internal/expr"
 	"revnic/internal/symexec"
 	"revnic/internal/synth"
 	"revnic/internal/template"
@@ -292,7 +293,7 @@ func BenchmarkContextParallel(b *testing.B) { benchContextWorkers(b, runtime.GOM
 
 // --- ablations ---------------------------------------------------------
 
-func explorationCoverage(b *testing.B, cfgTweak func(*symexec.Config)) float64 {
+func explorationRun(b *testing.B, cfgTweak func(*symexec.Config)) *core.Reversed {
 	info, err := drivers.ByName("RTL8029")
 	if err != nil {
 		b.Fatal(err)
@@ -305,15 +306,26 @@ func explorationCoverage(b *testing.B, cfgTweak func(*symexec.Config)) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return rev
+}
+
+// explorationCoverage runs one ablation exploration and reports the
+// headline metrics every ablation benchmark shares: final coverage
+// and the solver traffic it took to get there.
+func explorationCoverage(b *testing.B, cfgTweak func(*symexec.Config)) float64 {
+	rev := explorationRun(b, cfgTweak)
+	e := rev.Exploration
+	b.ReportMetric(float64(e.SolverQueries), "solver-queries")
+	b.ReportMetric(float64(e.SolverCacheHits+e.SolverModelHits), "solver-cache-hits")
 	return 100 * rev.Coverage()
 }
 
-// BenchmarkAblationSearchMinCount / DFS / BFS compare the §3.2
-// path-selection heuristics.
-func BenchmarkAblationSearchMinCount(b *testing.B) {
+// BenchmarkAblationSearchCoverage / DFS / BFS compare the §3.2
+// path-selection searchers through the pluggable Searcher interface.
+func BenchmarkAblationSearchCoverage(b *testing.B) {
 	var cov float64
 	for i := 0; i < b.N; i++ {
-		cov = explorationCoverage(b, func(c *symexec.Config) { c.Strategy = symexec.StrategyMinCount })
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.Searcher = symexec.NewCoverageGuided })
 	}
 	b.ReportMetric(cov, "coverage-%")
 }
@@ -322,7 +334,7 @@ func BenchmarkAblationSearchMinCount(b *testing.B) {
 func BenchmarkAblationSearchDFS(b *testing.B) {
 	var cov float64
 	for i := 0; i < b.N; i++ {
-		cov = explorationCoverage(b, func(c *symexec.Config) { c.Strategy = symexec.StrategyDFS })
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.Searcher = symexec.NewDFS })
 	}
 	b.ReportMetric(cov, "coverage-%")
 }
@@ -331,7 +343,35 @@ func BenchmarkAblationSearchDFS(b *testing.B) {
 func BenchmarkAblationSearchBFS(b *testing.B) {
 	var cov float64
 	for i := 0; i < b.N; i++ {
-		cov = explorationCoverage(b, func(c *symexec.Config) { c.Strategy = symexec.StrategyBFS })
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.Searcher = symexec.NewBFS })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkAblationIncrementalOff disables the solver's incremental
+// SAT sessions; compare against BenchmarkAblationSearchCoverage (the
+// same configuration with sessions on) to see what prefix reuse buys.
+// The coverage metric must be identical — the switch never changes
+// answers.
+func BenchmarkAblationIncrementalOff(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) { c.DisableIncrementalSolver = true })
+	}
+	b.ReportMetric(cov, "coverage-%")
+}
+
+// BenchmarkAblationInterningOff runs the full exploration with the
+// expression intern table bypassed: every node is allocated fresh, so
+// structural equality decays to hashing walks and the solver's
+// ID-keyed caches stop hitting across queries. The difference against
+// BenchmarkAblationSearchCoverage is the hash-consing dividend.
+func BenchmarkAblationInterningOff(b *testing.B) {
+	prev := expr.SetInterning(false)
+	defer expr.SetInterning(prev)
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		cov = explorationCoverage(b, func(c *symexec.Config) {})
 	}
 	b.ReportMetric(cov, "coverage-%")
 }

@@ -15,25 +15,40 @@ import (
 	"runtime"
 	"strings"
 
+	"revnic/internal/drivers"
 	"revnic/internal/experiments"
+	"revnic/internal/symexec"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table4, fig2..fig9) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the reverse-engineering context (results are identical for any value)")
+		exp      = flag.String("exp", "all", "experiment id (table1..table4, fig2..fig9) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids")
+		strategy = flag.String("strategy", "coverage", "path selection strategy for the exploration runs: "+strings.Join(symexec.SearcherNames(), ", "))
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the reverse-engineering context (results are identical for any value)")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.List(), "\n"))
 		return
 	}
-	fmt.Fprintf(os.Stderr, "revbench: reverse engineering all four drivers (%d workers)...\n", *workers)
-	ctx, err := experiments.NewContextWorkers(*workers)
+	searcher, err := symexec.SearcherByName(*strategy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
 		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "revbench: reverse engineering all four drivers (%d workers, %s strategy)...\n",
+		*workers, *strategy)
+	ctx, err := experiments.NewContextWith(*workers, searcher)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range drivers.All() {
+		e := ctx.Get(d.Name).Exploration
+		fmt.Fprintf(os.Stderr, "revbench: %-12s %s: %d blocks covered, %d solver queries (%d cache hits, %d model reuses)\n",
+			d.Name, e.Strategy, e.Collector.CoveredBlocks(),
+			e.SolverQueries, e.SolverCacheHits, e.SolverModelHits)
 	}
 	ids := experiments.List()
 	if *exp != "all" {

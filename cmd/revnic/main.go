@@ -32,7 +32,8 @@ func main() {
 		out        = flag.String("o", "", "write generated code to this file (default stdout)")
 		report     = flag.Bool("report", false, "print coverage and classification report")
 		seed       = flag.Int64("seed", 1, "exploration random seed")
-		strategy   = flag.String("strategy", "mincount", "path selection strategy: mincount, dfs, bfs")
+		strategy   = flag.String("strategy", "coverage", "path selection strategy: "+strings.Join(symexec.SearcherNames(), ", "))
+		noInc      = flag.Bool("no-incremental", false, "disable the solver's incremental SAT sessions (ablation; results are identical)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines exploring phase shards concurrently (results are identical for any value)")
 	)
 	flag.Parse()
@@ -41,16 +42,9 @@ func main() {
 	if err != nil {
 		fatal("%v\navailable drivers:\n  %s", err, driverList())
 	}
-	var strat symexec.Strategy
-	switch *strategy {
-	case "mincount":
-		strat = symexec.StrategyMinCount
-	case "dfs":
-		strat = symexec.StrategyDFS
-	case "bfs":
-		strat = symexec.StrategyBFS
-	default:
-		fatal("unknown strategy %q", *strategy)
+	searcher, err := symexec.SearcherByName(*strategy)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	fmt.Fprintf(os.Stderr, "revnic: exercising %s (%s, %d bytes) with symbolic hardware...\n",
@@ -58,11 +52,19 @@ func main() {
 	rev, err := core.ReverseEngineer(info.Program, core.Options{
 		Shell:      core.ShellConfig(info),
 		DriverName: info.Name,
-		Engine:     symexec.Config{Seed: *seed, Strategy: strat, Workers: *workers},
+		Engine: symexec.Config{
+			Seed: *seed, Searcher: searcher,
+			DisableIncrementalSolver: *noInc, Workers: *workers,
+		},
 	})
 	if err != nil {
 		fatal("reverse engineering failed: %v", err)
 	}
+
+	exp := rev.Exploration
+	fmt.Fprintf(os.Stderr, "revnic: strategy %s: %d blocks covered, %d solver queries (%d cache hits, %d model reuses)\n",
+		exp.Strategy, exp.Collector.CoveredBlocks(),
+		exp.SolverQueries, exp.SolverCacheHits, exp.SolverModelHits)
 
 	if *report {
 		st := rev.Graph.ComputeStats()
@@ -70,9 +72,9 @@ func main() {
 			100*rev.Coverage(), rev.GroundTruth.NumBlocks())
 		fmt.Fprintf(os.Stderr, "revnic: %d functions recovered (%d fully automated, %d need template integration, %d mix HW+OS)\n",
 			st.Funcs, st.AutomatedFuncs, st.ManualFuncs, st.MixedFuncs)
-		fmt.Fprintf(os.Stderr, "revnic: %d executed blocks, %d forks, %d loop-kills; wiretap: %s\n",
-			rev.Exploration.ExecutedBlocks, rev.Exploration.ForkCount,
-			rev.Exploration.KilledLoops, rev.Exploration.Collector.Summary())
+		fmt.Fprintf(os.Stderr, "revnic: %d executed blocks (%d translated), %d forks, %d loop-kills; wiretap: %s\n",
+			exp.ExecutedBlocks, exp.TranslatedBlocks, exp.ForkCount,
+			exp.KilledLoops, exp.Collector.Summary())
 		for _, wmsg := range rev.Synth.Warnings {
 			fmt.Fprintf(os.Stderr, "revnic: warning: %s\n", wmsg)
 		}

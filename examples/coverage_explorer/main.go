@@ -19,11 +19,11 @@ import (
 func main() {
 	strategies := []struct {
 		name string
-		s    symexec.Strategy
+		s    symexec.SearcherFactory
 	}{
-		{"min-count", symexec.StrategyMinCount},
-		{"DFS", symexec.StrategyDFS},
-		{"BFS", symexec.StrategyBFS},
+		{"coverage", symexec.NewCoverageGuided},
+		{"DFS", symexec.NewDFS},
+		{"BFS", symexec.NewBFS},
 	}
 	fmt.Printf("%-14s", "driver")
 	for _, st := range strategies {
@@ -37,7 +37,7 @@ func main() {
 			rev, err := core.ReverseEngineer(info.Program, core.Options{
 				Shell:      core.ShellConfig(info),
 				DriverName: info.Name,
-				Engine:     symexec.Config{Seed: 9, Strategy: st.s},
+				Engine:     symexec.Config{Seed: 9, Searcher: st.s},
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n%s coverage growth (min-count strategy):\n", info.Name)
+	fmt.Printf("\n%s coverage growth (coverage-guided strategy):\n", info.Name)
 	total := rev.GroundTruth.NumBlocks()
 	last := -1
 	for _, pt := range rev.Exploration.Coverage {

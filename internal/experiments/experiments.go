@@ -35,11 +35,19 @@ type Context struct {
 // bit-deterministic in the worker count.
 func NewContext() (*Context, error) { return NewContextWorkers(0) }
 
-// NewContextWorkers builds the context on a bounded worker pool.
-// workers caps both the number of drivers reverse engineered at once
-// and each engine's internal exploration parallelism (cmd/revnic's
-// -workers knob); 0 uses GOMAXPROCS.
+// NewContextWorkers builds the context on a bounded worker pool with
+// the default (coverage-guided) searcher.
 func NewContextWorkers(workers int) (*Context, error) {
+	return NewContextWith(workers, nil)
+}
+
+// NewContextWith builds the context on a bounded worker pool with an
+// explicit path-selection searcher (cmd/revbench's -strategy knob;
+// nil selects the coverage-guided default). workers caps both the
+// number of drivers reverse engineered at once and each engine's
+// internal exploration parallelism (cmd/revnic's -workers knob); 0
+// uses GOMAXPROCS.
+func NewContextWith(workers int, searcher symexec.SearcherFactory) (*Context, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -73,7 +81,7 @@ func NewContextWorkers(workers int) (*Context, error) {
 			revs[i], errs[i] = core.ReverseEngineer(d.Program, core.Options{
 				Shell:      core.ShellConfig(d),
 				DriverName: d.Name,
-				Engine:     symexec.Config{Seed: 42, Workers: perEngine},
+				Engine:     symexec.Config{Seed: 42, Workers: perEngine, Searcher: searcher},
 			})
 		}(i, d)
 	}

@@ -1,19 +1,24 @@
 // Package expr implements the symbolic bitvector expressions that flow
 // through RevNIC's symbolic execution engine.
 //
-// Expressions form an immutable DAG. Constructors perform local
-// canonicalization (constant folding, algebraic identities), which
-// keeps path constraints small before they ever reach the solver —
-// the same role KLEE's expression rewriter plays in the original
-// system. Widths are in bits, 1..32; width-1 expressions are booleans
-// produced by comparisons and consumed by Ite and path constraints.
+// Expressions form an immutable, hash-consed DAG. Constructors perform
+// local canonicalization (constant folding, algebraic identities,
+// commutative operand ordering), which keeps path constraints small
+// before they ever reach the solver — the same role KLEE's expression
+// rewriter plays in the original system — and then intern the node in
+// a global sharded table (intern.go), so every constructor returns the
+// one canonical node per structure. Structural equality of constructed
+// expressions is therefore pointer equality (or equality of the stable
+// ID every canonical node carries), and the evaluation, variable and
+// bit-blasting memos throughout the system key on those IDs. Widths
+// are in bits, 1..32; width-1 expressions are booleans produced by
+// comparisons and consumed by Ite and path constraints.
 package expr
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
 )
 
 // Kind discriminates expression nodes.
@@ -51,7 +56,7 @@ var kindNames = map[Kind]string{
 
 // Expr is one immutable node of an expression DAG. Construct values
 // only through the package constructors, which establish invariants
-// (masked constants, folded identities).
+// (masked constants, folded identities, canonical interning).
 type Expr struct {
 	Kind  Kind
 	Width uint8 // result width in bits, 1..32
@@ -61,12 +66,40 @@ type Expr struct {
 	B     *Expr
 	C     *Expr
 
-	// hash is the lazily computed structural hash; 0 = not yet
-	// computed. Accessed atomically: expression DAGs are shared
-	// between concurrently explored states, and the hash is a pure
-	// function of the immutable node, so racing writers store the
-	// same value.
-	hash atomic.Uint64
+	// id is the stable identity assigned at intern time; nonzero for
+	// every constructor-built node, 0 only for raw nodes built inside
+	// this package's tests. Interned nodes with equal structure share
+	// one id (and one pointer).
+	id uint64
+	// hash is the structural hash, filled in before the node is
+	// published by intern; raw test nodes compute it lazily.
+	hash uint64
+}
+
+// ID returns the node's stable interned identity. Structurally equal
+// constructor-built expressions have the same ID, so memo tables and
+// cache keys throughout the solver stack use it in place of tree
+// walks. 0 is never returned for constructor-built nodes.
+func (e *Expr) ID() uint64 { return e.id }
+
+// Equal reports structural equality. For interned nodes (everything
+// built through the constructors) this is a pointer comparison; the
+// slow path exists for raw nodes used in this package's own tests and
+// for nodes built while interning is disabled.
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Hash() != b.Hash() {
+		return false
+	}
+	if a.Kind != b.Kind || a.Width != b.Width || a.Val != b.Val || a.Name != b.Name {
+		return false
+	}
+	return Equal(a.A, b.A) && Equal(a.B, b.B) && Equal(a.C, b.C)
 }
 
 func mask(w uint8) uint32 {
@@ -81,13 +114,20 @@ func Mask(w uint8) uint32 { return mask(w) }
 
 // C constructs a constant of width w.
 func C(v uint32, w uint8) *Expr {
-	return &Expr{Kind: KConst, Width: w, Val: v & mask(w)}
+	v &= mask(w)
+	if v < 256 && w <= 32 {
+		if c := smallConsts[w][v]; c != nil {
+			return c
+		}
+	}
+	return intern(internKey{kind: KConst, width: w, val: v})
 }
 
-// S constructs a fresh symbolic variable. Names are globally
-// meaningful: the same name always denotes the same unknown.
+// S constructs a symbolic variable. Names are globally meaningful:
+// the same name always denotes the same unknown, and under interning
+// the same name and width always return the same node.
 func S(name string, w uint8) *Expr {
-	return &Expr{Kind: KSym, Width: w, Name: name}
+	return intern(internKey{kind: KSym, width: w, name: name})
 }
 
 // Bool converts a Go bool to the width-1 constants used as branch
@@ -181,7 +221,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 			return b
 		}
 	}
-	if a == b {
+	if Equal(a, b) {
 		switch k {
 		case KSub, KXor:
 			return C(0, w)
@@ -190,7 +230,9 @@ func bin(k Kind, a, b *Expr) *Expr {
 		}
 	}
 	// Canonicalize constants to the right for commutative operators,
-	// and re-associate (x op c1) op c2 => x op (c1 op c2).
+	// re-associate (x op c1) op c2 => x op (c1 op c2), and order
+	// non-constant operands by structural hash so the two operand
+	// orders of a commutative application intern to one node.
 	switch k {
 	case KAdd, KMul, KAnd, KOr, KXor:
 		if aConst {
@@ -202,6 +244,9 @@ func bin(k Kind, a, b *Expr) *Expr {
 				return bin(k, a.A, C(binFold(k, iv, bv, w), w))
 			}
 		}
+		if !aConst && !bConst && a.Hash() > b.Hash() {
+			a, b = b, a
+		}
 	case KSub:
 		// x - c  =>  x + (-c), unifying with the KAdd re-association.
 		if bConst {
@@ -209,7 +254,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 		}
 	}
 	_ = av
-	return &Expr{Kind: k, Width: w, A: a, B: b}
+	return intern(internKey{kind: k, width: w, a: a, b: b})
 }
 
 // Add returns a+b.
@@ -249,7 +294,7 @@ func Eq(a, b *Expr) *Expr {
 			return Bool(av == bv)
 		}
 	}
-	if a == b {
+	if Equal(a, b) {
 		return Bool(true)
 	}
 	// (x == c) where x is (y ^ c2) etc. left to the solver; keep one
@@ -260,7 +305,10 @@ func Eq(a, b *Expr) *Expr {
 	if a.Kind == KConst {
 		a, b = b, a
 	}
-	return &Expr{Kind: KEq, Width: 1, A: a, B: b}
+	if a.Kind != KConst && b.Kind != KConst && a.Hash() > b.Hash() {
+		a, b = b, a
+	}
+	return intern(internKey{kind: KEq, width: 1, a: a, b: b})
 }
 
 // Ult returns the boolean a < b, unsigned.
@@ -276,10 +324,10 @@ func Ult(a, b *Expr) *Expr {
 	if b.IsFalse() {
 		return Bool(false) // nothing is < 0
 	}
-	if a == b {
+	if Equal(a, b) {
 		return Bool(false)
 	}
-	return &Expr{Kind: KUlt, Width: 1, A: a, B: b}
+	return intern(internKey{kind: KUlt, width: 1, a: a, b: b})
 }
 
 // Slt returns the boolean a < b, signed at the operand width.
@@ -292,10 +340,10 @@ func Slt(a, b *Expr) *Expr {
 			return Bool(signExtend(av, a.Width) < signExtend(bv, b.Width))
 		}
 	}
-	if a == b {
+	if Equal(a, b) {
 		return Bool(false)
 	}
-	return &Expr{Kind: KSlt, Width: 1, A: a, B: b}
+	return intern(internKey{kind: KSlt, width: 1, a: a, b: b})
 }
 
 // Not returns the bitwise complement; at width 1 this is logical not.
@@ -306,7 +354,7 @@ func Not(a *Expr) *Expr {
 	if a.Kind == KNot {
 		return a.A
 	}
-	return &Expr{Kind: KNot, Width: a.Width, A: a}
+	return intern(internKey{kind: KNot, width: a.Width, a: a})
 }
 
 // Zext zero-extends a to width w.
@@ -323,7 +371,7 @@ func Zext(a *Expr, w uint8) *Expr {
 	if a.Kind == KZext {
 		return Zext(a.A, w)
 	}
-	return &Expr{Kind: KZext, Width: w, A: a}
+	return intern(internKey{kind: KZext, width: w, a: a})
 }
 
 // Trunc truncates a to width w.
@@ -343,7 +391,7 @@ func Trunc(a *Expr, w uint8) *Expr {
 	if a.Kind == KConcat && a.B.Width >= w {
 		return Trunc(a.B, w)
 	}
-	return &Expr{Kind: KTrunc, Width: w, A: a}
+	return intern(internKey{kind: KTrunc, width: w, a: a})
 }
 
 // Concat concatenates hi over lo; the result has width
@@ -363,7 +411,7 @@ func Concat(hi, lo *Expr) *Expr {
 	}
 	// concat(trunc(x>>k), trunc(x)) patterns from byte-wise memory
 	// reassemble into x; handled by ExtractByte below.
-	return &Expr{Kind: KConcat, Width: w, A: hi, B: lo}
+	return intern(internKey{kind: KConcat, width: w, a: hi, b: lo})
 }
 
 // Ite returns "if cond then a else b"; cond must have width 1.
@@ -380,10 +428,10 @@ func Ite(cond, a, b *Expr) *Expr {
 	if cond.IsFalse() {
 		return b
 	}
-	if a == b {
+	if Equal(a, b) {
 		return a
 	}
-	return &Expr{Kind: KIte, Width: a.Width, A: cond, B: a, C: b}
+	return intern(internKey{kind: KIte, width: a.Width, a: cond, b: a, c: b})
 }
 
 // ExtractByte returns byte i (0 = least significant) of e as a width-8
@@ -423,7 +471,7 @@ func commonSource(b0, b1, b2, b3 *Expr) *Expr {
 		return nil
 	}
 	for i, b := range []*Expr{b1, b2, b3} {
-		if byteSource(b, i+1) != src {
+		if !Equal(byteSource(b, i+1), src) {
 			return nil
 		}
 	}
@@ -451,26 +499,49 @@ func byteSource(e *Expr, i int) *Expr {
 // Eval computes the concrete value of e under an assignment of
 // symbolic variables. Missing variables evaluate to zero, matching
 // the solver's completion of partial models. Evaluation is
-// memoized over the expression DAG: values produced by long
-// execution paths share subtrees heavily, and a naive tree walk is
-// exponential on them.
+// memoized over the expression DAG by interned ID: values produced by
+// long execution paths share subtrees heavily, and a naive tree walk
+// is exponential on them. Raw (un-interned) nodes are strict trees,
+// so they recurse without memoization.
 func Eval(e *Expr, env map[string]uint32) uint32 {
-	return evalMemo(e, env, map[*Expr]uint32{})
+	return evalMemo(e, env, map[uint64]uint32{})
 }
 
-func evalMemo(e *Expr, env map[string]uint32, memo map[*Expr]uint32) uint32 {
+func evalMemo(e *Expr, env map[string]uint32, memo map[uint64]uint32) uint32 {
 	if e.Kind == KConst {
 		return e.Val
 	}
-	if v, ok := memo[e]; ok {
-		return v
+	if e.id != 0 {
+		if v, ok := memo[e.id]; ok {
+			return v
+		}
 	}
 	v := evalNode(e, env, memo)
-	memo[e] = v
+	if e.id != 0 {
+		memo[e.id] = v
+	}
 	return v
 }
 
-func evalNode(e *Expr, env map[string]uint32, memo map[*Expr]uint32) uint32 {
+// Evaluator evaluates expressions under one fixed environment with a
+// memo shared across calls, for callers that evaluate many
+// constraints against the same candidate model (the solver's
+// counterexample cache). Not safe for concurrent use.
+type Evaluator struct {
+	env  map[string]uint32
+	memo map[uint64]uint32
+}
+
+// NewEvaluator returns an evaluator for the given environment. The
+// environment is aliased, not copied; callers must not mutate it.
+func NewEvaluator(env map[string]uint32) *Evaluator {
+	return &Evaluator{env: env, memo: map[uint64]uint32{}}
+}
+
+// Eval computes e's value under the evaluator's environment.
+func (v *Evaluator) Eval(e *Expr) uint32 { return evalMemo(e, v.env, v.memo) }
+
+func evalNode(e *Expr, env map[string]uint32, memo map[uint64]uint32) uint32 {
 	ev := func(x *Expr) uint32 { return evalMemo(x, env, memo) }
 	switch e.Kind {
 	case KSym:
@@ -509,52 +580,30 @@ func evalNode(e *Expr, env map[string]uint32, memo map[*Expr]uint32) uint32 {
 	panic("expr: eval of unknown kind")
 }
 
-// Hash returns a structural hash of the expression, computed once and
-// cached in the node. Structurally equal DAGs hash equally; it is
-// DAG-aware (linear in distinct nodes), unlike String.
+// Hash returns the structural hash of the expression. Interned nodes
+// (everything built through the constructors) carry it from intern
+// time; raw test nodes compute and cache it lazily, which is safe only
+// single-goroutine — exactly the scope raw nodes exist in.
 func (e *Expr) Hash() uint64 {
-	if h := e.hash.Load(); h != 0 {
-		return h
+	if e.hash == 0 {
+		e.hash = computeHash(e)
 	}
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(v uint64) {
-		h ^= v
-		h *= prime
-	}
-	mix(uint64(e.Kind) + 1)
-	mix(uint64(e.Width))
-	mix(uint64(e.Val) + 0x9E3779B97F4A7C15)
-	for i := 0; i < len(e.Name); i++ {
-		mix(uint64(e.Name[i]))
-	}
-	if e.A != nil {
-		mix(e.A.Hash())
-	}
-	if e.B != nil {
-		mix(e.B.Hash() ^ 0xABCDEF)
-	}
-	if e.C != nil {
-		mix(e.C.Hash() ^ 0x123457)
-	}
-	if h == 0 {
-		h = 1
-	}
-	e.hash.Store(h)
-	return h
+	return e.hash
 }
 
 // Vars appends the distinct symbolic variable names occurring in e to
-// the set. The walk is DAG-aware.
+// the set. The walk is DAG-aware, keyed on interned IDs.
 func Vars(e *Expr, set map[string]uint8) {
-	varsMemo(e, set, map[*Expr]bool{})
+	varsMemo(e, set, map[uint64]bool{})
 }
 
-func varsMemo(e *Expr, set map[string]uint8, seen map[*Expr]bool) {
-	if seen[e] {
-		return
+func varsMemo(e *Expr, set map[string]uint8, seen map[uint64]bool) {
+	if e.id != 0 {
+		if seen[e.id] {
+			return
+		}
+		seen[e.id] = true
 	}
-	seen[e] = true
 	switch e.Kind {
 	case KConst:
 	case KSym:

@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements hash-consing: every constructor funnels its
+// result through intern, which returns one canonical node per
+// expression structure. Canonical nodes carry a stable nonzero ID, so
+// structural equality of interned expressions is pointer (or ID)
+// equality, and downstream memo tables (evaluation, variable
+// collection, bit-blasting, solver caches) key on the ID instead of
+// re-walking trees.
+//
+// The table is global and sharded: each shard is an independently
+// mutex-guarded map, so concurrent exploration workers interning
+// expressions contend only when they hash into the same shard. Nodes
+// are immutable and fully initialized (including the structural hash)
+// before they are published through a shard map, which is why no
+// per-node atomics are needed.
+
+// internShards is the lock-striping width of the global table. Sixty
+// four shards keeps cross-worker contention negligible at the worker
+// counts the engine uses (≤ GOMAXPROCS).
+const internShards = 64
+
+// internKey identifies an expression structure. Children are compared
+// by pointer: constructors intern bottom-up, so structurally equal
+// children are already pointer-identical by the time a parent is
+// interned.
+type internKey struct {
+	kind    Kind
+	width   uint8
+	val     uint32
+	name    string
+	a, b, c *Expr
+}
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[internKey]*Expr
+}
+
+var (
+	internTable [internShards]internShard
+	nextID      atomic.Uint64
+	// internDisabled gates the table for the interning ablation
+	// benchmarks; the zero value (interning on) is the production
+	// configuration.
+	internDisabled atomic.Bool
+)
+
+// smallConsts short-circuits the table for the constants the engine
+// mints constantly (immediates, masks, byte values): a lock-free
+// lookup instead of a shard round-trip.
+var smallConsts [33][256]*Expr
+
+func init() {
+	for i := range internTable {
+		internTable[i].m = map[internKey]*Expr{}
+	}
+	for w := 1; w <= 32; w++ {
+		for v := 0; v < 256; v++ {
+			if uint32(v) != uint32(v)&mask(uint8(w)) {
+				continue // not representable at this width
+			}
+			smallConsts[w][v] = intern(internKey{kind: KConst, width: uint8(w), val: uint32(v)})
+		}
+	}
+}
+
+// intern returns the canonical node for the given structure,
+// allocating (and assigning a fresh ID) only when the structure is new
+// to the table. Children must already be interned; table hits cost a
+// hash and one shard lookup, no allocation.
+func intern(k internKey) *Expr {
+	h := hashKey(k)
+	if internDisabled.Load() {
+		// Ablation mode: every construction is its own identity, as
+		// before hash-consing. IDs stay unique so ID-keyed memos
+		// remain correct; only sharing is lost.
+		return materialize(k, h)
+	}
+	sh := &internTable[h%internShards]
+	sh.mu.Lock()
+	if ex, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return ex
+	}
+	n := materialize(k, h)
+	sh.m[k] = n
+	sh.mu.Unlock()
+	return n
+}
+
+// materialize builds the node for a structure outside the table.
+func materialize(k internKey, h uint64) *Expr {
+	return &Expr{
+		Kind: k.kind, Width: k.width, Val: k.val, Name: k.name,
+		A: k.a, B: k.b, C: k.c,
+		id: nextID.Add(1), hash: h,
+	}
+}
+
+// SetInterning toggles the global intern table and reports the
+// previous setting. It exists for the interning ablation benchmarks
+// only: flip it around a measured region and restore the previous
+// value. Turning interning off never produces wrong results — nodes
+// still get unique IDs — but canonical sharing (and with it O(1)
+// structural equality and cross-query solver cache hits) is lost for
+// nodes built while it is off.
+func SetInterning(on bool) (prev bool) {
+	return !internDisabled.Swap(!on)
+}
+
+// InternedNodes reports how many canonical nodes the global table
+// holds; a memory metric for tests and benchmarks.
+func InternedNodes() int {
+	n := 0
+	for i := range internTable {
+		internTable[i].mu.Lock()
+		n += len(internTable[i].m)
+		internTable[i].mu.Unlock()
+	}
+	return n
+}
+
+// hashKey is the structural FNV-style hash stored on every node at
+// intern time. Children contribute their own stored hashes, so the
+// computation is O(1) per node.
+func hashKey(k internKey) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(k.kind) + 1)
+	mix(uint64(k.width))
+	mix(uint64(k.val) + 0x9E3779B97F4A7C15)
+	for i := 0; i < len(k.name); i++ {
+		mix(uint64(k.name[i]))
+	}
+	if k.a != nil {
+		mix(k.a.Hash())
+	}
+	if k.b != nil {
+		mix(k.b.Hash() ^ 0xABCDEF)
+	}
+	if k.c != nil {
+		mix(k.c.Hash() ^ 0x123457)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// computeHash hashes a node in place; used by Hash for raw
+// (un-interned) nodes, which recurse through their children lazily.
+func computeHash(e *Expr) uint64 {
+	return hashKey(internKey{kind: e.Kind, width: e.Width, val: e.Val, name: e.Name, a: e.A, b: e.B, c: e.C})
+}

@@ -94,41 +94,40 @@ func Translate(r Reader, addr uint32) (*Block, error) {
 // system is not self-modifying, so entries never need invalidation;
 // Flush exists for tests.
 //
-// The cache is safe for concurrent use: the parallel exploration mode
-// shares one translation cache between all worker goroutines, so a
+// The cache is safe for concurrent use and its read path is
+// lock-free: the parallel exploration mode hits Get once per executed
+// translation block on every worker goroutine, so the hit path is a
+// single sync.Map load. The translate path serializes on a mutex so a
 // block is translated at most once per engine regardless of how many
 // workers race to execute it.
 type Cache struct {
 	r      Reader
-	mu     sync.RWMutex
-	blocks map[uint32]*Block
+	mu     sync.Mutex // serializes translation on miss
+	blocks sync.Map   // uint32 -> *Block
 	misses atomic.Int64
 }
 
 // NewCache returns an empty translation cache over r.
 func NewCache(r Reader) *Cache {
-	return &Cache{r: r, blocks: map[uint32]*Block{}}
+	return &Cache{r: r}
 }
 
 // Get returns the translation block at addr, translating on miss.
 func (c *Cache) Get(addr uint32) (*Block, error) {
-	c.mu.RLock()
-	b, ok := c.blocks[addr]
-	c.mu.RUnlock()
-	if ok {
-		return b, nil
+	if b, ok := c.blocks.Load(addr); ok {
+		return b.(*Block), nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if b, ok := c.blocks[addr]; ok {
-		return b, nil
+	if b, ok := c.blocks.Load(addr); ok {
+		return b.(*Block), nil
 	}
 	b, err := Translate(c.r, addr)
 	if err != nil {
 		return nil, err
 	}
 	c.misses.Add(1)
-	c.blocks[addr] = b
+	c.blocks.Store(addr, b)
 	return b, nil
 }
 
@@ -136,7 +135,7 @@ func (c *Cache) Get(addr uint32) (*Block, error) {
 func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.blocks = map[uint32]*Block{}
+	c.blocks.Clear()
 }
 
 // Misses returns the number of translations performed.

@@ -93,6 +93,12 @@ func (s *Solver) NewVar() int {
 // NumVars returns the number of variables created so far.
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
+// Unsat reports whether a top-level conflict has already been
+// derived: the formula is unsatisfiable regardless of any further
+// clauses or assumptions. Incremental callers use this to skip
+// translating new queries into a poisoned instance.
+func (s *Solver) Unsat() bool { return s.unsat }
+
 // Stats returns the number of decisions and conflicts so far.
 func (s *Solver) Stats() (decisions, conflicts int64) { return s.decisions, s.conflicts }
 

@@ -7,12 +7,27 @@
 // symbolic input, whether each outcome is feasible under the current
 // path constraints, and requests concrete models when it needs to
 // concretize (e.g., for symbolic memory addresses, §3.4 of the paper).
+//
+// The query path is built on interned expression IDs (expr.ID):
+//
+//   - the sat/unsat cache and the model cache key on an
+//     order-insensitive uint64 hash of the constraint IDs, so a cache
+//     probe allocates nothing;
+//   - a small ring of recently discovered models is evaluated against
+//     each new query before any CNF is built (KLEE's counterexample
+//     cache): a model that satisfies the query proves SAT for the
+//     price of an evaluation;
+//   - branch-feasibility queries (MayBeTrue) run incrementally: the
+//     solver keeps one SAT session per constraint prefix, asserts new
+//     path constraints as they appear, and decides each condition
+//     under an assumption literal (sat.SolveUnder), so the two queries
+//     a branch issues — cond and ¬cond — share one CNF translation,
+//     and consecutive branches on the same path reuse the whole
+//     prefix.
 package solver
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -30,37 +45,93 @@ const (
 )
 
 // DefaultCacheLimit bounds the query cache. When an exploration
-// would grow the cache past the limit the cache is reset (an epoch
-// flush), so long runs hold at most one epoch of memoized queries;
-// Evictions reports how often that happened.
+// would grow the cache past the limit the cache (and the model cache
+// beside it) is reset — an epoch flush — so long runs hold at most
+// one epoch of memoized queries; Evictions reports how often that
+// happened.
 const DefaultCacheLimit = 1 << 16
 
-// Solver answers bitvector queries with memoization. The zero value
-// is not usable; call New.
+// recentModels is the size of the counterexample ring: how many
+// recently discovered models are tried against each new query before
+// bit-blasting.
+const recentModels = 4
+
+// Solver answers bitvector queries with memoization, model reuse and
+// incremental branch queries. The zero value is not usable; call New.
 //
-// A Solver is safe for concurrent use: the query cache is
-// mutex-guarded and the statistics counters are atomic, so parallel
-// exploration workers may share one instance (each bit-blasted query
-// still runs on its own private SAT instance).
+// A Solver is safe for concurrent use: the caches are mutex-guarded
+// and the statistics counters are atomic, so parallel exploration
+// workers may share one instance. One-shot queries each bit-blast on
+// a private SAT instance and run in parallel; incremental branch
+// queries serialize on the shared session.
 type Solver struct {
 	mu         sync.Mutex
-	cache      map[string]bool
+	cache      map[uint64]bool
+	models     map[uint64]map[string]uint32
+	recent     [recentModels]map[string]uint32
+	recentPos  int
+	varsCache  map[uint64][]string
 	cacheLimit int
-	queries    atomic.Int64
-	hits       atomic.Int64
-	evictions  atomic.Int64
+
+	incremental atomic.Bool
+	incMu       sync.Mutex
+	inc         *incSession
+
+	queries   atomic.Int64
+	hits      atomic.Int64
+	modelHits atomic.Int64
+	evictions atomic.Int64
+	extended  atomic.Int64
+	rebuilt   atomic.Int64
+}
+
+// incSession is the incremental SAT context for one constraint
+// prefix: b holds the CNF of every constraint in ids, asserted in
+// order. A query whose (sliced, live) path constraints extend ids
+// reuses the session; anything else rebuilds it.
+type incSession struct {
+	b   *blaster
+	ids []uint64
 }
 
 // New returns a solver with an empty cache bounded at
-// DefaultCacheLimit entries.
+// DefaultCacheLimit entries and incremental branch queries enabled.
 func New() *Solver {
-	return &Solver{cache: map[string]bool{}, cacheLimit: DefaultCacheLimit}
+	s := &Solver{
+		cache:      map[uint64]bool{},
+		models:     map[uint64]map[string]uint32{},
+		varsCache:  map[uint64][]string{},
+		cacheLimit: DefaultCacheLimit,
+	}
+	s.incremental.Store(true)
+	return s
 }
 
-// Stats returns the number of queries answered and the cache hits
-// among them. It is safe to call while queries are in flight.
+// SetIncremental toggles incremental branch queries (MayBeTrue's
+// shared SAT session). Answers are identical either way; the switch
+// exists for the ablation benchmarks.
+func (s *Solver) SetIncremental(on bool) { s.incremental.Store(on) }
+
+// Incremental reports whether incremental branch queries are enabled.
+func (s *Solver) Incremental() bool { return s.incremental.Load() }
+
+// Stats returns the number of queries answered and the fingerprint
+// cache hits among them. It is safe to call while queries are in
+// flight.
 func (s *Solver) Stats() (queries, cacheHits int64) {
 	return s.queries.Load(), s.hits.Load()
+}
+
+// ModelHits returns how many queries were answered by re-evaluating a
+// cached model instead of solving.
+func (s *Solver) ModelHits() int64 { return s.modelHits.Load() }
+
+// Sessions reports the incremental solver's session reuse: extended
+// counts queries that kept the running SAT session (possibly
+// asserting new suffix constraints), rebuilt counts queries that had
+// to start a fresh session.
+func (s *Solver) Sessions() (extended, rebuilt int64) {
+	return s.extended.Load(), s.rebuilt.Load()
 }
 
 // CacheSize returns the current number of memoized queries.
@@ -85,56 +156,143 @@ func (s *Solver) SetCacheLimit(n int) {
 	defer s.mu.Unlock()
 	s.cacheLimit = n
 	if len(s.cache) > n {
-		s.cache = map[string]bool{}
-		s.evictions.Add(1)
+		s.flushLocked()
 	}
 }
 
-// cacheGet looks up a memoized query result.
-func (s *Solver) cacheGet(fp string) (bool, bool) {
+// flushLocked drops one cache epoch: verdicts, models and the
+// counterexample ring go together so they can never disagree.
+func (s *Solver) flushLocked() {
+	s.cache = map[uint64]bool{}
+	s.models = map[uint64]map[string]uint32{}
+	s.recent = [recentModels]map[string]uint32{}
+	s.recentPos = 0
+	s.evictions.Add(1)
+}
+
+// cacheGet looks up a memoized query verdict.
+func (s *Solver) cacheGet(fp uint64) (bool, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.cache[fp]
 	return r, ok
 }
 
-// cachePut memoizes a query result, flushing the cache first if it
-// is full.
-func (s *Solver) cachePut(fp string, r bool) {
+// cachePut memoizes a query verdict, flushing the epoch first if the
+// cache is full.
+func (s *Solver) cachePut(fp uint64, r bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.cache) >= s.cacheLimit {
-		s.cache = map[string]bool{}
-		s.evictions.Add(1)
+		s.flushLocked()
 	}
 	s.cache[fp] = r
 }
 
-// fingerprint keys the query cache on the constraints' structural
-// hashes. String() rendering would be exponential on heavily shared
-// DAGs; Hash is linear in distinct nodes.
-func fingerprint(constraints []*expr.Expr) string {
-	parts := make([]string, len(constraints))
-	for i, c := range constraints {
-		parts[i] = fmt.Sprintf("%016x:%d", c.Hash(), c.Size())
+// modelGet looks up a cached model for the exact constraint set.
+func (s *Solver) modelGet(fp uint64) (map[string]uint32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[fp]
+	return m, ok
+}
+
+// storeModel caches a freshly solved witness under the query
+// fingerprint and pushes it onto the counterexample ring. The map is
+// owned by the solver afterwards: callers receive copies.
+func (s *Solver) storeModel(fp uint64, m map[string]uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.models) >= s.cacheLimit {
+		s.flushLocked()
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, "&")
+	s.models[fp] = m
+	s.recent[s.recentPos%recentModels] = m
+	s.recentPos++
+}
+
+// rememberModel caches a reused witness under a new fingerprint
+// without touching the counterexample ring — the model is already in
+// the ring, and re-pushing it would evict distinct witnesses until
+// the ring held nothing but duplicates.
+func (s *Solver) rememberModel(fp uint64, m map[string]uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.models) >= s.cacheLimit {
+		s.flushLocked()
+	}
+	s.models[fp] = m
+}
+
+// tryRecent evaluates the constraints under the recently discovered
+// models; a model satisfying all of them proves SAT without touching
+// the SAT solver. Returns the witnessing model on success.
+func (s *Solver) tryRecent(constraints []*expr.Expr) (map[string]uint32, bool) {
+	s.mu.Lock()
+	ring := s.recent
+	s.mu.Unlock()
+next:
+	for _, m := range ring {
+		if m == nil {
+			continue
+		}
+		ev := expr.NewEvaluator(m)
+		for _, c := range constraints {
+			if ev.Eval(c) == 0 {
+				continue next
+			}
+		}
+		return m, true
+	}
+	return nil, false
+}
+
+// mix64 is the splitmix64 finalizer, used to spread interned IDs
+// before the order-insensitive combine.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// fingerprint keys the caches on an order-insensitive hash of the
+// constraints' interned IDs: equal constraint multisets hash equally
+// regardless of order, with no allocation and no tree walk — the
+// payoff of hash-consed expressions at this layer.
+func fingerprint(constraints []*expr.Expr) uint64 {
+	var sum, xor uint64
+	for _, c := range constraints {
+		h := mix64(c.ID())
+		sum += h
+		xor ^= bits.RotateLeft64(h, 17)
+	}
+	return mix64(sum ^ mix64(xor) ^ uint64(len(constraints)))
+}
+
+// liveConstraints strips constant-true constraints and reports
+// whether a constant-false one makes the conjunction trivially UNSAT.
+func liveConstraints(constraints []*expr.Expr) (live []*expr.Expr, unsat bool) {
+	for _, c := range constraints {
+		if c.IsFalse() {
+			return nil, true
+		}
+		if !c.IsTrue() {
+			live = append(live, c)
+		}
+	}
+	return live, false
 }
 
 // Satisfiable reports whether the conjunction of the given width-1
 // constraints has a model.
 func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 	s.queries.Add(1)
-	// Cheap pass: constant constraints.
-	var live []*expr.Expr
-	for _, c := range constraints {
-		if c.IsFalse() {
-			return false
-		}
-		if !c.IsTrue() {
-			live = append(live, c)
-		}
+	live, unsat := liveConstraints(constraints)
+	if unsat {
+		return false
 	}
 	if len(live) == 0 {
 		return true
@@ -144,14 +302,89 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 		s.hits.Add(1)
 		return r
 	}
+	if m, ok := s.tryRecent(live); ok {
+		s.modelHits.Add(1)
+		s.cachePut(fp, true)
+		s.rememberModel(fp, m)
+		return true
+	}
 	b := newBlaster()
 	for _, c := range live {
 		out := b.blast(c)
 		b.s.AddClause(out[0])
 	}
 	r := b.s.Solve()
+	if r {
+		s.storeModel(fp, b.model())
+	}
 	s.cachePut(fp, r)
 	return r
+}
+
+// varsOf returns the sorted variable names of e, memoized per
+// interned expression ID — the repeated walks Slice used to pay on
+// every query collapse to one walk per distinct constraint.
+func (s *Solver) varsOf(e *expr.Expr) []string {
+	id := e.ID()
+	if id == 0 {
+		return expr.VarNames(e)
+	}
+	s.mu.Lock()
+	if v, ok := s.varsCache[id]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	names := expr.VarNames(e)
+	s.mu.Lock()
+	if len(s.varsCache) >= s.cacheLimit {
+		s.varsCache = map[uint64][]string{}
+	}
+	s.varsCache[id] = names
+	s.mu.Unlock()
+	return names
+}
+
+// sliceVars is the constraint-independence fixed point shared by the
+// exported Slice and the solver's cached variant.
+func sliceVars(pc []*expr.Expr, vars [][]string, tvars []string) []*expr.Expr {
+	if len(tvars) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(tvars))
+	for _, v := range tvars {
+		want[v] = true
+	}
+	used := make([]bool, len(pc))
+	for changed := true; changed; {
+		changed = false
+		for i := range pc {
+			if used[i] {
+				continue
+			}
+			hit := false
+			for _, v := range vars[i] {
+				if want[v] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				used[i] = true
+				changed = true
+				for _, v := range vars[i] {
+					want[v] = true
+				}
+			}
+		}
+	}
+	var out []*expr.Expr
+	for i, c := range pc {
+		if used[i] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Slice returns the subset of constraints transitively sharing
@@ -160,60 +393,119 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 // feasible extensions, the discarded independent constraints are
 // satisfiable on their own, so SAT(slice ∧ target) ⇔ SAT(pc ∧ target).
 func Slice(pc []*expr.Expr, target *expr.Expr) []*expr.Expr {
-	want := map[string]uint8{}
-	expr.Vars(target, want)
-	if len(want) == 0 {
+	vars := make([][]string, len(pc))
+	for i, c := range pc {
+		vars[i] = expr.VarNames(c)
+	}
+	return sliceVars(pc, vars, expr.VarNames(target))
+}
+
+// slice is Slice with the per-constraint variable sets served from
+// the ID-keyed cache.
+func (s *Solver) slice(pc []*expr.Expr, target *expr.Expr) []*expr.Expr {
+	tvars := s.varsOf(target)
+	if len(tvars) == 0 {
 		return nil
 	}
-	type entry struct {
-		c    *expr.Expr
-		vars map[string]uint8
-		used bool
-	}
-	entries := make([]entry, len(pc))
+	vars := make([][]string, len(pc))
 	for i, c := range pc {
-		vs := map[string]uint8{}
-		expr.Vars(c, vs)
-		entries[i] = entry{c: c, vars: vs}
+		vars[i] = s.varsOf(c)
 	}
-	// Fixed-point expansion of the variable set.
-	for changed := true; changed; {
-		changed = false
-		for i := range entries {
-			if entries[i].used {
-				continue
-			}
-			hit := false
-			for v := range entries[i].vars {
-				if _, ok := want[v]; ok {
-					hit = true
-					break
-				}
-			}
-			if hit {
-				entries[i].used = true
-				changed = true
-				for v, w := range entries[i].vars {
-					want[v] = w
-				}
-			}
-		}
-	}
-	var out []*expr.Expr
-	for _, e := range entries {
-		if e.used {
-			out = append(out, e.c)
-		}
-	}
-	return out
+	return sliceVars(pc, vars, tvars)
 }
 
 // MayBeTrue reports whether cond can be true under the path
 // constraints: SAT(pc ∧ cond). The path condition is sliced to the
-// constraints relevant to cond first.
+// constraints relevant to cond first; with incremental solving
+// enabled the sliced prefix is asserted into a shared SAT session and
+// cond is decided under an assumption literal, so a branch's two
+// queries (cond, ¬cond) and consecutive branches over the same
+// variables share CNF and learnt clauses.
 func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
-	rel := Slice(pc, cond)
-	return s.Satisfiable(append(rel, cond))
+	rel := s.slice(pc, cond)
+	if !s.incremental.Load() {
+		return s.Satisfiable(append(rel, cond))
+	}
+	s.queries.Add(1)
+	prefix, unsat := liveConstraints(rel)
+	if unsat || cond.IsFalse() {
+		return false
+	}
+	full := prefix
+	if !cond.IsTrue() {
+		full = append(prefix[:len(prefix):len(prefix)], cond)
+	}
+	if len(full) == 0 {
+		return true
+	}
+	fp := fingerprint(full)
+	if r, ok := s.cacheGet(fp); ok {
+		s.hits.Add(1)
+		return r
+	}
+	if m, ok := s.tryRecent(full); ok {
+		s.modelHits.Add(1)
+		s.cachePut(fp, true)
+		s.rememberModel(fp, m)
+		return true
+	}
+	r, model := s.solveIncremental(prefix, cond)
+	if r && model != nil {
+		s.storeModel(fp, model)
+	}
+	s.cachePut(fp, r)
+	return r
+}
+
+// solveIncremental decides SAT(prefix ∧ cond) on the shared session,
+// returning the witnessing model on SAT. The session is kept when the
+// prefix extends the asserted constraint sequence and rebuilt
+// otherwise; concurrent callers serialize here, which is the
+// documented trade-off of sharing a session.
+func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (bool, map[string]uint32) {
+	s.incMu.Lock()
+	defer s.incMu.Unlock()
+	sess := s.inc
+	if sess == nil || !prefixExtends(sess.ids, prefix) {
+		sess = &incSession{b: newBlaster()}
+		s.inc = sess
+		s.rebuilt.Add(1)
+	} else {
+		s.extended.Add(1)
+	}
+	for _, c := range prefix[len(sess.ids):] {
+		out := sess.b.blast(c)
+		sess.b.s.AddClause(out[0])
+		sess.ids = append(sess.ids, c.ID())
+	}
+	if sess.b.s.Unsat() {
+		return false, nil
+	}
+	var ok bool
+	if cond.IsTrue() {
+		ok = sess.b.s.Solve()
+	} else {
+		lit := sess.b.blast(cond)[0]
+		ok = sess.b.s.SolveUnder(lit)
+	}
+	if !ok {
+		return false, nil
+	}
+	return true, sess.b.model()
+}
+
+// prefixExtends reports whether the asserted ID sequence is a prefix
+// of the constraint list.
+func prefixExtends(ids []uint64, prefix []*expr.Expr) bool {
+	if len(ids) > len(prefix) {
+		return false
+	}
+	for i, id := range ids {
+		if prefix[i].ID() != id {
+			return false
+		}
+	}
+	return true
 }
 
 // MustBeTrue reports whether cond is implied by the path constraints:
@@ -224,18 +516,34 @@ func (s *Solver) MustBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
 
 // Model returns a satisfying assignment for the constraints, or ok =
 // false if they are unsatisfiable. Variables not mentioned in the
-// constraints are absent from the model (they may take any value;
-// expr.Eval treats them as zero).
+// constraints may be absent from the model (expr.Eval treats missing
+// variables as zero); a reused cached witness can mention extra
+// variables, which evaluation ignores. Models are cached beside the
+// sat/unsat verdicts: re-asking for the model of a known constraint
+// set costs a fingerprint probe.
 func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 	s.queries.Add(1)
-	var live []*expr.Expr
-	for _, c := range constraints {
-		if c.IsFalse() {
-			return nil, false
-		}
-		if !c.IsTrue() {
-			live = append(live, c)
-		}
+	live, unsat := liveConstraints(constraints)
+	if unsat {
+		return nil, false
+	}
+	if len(live) == 0 {
+		return map[string]uint32{}, true
+	}
+	fp := fingerprint(live)
+	if m, ok := s.modelGet(fp); ok {
+		s.modelHits.Add(1)
+		return copyModel(m), true
+	}
+	if r, ok := s.cacheGet(fp); ok && !r {
+		s.hits.Add(1)
+		return nil, false
+	}
+	if m, ok := s.tryRecent(live); ok {
+		s.modelHits.Add(1)
+		s.cachePut(fp, true)
+		s.rememberModel(fp, m)
+		return copyModel(m), true
 	}
 	b := newBlaster()
 	for _, c := range live {
@@ -243,21 +551,21 @@ func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 		b.s.AddClause(out[0])
 	}
 	if !b.s.Solve() {
-		s.cachePut(fingerprint(live), false)
+		s.cachePut(fp, false)
 		return nil, false
 	}
-	s.cachePut(fingerprint(live), true)
-	model := map[string]uint32{}
-	for name, bits := range b.syms {
-		var v uint32
-		for i, lit := range bits {
-			if b.s.Value(lit.Var()) != lit.Sign() {
-				v |= 1 << i
-			}
-		}
-		model[name] = v
+	s.cachePut(fp, true)
+	model := b.model()
+	s.storeModel(fp, model)
+	return copyModel(model), true
+}
+
+func copyModel(m map[string]uint32) map[string]uint32 {
+	out := make(map[string]uint32, len(m))
+	for k, v := range m {
+		out[k] = v
 	}
-	return model, true
+	return out
 }
 
 // Concretize returns a concrete value e can take under the path
@@ -270,7 +578,7 @@ func (s *Solver) Concretize(pc []*expr.Expr, e *expr.Expr) (uint32, bool) {
 	}
 	// Only the constraints touching e's variables can restrict its
 	// value; independent ones are satisfiable separately.
-	model, ok := s.Model(Slice(pc, e))
+	model, ok := s.Model(s.slice(pc, e))
 	if !ok {
 		return 0, false
 	}
@@ -287,7 +595,7 @@ func (s *Solver) Values(pc []*expr.Expr, e *expr.Expr, max int) []uint32 {
 		return []uint32{v}
 	}
 	var out []uint32
-	cons := Slice(pc, e)
+	cons := s.slice(pc, e)
 	for len(out) < max {
 		model, ok := s.Model(cons)
 		if !ok {
@@ -300,11 +608,13 @@ func (s *Solver) Values(pc []*expr.Expr, e *expr.Expr, max int) []uint32 {
 	return out
 }
 
-// blaster converts expression DAGs to CNF over a fresh SAT instance.
-// Bit i of a value is lits[i] (LSB first).
+// blaster converts expression DAGs to CNF over a SAT instance. Bit i
+// of a value is lits[i] (LSB first). The memo keys on interned
+// expression IDs, so a blaster living across queries (the incremental
+// session) translates each distinct sub-expression once.
 type blaster struct {
 	s     *sat.Solver
-	memo  map[*expr.Expr][]sat.Lit
+	memo  map[uint64][]sat.Lit
 	syms  map[string][]sat.Lit
 	true_ sat.Lit
 }
@@ -312,13 +622,30 @@ type blaster struct {
 func newBlaster() *blaster {
 	b := &blaster{
 		s:    sat.New(),
-		memo: map[*expr.Expr][]sat.Lit{},
+		memo: map[uint64][]sat.Lit{},
 		syms: map[string][]sat.Lit{},
 	}
 	v := b.s.NewVar()
 	b.true_ = sat.Pos(v)
 	b.s.AddClause(b.true_)
 	return b
+}
+
+// model reads the satisfying assignment for every symbol the blaster
+// has translated. Valid only directly after a successful Solve or
+// SolveUnder on b.s.
+func (b *blaster) model() map[string]uint32 {
+	model := make(map[string]uint32, len(b.syms))
+	for name, bits := range b.syms {
+		var v uint32
+		for i, lit := range bits {
+			if b.s.Value(lit.Var()) != lit.Sign() {
+				v |= 1 << i
+			}
+		}
+		model[name] = v
+	}
+	return model
 }
 
 func (b *blaster) constLit(v bool) sat.Lit {
@@ -483,14 +810,14 @@ func (b *blaster) shiftConst(x []sat.Lit, k int, kind expr.Kind) []sat.Lit {
 
 // blast returns the bit literals of e, LSB first.
 func (b *blaster) blast(e *expr.Expr) []sat.Lit {
-	if bits, ok := b.memo[e]; ok {
+	if bits, ok := b.memo[e.ID()]; ok {
 		return bits
 	}
 	bits := b.blastUncached(e)
 	if len(bits) != int(e.Width) {
 		panic("solver: width mismatch in blasting")
 	}
-	b.memo[e] = bits
+	b.memo[e.ID()] = bits
 	return bits
 }
 

@@ -3,6 +3,8 @@ package solver
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -388,5 +390,205 @@ func TestCacheBound(t *testing.T) {
 	}
 	if s.Evictions() == 0 {
 		t.Error("expected at least one epoch flush")
+	}
+}
+
+// TestIncrementalMatchesOneShot is the equivalence regression for the
+// incremental branch-query path: across random path-constraint
+// sequences, MayBeTrue with the shared SAT session must answer
+// exactly like a fresh non-incremental solver.
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		inc := New()
+		oneShot := New()
+		oneShot.SetIncremental(false)
+		vars := []*expr.Expr{expr.S("ia", 8), expr.S("ib", 8), expr.S("ic", 8)}
+		var pc []*expr.Expr
+		for step := 0; step < 8; step++ {
+			x := vars[r.Intn(len(vars))]
+			c := expr.C(uint32(r.Intn(256)), 8)
+			var cond *expr.Expr
+			switch r.Intn(4) {
+			case 0:
+				cond = expr.Ult(x, c)
+			case 1:
+				cond = expr.Eq(expr.Add(x, c), expr.C(uint32(r.Intn(256)), 8))
+			case 2:
+				cond = expr.Not(expr.Eq(expr.And(x, c), expr.C(0, 8)))
+			default:
+				cond = expr.Slt(x, c)
+			}
+			a, b := inc.MayBeTrue(pc, cond), oneShot.MayBeTrue(pc, cond)
+			if a != b {
+				t.Fatalf("trial %d step %d: incremental=%v one-shot=%v for %s under %v",
+					trial, step, a, b, cond, pc)
+			}
+			na, nb := inc.MayBeTrue(pc, expr.Not(cond)), oneShot.MayBeTrue(pc, expr.Not(cond))
+			if na != nb {
+				t.Fatalf("trial %d step %d: negated divergence for %s", trial, step, cond)
+			}
+			// Extend the path like the engine does: constrain a feasible
+			// side so the next iteration reuses the session prefix.
+			switch {
+			case a:
+				pc = append(pc, cond)
+			case na:
+				pc = append(pc, expr.Not(cond))
+			}
+		}
+		if ext, _ := inc.Sessions(); ext == 0 {
+			t.Error("incremental solver never reused a session")
+		}
+	}
+}
+
+// TestModelCache checks the model cache: a repeated Model call for
+// the same constraint set is served without solving, and the answer
+// still satisfies the constraints.
+func TestModelCache(t *testing.T) {
+	s := New()
+	x := expr.S("mc", 16)
+	cons := []*expr.Expr{expr.Eq(expr.Mul(x, expr.C(3, 16)), expr.C(0x30, 16))}
+	m1, ok := s.Model(cons)
+	if !ok {
+		t.Fatal("SAT expected")
+	}
+	before := s.ModelHits()
+	m2, ok := s.Model(cons)
+	if !ok || s.ModelHits() == before {
+		t.Fatal("second Model call did not hit the model cache")
+	}
+	for _, m := range []map[string]uint32{m1, m2} {
+		if expr.Eval(cons[0], m) == 0 {
+			t.Fatalf("cached model %v violates constraint", m)
+		}
+	}
+	// Mutating a returned model must not corrupt the cache.
+	m2["mc"] = 0xFFFF
+	m3, _ := s.Model(cons)
+	if expr.Eval(cons[0], m3) == 0 {
+		t.Fatal("cache corrupted by caller mutation")
+	}
+}
+
+// TestCounterexampleReuse checks the recent-model ring: a query
+// satisfied by a recently found witness is answered without solving.
+func TestCounterexampleReuse(t *testing.T) {
+	s := New()
+	x := expr.S("cr", 8)
+	// First query discovers a model with x < 100.
+	if !s.Satisfiable([]*expr.Expr{expr.Ult(x, expr.C(100, 8))}) {
+		t.Fatal("SAT expected")
+	}
+	// A weaker query is satisfied by the same witness.
+	before := s.ModelHits()
+	if !s.Satisfiable([]*expr.Expr{expr.Ult(x, expr.C(200, 8))}) {
+		t.Fatal("SAT expected")
+	}
+	if s.ModelHits() == before {
+		t.Error("weaker query did not reuse the recent model")
+	}
+}
+
+// TestFingerprintProperties pins the fingerprint contract: order
+// insensitivity, and sensitivity to membership and multiplicity.
+func TestFingerprintProperties(t *testing.T) {
+	x, y := expr.S("fpx", 8), expr.S("fpy", 8)
+	a := expr.Ult(x, expr.C(5, 8))
+	b := expr.Eq(y, expr.C(7, 8))
+	c := expr.Not(expr.Eq(x, y))
+	if fingerprint([]*expr.Expr{a, b, c}) != fingerprint([]*expr.Expr{c, a, b}) {
+		t.Error("fingerprint is order sensitive")
+	}
+	if fingerprint([]*expr.Expr{a, b}) == fingerprint([]*expr.Expr{a, b, c}) {
+		t.Error("fingerprint ignores membership")
+	}
+	if fingerprint([]*expr.Expr{a}) == fingerprint([]*expr.Expr{a, a}) {
+		t.Error("fingerprint ignores multiplicity")
+	}
+	// Interned reconstruction fingerprints identically.
+	a2 := expr.Ult(expr.S("fpx", 8), expr.C(5, 8))
+	if fingerprint([]*expr.Expr{a}) != fingerprint([]*expr.Expr{a2}) {
+		t.Error("reconstructed constraint fingerprints differently")
+	}
+}
+
+// benchConstraints builds a realistic path condition: a chain of
+// branch conditions over a handful of hardware symbols.
+func benchConstraints(n int) []*expr.Expr {
+	out := make([]*expr.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		x := expr.S(fmt.Sprintf("hw_%d", i%6), 32)
+		e := expr.And(expr.Add(x, expr.C(uint32(i), 32)), expr.C(0xFF, 32))
+		out = append(out, expr.Ult(e, expr.C(uint32(64+i%32), 32)))
+	}
+	return out
+}
+
+// legacyFingerprint is the pre-interning implementation (structural
+// hash + size rendered to a sorted, joined string), kept here as the
+// baseline for BenchmarkSolverFingerprint.
+func legacyFingerprint(constraints []*expr.Expr) string {
+	parts := make([]string, len(constraints))
+	for i, c := range constraints {
+		parts[i] = fmt.Sprintf("%016x:%d", c.Hash(), c.Size())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}
+
+// BenchmarkSolverFingerprint measures the query-cache key on a
+// 32-constraint path condition: the interned-ID hash against the
+// legacy string rendering it replaced. The allocation column is the
+// point — the uint64 fingerprint allocates nothing.
+func BenchmarkSolverFingerprint(b *testing.B) {
+	cons := benchConstraints(32)
+	b.Run("interned-ids", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= fingerprint(cons)
+		}
+		_ = sink
+	})
+	b.Run("legacy-string", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			n += len(legacyFingerprint(cons))
+		}
+		_ = n
+	})
+}
+
+// BenchmarkMayBeTrue measures the branch-feasibility hot path with
+// and without incremental sessions on a growing path condition.
+func BenchmarkMayBeTrue(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		inc  bool
+	}{{"incremental", true}, {"one-shot", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := New()
+				s.SetIncremental(mode.inc)
+				x := expr.S("bm", 16)
+				var pc []*expr.Expr
+				for step := 0; step < 12; step++ {
+					// Each condition pins different bits of x, so cached
+					// models rarely satisfy the next query and the SAT
+					// core does real work at every branch.
+					cond := expr.Eq(
+						expr.And(expr.Add(x, expr.C(uint32(step*13), 16)), expr.C(0xFF, 16)),
+						expr.C(uint32(step*37)&0xFF, 16))
+					if s.MayBeTrue(pc, cond) {
+						pc = append(pc, cond)
+					} else {
+						pc = append(pc, expr.Not(cond))
+					}
+				}
+			}
+		})
 	}
 }

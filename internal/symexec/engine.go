@@ -14,19 +14,6 @@ import (
 	"revnic/internal/vm"
 )
 
-// Strategy selects the index of the next state to run from the live
-// set. The paper's default picks the state whose next block has the
-// lowest global execution count (§3.2); DFS and BFS exist for the
-// ablation study.
-type Strategy int
-
-// Exploration strategies.
-const (
-	StrategyMinCount Strategy = iota
-	StrategyDFS
-	StrategyBFS
-)
-
 // Config parameterizes an exploration run. Zero values select the
 // defaults the paper's prototype effectively uses.
 type Config struct {
@@ -36,8 +23,18 @@ type Config struct {
 	// line. The developer obtains these parameters from the Windows
 	// device manager" (§3.4).
 	Shell hw.PCIConfig
-	// Strategy picks the path-selection heuristic.
-	Strategy Strategy
+	// Searcher builds the path-selection searcher for each explored
+	// state group (the root engine and every fork-join worker child
+	// construct their own through it, so searcher state is never
+	// shared between goroutines). nil selects NewCoverageGuided, the
+	// paper's min-count heuristic; NewDFS and NewBFS are the ablation
+	// baselines, and SearcherByName resolves command-line names.
+	Searcher SearcherFactory
+	// DisableIncrementalSolver turns off the solver's shared
+	// incremental SAT session for branch queries (ablation). Query
+	// answers — and therefore exploration results — are identical
+	// either way.
+	DisableIncrementalSolver bool
 	// PollThreshold is the per-state repeat count after which the
 	// polling-loop killer discards the staying path.
 	PollThreshold int
@@ -78,6 +75,9 @@ type Config struct {
 }
 
 func (c *Config) defaults() {
+	if c.Searcher == nil {
+		c.Searcher = NewCoverageGuided
+	}
 	if c.PollThreshold == 0 {
 		c.PollThreshold = 48
 	}
@@ -132,6 +132,18 @@ type Result struct {
 	KilledLoops int64
 	// DMARegions are the shared-memory regions the driver registered.
 	DMARegions [][2]uint32
+	// Strategy names the searcher that drove this exploration.
+	Strategy string
+	// SolverQueries and SolverCacheHits aggregate the constraint
+	// solver's work across the root engine and all fork-join worker
+	// children; SolverModelHits counts queries answered by
+	// re-evaluating a cached model instead of solving.
+	SolverQueries   int64
+	SolverCacheHits int64
+	SolverModelHits int64
+	// TranslatedBlocks is the number of distinct translation-cache
+	// entries built (ir.Cache misses).
+	TranslatedBlocks int64
 }
 
 // Engine drives selective symbolic execution of one driver binary.
@@ -155,6 +167,13 @@ type Engine struct {
 	killed   int64
 	coverage []CoveragePoint
 	lastCov  int
+
+	// childQueries/childHits/childModelHits accumulate the solver
+	// statistics of merged worker children (each child has its own
+	// solver; the join folds its counters here).
+	childQueries   int64
+	childHits      int64
+	childModelHits int64
 
 	// symPrefix namespaces fresh symbols minted by a worker child so
 	// they can never collide with symbols already present in the seed
@@ -198,12 +217,20 @@ func New(prog *isa.Program, cfg Config) *Engine {
 		cfg:     cfg,
 		prog:    prog,
 		col:     trace.NewCollector(),
-		sol:     solver.New(),
+		sol:     newSolver(cfg),
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 		baseRAM: ram,
 	}
 	e.cache = ir.NewCache(imageReader{ram})
 	return e
+}
+
+// newSolver builds a constraint solver configured per the engine
+// ablation switches.
+func newSolver(cfg Config) *solver.Solver {
+	s := solver.New()
+	s.SetIncremental(!cfg.DisableIncrementalSolver)
+	return s
 }
 
 // freshSym mints a new hardware/input symbol.
@@ -229,7 +256,7 @@ func (e *Engine) child(idx int) *Engine {
 		prog:      e.prog,
 		cache:     e.cache,
 		col:       trace.NewCollector(),
-		sol:       solver.New(),
+		sol:       newSolver(e.cfg),
 		rng:       rand.New(rand.NewSource(e.cfg.Seed + int64(e.jobSeq))),
 		baseRAM:   e.baseRAM,
 		entries:   e.entries,

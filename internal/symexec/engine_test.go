@@ -145,15 +145,76 @@ func TestExploreDMATracking(t *testing.T) {
 }
 
 func TestStrategies(t *testing.T) {
-	// All three strategies must terminate and find the entry points;
-	// min-count should cover at least as much as DFS (the ablation
-	// claim, checked loosely).
-	covs := map[Strategy]int{}
-	for _, s := range []Strategy{StrategyMinCount, StrategyDFS, StrategyBFS} {
-		res := exploreDriver(t, "RTL8029", Config{Seed: 3, Strategy: s})
-		covs[s] = res.Collector.CoveredBlocks()
+	// All three searchers must terminate and find the entry points;
+	// the coverage-guided default should cover at least as much as
+	// DFS (the ablation claim, checked loosely).
+	covs := map[string]int{}
+	for _, name := range []string{"coverage", "dfs", "bfs"} {
+		factory, err := SearcherByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := exploreDriver(t, "RTL8029", Config{Seed: 3, Searcher: factory})
+		if res.Strategy != name {
+			t.Errorf("result strategy = %q, want %q", res.Strategy, name)
+		}
+		if !res.Entries.Registered() {
+			t.Errorf("%s: entry points not discovered", name)
+		}
+		if res.SolverQueries == 0 {
+			t.Errorf("%s: no solver queries recorded", name)
+		}
+		covs[name] = res.Collector.CoveredBlocks()
 	}
-	if covs[StrategyMinCount] < covs[StrategyDFS]-5 {
-		t.Errorf("min-count (%d) much worse than DFS (%d)", covs[StrategyMinCount], covs[StrategyDFS])
+	if covs["coverage"] < covs["dfs"]-5 {
+		t.Errorf("coverage-guided (%d) much worse than DFS (%d)", covs["coverage"], covs["dfs"])
+	}
+}
+
+func TestSearcherByName(t *testing.T) {
+	if _, err := SearcherByName("mincount"); err != nil {
+		t.Error("historical alias mincount not accepted")
+	}
+	if _, err := SearcherByName("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	names := SearcherNames()
+	if len(names) < 3 {
+		t.Errorf("SearcherNames = %v", names)
+	}
+}
+
+// TestSearcherDisciplines pins the frontier orders: DFS drives the
+// newest state, BFS the oldest, and both track removals.
+func TestSearcherDisciplines(t *testing.T) {
+	a, b, c := &State{ID: 1}, &State{ID: 2}, &State{ID: 3}
+	dfs := NewDFS(nil)
+	dfs.Update([]*State{a, b}, nil)
+	if got := dfs.Select([]*State{a, b}); got != b {
+		t.Fatal("DFS did not pick the newest state")
+	}
+	dfs.Update([]*State{c}, []*State{b})
+	if got := dfs.Select([]*State{a, c}); got != c {
+		t.Fatal("DFS did not follow the fork child")
+	}
+	bfs := NewBFS(nil)
+	bfs.Update([]*State{a, b}, nil)
+	if got := bfs.Select([]*State{a, b}); got != a {
+		t.Fatal("BFS did not pick the oldest state")
+	}
+	bfs.Update([]*State{c}, []*State{a})
+	if got := bfs.Select([]*State{b, c}); got != b {
+		t.Fatal("BFS order broken after removal")
+	}
+}
+
+// TestIncrementalSolverAblation checks the solver ablation switch:
+// exploration results are identical with and without the incremental
+// SAT session (only the work to produce them differs).
+func TestIncrementalSolverAblation(t *testing.T) {
+	on := exploreDriver(t, "RTL8029", Config{Seed: 4})
+	off := exploreDriver(t, "RTL8029", Config{Seed: 4, DisableIncrementalSolver: true})
+	if traceFingerprint(on) != traceFingerprint(off) {
+		t.Fatal("incremental solving changed exploration results")
 	}
 }

@@ -190,15 +190,21 @@ func (e *Engine) Explore() (*Result, error) {
 		}
 	}
 
+	queries, hits := e.sol.Stats()
 	return &Result{
-		InitFailed:     initFailed,
-		Collector:      e.col,
-		Entries:        e.entries,
-		Coverage:       e.coverage,
-		ExecutedBlocks: e.exec,
-		ForkCount:      e.forks,
-		KilledLoops:    e.killed,
-		DMARegions:     e.dma.Regions(),
+		InitFailed:       initFailed,
+		Collector:        e.col,
+		Entries:          e.entries,
+		Coverage:         e.coverage,
+		ExecutedBlocks:   e.exec,
+		ForkCount:        e.forks,
+		KilledLoops:      e.killed,
+		DMARegions:       e.dma.Regions(),
+		Strategy:         e.cfg.Searcher(e.col).Name(),
+		SolverQueries:    queries + e.childQueries,
+		SolverCacheHits:  hits + e.childHits,
+		SolverModelHits:  e.sol.ModelHits() + e.childModelHits,
+		TranslatedBlocks: e.cache.Misses(),
 	}, nil
 }
 
@@ -326,13 +332,17 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 // drains, the budgets expire, enough successful completions
 // accumulate, or — when spreadTo > 0 — the live set has grown to
 // spreadTo states (the fan-out point of the fork-join mode, in which
-// case the still-live remainder is returned). used reports the
+// case the still-live remainder is returned). Path selection is
+// delegated to a fresh Searcher built from Config.Searcher, so each
+// explored state group owns its searcher state. used reports the
 // translation blocks consumed against bdg.blocks.
 func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, success successFn, spreadTo int) (completed, remaining []*State, used int64, err error) {
 	successes := 0
 	startExec := e.exec
 	lastCovExec := e.exec
 	lastCov := e.col.CoveredBlocks()
+	sr := e.cfg.Searcher(e.col)
+	sr.Update(live, nil)
 
 	for len(live) > 0 {
 		if spreadTo > 0 && len(live) >= spreadTo {
@@ -345,16 +355,21 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 			}
 			break
 		}
-		i := e.pick(live)
-		s := live[i]
-		live[i] = live[len(live)-1]
-		live = live[:len(live)-1]
+		s := sr.Select(live)
+		for i := range live {
+			if live[i] == s {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				break
+			}
+		}
 
 		out, err := e.stepBlock(s)
 		if err != nil {
 			return nil, nil, e.exec - startExec, fmt.Errorf("symexec: phase %s: %w", name, err)
 		}
 		live = append(live, out...)
+		sr.Update(out, []*State{s})
 
 		if c := e.col.CoveredBlocks(); c != lastCov {
 			lastCov = c
@@ -371,6 +386,7 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 					for _, l := range live {
 						l.Reason = TermKilledDiscard
 					}
+					sr.Update(nil, live)
 					live = nil
 				}
 			}
@@ -379,53 +395,38 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 		// re-executed code (they are the least likely to find new
 		// blocks).
 		if len(live) > bdg.maxStates {
-			live = e.shedStates(live, bdg.maxStates)
+			var killed []*State
+			live, killed = e.shedStates(live, bdg.maxStates)
+			sr.Update(nil, killed)
 		}
 	}
 	return completed, nil, e.exec - startExec, nil
 }
 
-// pick implements the state-selection strategies.
-func (e *Engine) pick(live []*State) int {
-	switch e.cfg.Strategy {
-	case StrategyDFS:
-		return len(live) - 1
-	case StrategyBFS:
-		return 0
-	}
-	// Min-count: run the state whose next block has executed least
-	// (§3.2). "A good side effect ... it does not get stuck in
-	// loops."
-	best, bestCount := 0, int64(1)<<62
-	for i, s := range live {
-		c := e.col.BlockCount(s.PC)
-		if c < bestCount {
-			best, bestCount = i, c
-		}
-	}
-	return best
-}
-
 // shedStates drops the most loop-bound half of an oversized state
-// set, emulating the memory-pressure discards of §3.4. maxStates is
-// the cap of the calling exploration (per shard in fork-join mode).
-func (e *Engine) shedStates(live []*State, maxStates int) []*State {
-	keep := make([]*State, 0, len(live))
+// set, emulating the memory-pressure discards of §3.4, returning the
+// survivors and the killed states (so the searcher can be told).
+// maxStates is the cap of the calling exploration (per shard in
+// fork-join mode).
+func (e *Engine) shedStates(live []*State, maxStates int) (kept, killed []*State) {
+	kept = make([]*State, 0, len(live))
 	// Keep states whose current block is cold; kill the hottest.
 	for _, s := range live {
-		if e.col.BlockCount(s.PC) < 4*int64(e.cfg.PollThreshold) || len(keep) < maxStates/2 {
-			keep = append(keep, s)
+		if e.col.BlockCount(s.PC) < 4*int64(e.cfg.PollThreshold) || len(kept) < maxStates/2 {
+			kept = append(kept, s)
 		} else {
 			s.Reason = TermKilledLoop
 			e.killed++
+			killed = append(killed, s)
 		}
 	}
-	if len(keep) > maxStates {
-		for _, s := range keep[maxStates:] {
+	if len(kept) > maxStates {
+		for _, s := range kept[maxStates:] {
 			s.Reason = TermKilledLoop
 			e.killed++
+			killed = append(killed, s)
 		}
-		keep = keep[:maxStates]
+		kept = kept[:maxStates]
 	}
-	return keep
+	return kept, killed
 }

@@ -155,6 +155,10 @@ func (e *Engine) mergeChild(c *Engine) {
 	e.exec += c.exec
 	e.forks += c.forks
 	e.killed += c.killed
+	q, h := c.sol.Stats()
+	e.childQueries += q + c.childQueries
+	e.childHits += h + c.childHits
+	e.childModelHits += c.sol.ModelHits() + c.childModelHits
 	e.col.Merge(c.col)
 	e.dma.Merge(&c.dma)
 	if !e.entries.Registered() && c.entries.Registered() {

@@ -71,27 +71,37 @@ func traceFingerprint(res *Result) string {
 }
 
 // TestParallelDeterminism is the regression test for the fork-join
-// mode's core guarantee: for a fixed Config.Seed, the traces and
-// coverage produced with 1 worker and with N workers are identical —
-// Workers sets concurrency, never the result. Run it under
-// `go test -race` to also exercise the shared translation cache,
-// expression hashing and COW page sharing across worker goroutines.
+// mode's core guarantee, now quantified over every searcher: for a
+// fixed Config.Seed, the traces and coverage produced with 1 worker
+// and with N workers are identical — Workers sets concurrency, never
+// the result, regardless of the path-selection strategy. Run it under
+// `go test -race` to also exercise the shared translation cache, the
+// expression intern table and COW page sharing across worker
+// goroutines.
 func TestParallelDeterminism(t *testing.T) {
-	var want string
-	for _, workers := range []int{1, 4} {
-		res := exploreDriver(t, "RTL8029", Config{Seed: 7, Workers: workers})
-		got := traceFingerprint(res)
-		if workers == 1 {
-			want = got
-			continue
-		}
-		if got != want {
-			t.Fatalf("workers=%d diverged from workers=1 (fingerprints differ: %d vs %d bytes)",
-				workers, len(got), len(want))
-		}
-	}
-	if want == "" {
-		t.Fatal("no baseline recorded")
+	for _, name := range []string{"coverage", "dfs", "bfs"} {
+		t.Run(name, func(t *testing.T) {
+			factory, err := SearcherByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want string
+			for _, workers := range []int{1, 4} {
+				res := exploreDriver(t, "RTL8029", Config{Seed: 7, Workers: workers, Searcher: factory})
+				got := traceFingerprint(res)
+				if workers == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("workers=%d diverged from workers=1 (fingerprints differ: %d vs %d bytes)",
+						workers, len(got), len(want))
+				}
+			}
+			if want == "" {
+				t.Fatal("no baseline recorded")
+			}
+		})
 	}
 }
 

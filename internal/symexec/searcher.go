@@ -1,0 +1,160 @@
+package symexec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file defines the pluggable path-selection layer. The engine's
+// state-selection loop no longer hardcodes a strategy enum: each
+// exploration (the root engine and every fork-join worker child)
+// constructs a Searcher through the factory in Config.Searcher and
+// consults it for every scheduling decision. Determinism is part of
+// the contract — a Searcher sees only deterministic inputs (the live
+// set in its deterministic order, the engine-local block counts), so
+// for a fixed Config the explored paths are bit-identical for every
+// Config.Workers value, per searcher.
+
+// Searcher picks the next state to execute from the live set and is
+// kept informed as the frontier changes.
+//
+// The engine's protocol: Select is called with the current live set
+// (never empty) and must return one of its members; the engine then
+// removes that state from the set, executes one translation block,
+// and calls Update with the step's follow-on states as added (which
+// may include the selected state, if it is still live) and the states
+// that left the frontier as removed — the selected state always,
+// plus any states discarded by the budget and memory heuristics.
+// Implementations must be deterministic functions of this call
+// sequence and of engine-local statistics; they need not be safe for
+// concurrent use (each exploration owns its searcher).
+type Searcher interface {
+	// Name identifies the searcher in reports and flags.
+	Name() string
+	// Select returns the next state to run; must be an element of live.
+	Select(live []*State) *State
+	// Update informs the searcher of frontier changes: removed states
+	// leave first, then added states join.
+	Update(added, removed []*State)
+}
+
+// BlockCounts is the engine-side statistics view searchers may
+// consult; the trace collector implements it.
+type BlockCounts interface {
+	// BlockCount returns how often the block at addr has executed in
+	// this exploration.
+	BlockCount(addr uint32) int64
+}
+
+// SearcherFactory builds a fresh searcher for one exploration. The
+// engine calls it once per explored state group with its own
+// statistics view, so searcher state is never shared across
+// concurrent workers.
+type SearcherFactory func(counts BlockCounts) Searcher
+
+// NewCoverageGuided returns the paper's default heuristic (§3.2): run
+// the state whose next block has executed least. "A good side effect
+// of this heuristic is that it does not get stuck in loops."
+func NewCoverageGuided(counts BlockCounts) Searcher {
+	return &coverageSearcher{counts: counts}
+}
+
+type coverageSearcher struct {
+	counts BlockCounts
+}
+
+func (s *coverageSearcher) Name() string { return "coverage" }
+
+func (s *coverageSearcher) Select(live []*State) *State {
+	best, bestCount := 0, int64(1)<<62
+	for i, st := range live {
+		if c := s.counts.BlockCount(st.PC); c < bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return live[best]
+}
+
+func (s *coverageSearcher) Update(added, removed []*State) {}
+
+// NewDFS returns a depth-first searcher: the most recently produced
+// state runs next, so one path is driven to termination before its
+// siblings. The §3.2 ablation baseline.
+func NewDFS(BlockCounts) Searcher { return &frontierSearcher{name: "dfs", lifo: true} }
+
+// NewBFS returns a breadth-first searcher: states run in the order
+// they were produced, exploring all paths in lockstep.
+func NewBFS(BlockCounts) Searcher { return &frontierSearcher{name: "bfs"} }
+
+// frontierSearcher maintains an explicit frontier ordered by
+// insertion; lifo selects stack (DFS) or queue (BFS) discipline.
+type frontierSearcher struct {
+	name  string
+	lifo  bool
+	order []*State
+}
+
+func (s *frontierSearcher) Name() string { return s.name }
+
+func (s *frontierSearcher) Select(live []*State) *State {
+	if len(s.order) == 0 {
+		// Defensive resynchronization; the engine protocol keeps the
+		// frontier in lockstep with live, so this is never hit there.
+		s.order = append(s.order, live...)
+	}
+	if s.lifo {
+		return s.order[len(s.order)-1]
+	}
+	return s.order[0]
+}
+
+func (s *frontierSearcher) Update(added, removed []*State) {
+	for _, r := range removed {
+		// The departing state is almost always at the selection end;
+		// scan from there.
+		if s.lifo {
+			for i := len(s.order) - 1; i >= 0; i-- {
+				if s.order[i] == r {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		} else {
+			for i := 0; i < len(s.order); i++ {
+				if s.order[i] == r {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	s.order = append(s.order, added...)
+}
+
+// searcherFactories is the flag-name registry; cmd/revnic and
+// cmd/revbench resolve their -strategy flags here. "mincount" is the
+// historical alias of the coverage-guided default.
+var searcherFactories = map[string]SearcherFactory{
+	"coverage": NewCoverageGuided,
+	"mincount": NewCoverageGuided,
+	"dfs":      NewDFS,
+	"bfs":      NewBFS,
+}
+
+// SearcherByName resolves a -strategy flag value to a factory.
+func SearcherByName(name string) (SearcherFactory, error) {
+	if f, ok := searcherFactories[name]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("symexec: unknown strategy %q (have %v)", name, SearcherNames())
+}
+
+// SearcherNames lists the registered strategy names, sorted.
+func SearcherNames() []string {
+	names := make([]string, 0, len(searcherFactories))
+	for n := range searcherFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
