@@ -17,6 +17,7 @@ import (
 
 	"revnic/internal/drivers"
 	"revnic/internal/experiments"
+	"revnic/internal/expr"
 	"revnic/internal/symexec"
 )
 
@@ -50,6 +51,9 @@ func main() {
 			d.Name, e.Strategy, e.Collector.CoveredBlocks(),
 			e.SolverQueries, e.SolverCacheHits, e.SolverModelHits)
 	}
+	// One-shot process: all four explorations intern into the default
+	// arena (revnicd scopes an arena per job instead).
+	fmt.Fprintf(os.Stderr, "revbench: %d interned expression nodes across all drivers\n", expr.InternedNodes())
 	ids := experiments.List()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")

@@ -21,6 +21,7 @@ import (
 
 	"revnic/internal/core"
 	"revnic/internal/drivers"
+	"revnic/internal/expr"
 	"revnic/internal/symexec"
 	"revnic/internal/template"
 )
@@ -75,6 +76,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "revnic: %d executed blocks (%d translated), %d forks, %d loop-kills; wiretap: %s\n",
 			exp.ExecutedBlocks, exp.TranslatedBlocks, exp.ForkCount,
 			exp.KilledLoops, exp.Collector.Summary())
+		// The CLI explores in the process-global default arena (one
+		// run, one process); revnicd uses a private expr.Arena per job
+		// instead, so this count stays flat there.
+		fmt.Fprintf(os.Stderr, "revnic: %d interned expression nodes\n", expr.InternedNodes())
 		for _, wmsg := range rev.Synth.Warnings {
 			fmt.Fprintf(os.Stderr, "revnic: warning: %s\n", wmsg)
 		}

@@ -1,0 +1,79 @@
+// Command revnicd runs the reverse-engineering pipeline as a
+// long-lived HTTP/JSON job service: clients POST job specs (bundled
+// driver name or uploaded program image, searcher, fork-join fan-out,
+// exploration budgets) to /jobs, poll /jobs/{id} for status and
+// results, and scrape /metrics for Prometheus-style counters.
+//
+// Usage:
+//
+//	revnicd [-addr :8939] [-pool 2] [-queue 64] [-drain-timeout 1m]
+//
+// Jobs run on a bounded pool; each job explores inside its own
+// expression arena, so finished jobs release all their interned
+// expressions and the daemon's memory returns to baseline between
+// bursts. SIGINT/SIGTERM trigger a graceful drain: submissions are
+// rejected, running and queued jobs finish (up to -drain-timeout),
+// then the process exits.
+//
+// Example session:
+//
+//	revnicd -addr :8939 &
+//	curl -s -X POST localhost:8939/jobs -d '{"driver":"RTL8029"}'
+//	curl -s localhost:8939/jobs/job-1 | jq .status
+//	curl -s localhost:8939/jobs/job-1/code
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"revnic/internal/jobsvc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8939", "listen address")
+		pool         = flag.Int("pool", 2, "jobs executed concurrently")
+		queue        = flag.Int("queue", 64, "accepted-but-unstarted job backlog bound")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-drain allowance on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	svc := jobsvc.New(jobsvc.Config{Pool: *pool, QueueDepth: *queue})
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("revnicd: serving on %s (pool=%d, %d CPUs)", *addr, *pool, runtime.GOMAXPROCS(0))
+		errc <- server.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("revnicd: %v: draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := svc.Drain(ctx); err != nil {
+			log.Printf("revnicd: drain incomplete: %v", err)
+		}
+		if err := server.Shutdown(ctx); err != nil {
+			log.Printf("revnicd: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "revnicd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"revnic/internal/cfg"
 	"revnic/internal/core"
 	"revnic/internal/drivers"
+	"revnic/internal/expr"
 	"revnic/internal/hw"
 	"revnic/internal/isa"
 	"revnic/internal/platform"
@@ -43,11 +44,31 @@ func NewContextWorkers(workers int) (*Context, error) {
 
 // NewContextWith builds the context on a bounded worker pool with an
 // explicit path-selection searcher (cmd/revbench's -strategy knob;
-// nil selects the coverage-guided default). workers caps both the
-// number of drivers reverse engineered at once and each engine's
-// internal exploration parallelism (cmd/revnic's -workers knob); 0
-// uses GOMAXPROCS.
+// nil selects the coverage-guided default).
 func NewContextWith(workers int, searcher symexec.SearcherFactory) (*Context, error) {
+	return NewContextCfg(ContextConfig{Workers: workers, Searcher: searcher})
+}
+
+// ContextConfig parameterizes context construction for callers beyond
+// the CLIs — notably the revnicd job service, which scopes each
+// context build to its own expression arena.
+type ContextConfig struct {
+	// Workers caps both the number of drivers reverse engineered at
+	// once and each engine's internal exploration parallelism
+	// (cmd/revnic's -workers knob); 0 uses GOMAXPROCS.
+	Workers int
+	// Searcher is the path-selection factory; nil selects the
+	// coverage-guided default.
+	Searcher symexec.SearcherFactory
+	// Arena is the expression arena every engine builds in; nil
+	// selects the process-global default arena. Results are
+	// bit-identical for any arena.
+	Arena *expr.Arena
+}
+
+// NewContextCfg builds the context per the given configuration.
+func NewContextCfg(cc ContextConfig) (*Context, error) {
+	workers := cc.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -81,7 +102,10 @@ func NewContextWith(workers int, searcher symexec.SearcherFactory) (*Context, er
 			revs[i], errs[i] = core.ReverseEngineer(d.Program, core.Options{
 				Shell:      core.ShellConfig(d),
 				DriverName: d.Name,
-				Engine:     symexec.Config{Seed: 42, Workers: perEngine, Searcher: searcher},
+				Engine: symexec.Config{
+					Seed: 42, Workers: perEngine,
+					Searcher: cc.Searcher, Arena: cc.Arena,
+				},
 			})
 		}(i, d)
 	}

@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildIn constructs a representative expression DAG through one
+// arena's constructors.
+func buildIn(ar *Arena, i int) *Expr {
+	x := ar.S(fmt.Sprintf("x%d", i), 32)
+	y := ar.S("y", 32)
+	sum := ar.Add(ar.Mul(x, ar.C(0x1234, 32)), y)
+	cmp := ar.Ult(sum, ar.C(0x8000_0000, 32))
+	return ar.Ite(cmp, ar.Xor(sum, ar.C(0xDEAD_BEEF, 32)), ar.Not(sum))
+}
+
+func TestArenaCanonicalWithin(t *testing.T) {
+	ar := NewArena()
+	a := buildIn(ar, 1)
+	b := buildIn(ar, 1)
+	if a != b {
+		t.Fatal("same structure in one arena must intern to one node")
+	}
+	if a.ID() == 0 {
+		t.Fatal("arena nodes must carry nonzero IDs")
+	}
+}
+
+func TestArenaIsolation(t *testing.T) {
+	ar1, ar2 := NewArena(), NewArena()
+	a := buildIn(ar1, 1)
+	b := buildIn(ar2, 1)
+	if a == b {
+		t.Fatal("two arenas must not share interned nodes")
+	}
+	if !Equal(a, b) {
+		t.Fatal("cross-arena structural equality must still hold")
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("IDs must be process-unique across arenas")
+	}
+	// Semantics are arena-independent.
+	env := map[string]uint32{"x1": 7, "y": 1 << 20}
+	if Eval(a, env) != Eval(b, env) {
+		t.Fatal("evaluation must not depend on the arena")
+	}
+}
+
+func TestArenaSharedSmallConstants(t *testing.T) {
+	ar1, ar2 := NewArena(), NewArena()
+	// The small-constant pool is deliberately shared: permanent,
+	// immutable, canonical process-wide.
+	if ar1.C(42, 8) != ar2.C(42, 8) || ar1.C(42, 8) != C(42, 8) {
+		t.Fatal("small constants must come from the shared pool")
+	}
+	// Large constants intern per arena.
+	if ar1.C(1<<20, 32) == ar2.C(1<<20, 32) {
+		t.Fatal("large constants must intern per arena")
+	}
+}
+
+func TestArenaNoDefaultGrowth(t *testing.T) {
+	// Warm the default arena so unrelated lazy initialization cannot
+	// masquerade as growth.
+	buildIn(Default(), 0)
+	before := InternedNodes()
+	ar := NewArena()
+	for i := 0; i < 64; i++ {
+		buildIn(ar, i)
+	}
+	if ar.InternedNodes() == 0 {
+		t.Fatal("private arena should have interned nodes")
+	}
+	if after := InternedNodes(); after != before {
+		t.Fatalf("building in a private arena grew the default arena: %d -> %d", before, after)
+	}
+}
+
+func TestArenaConstructorsMatchDefault(t *testing.T) {
+	// The package-level constructors are exactly the default arena's.
+	if Add(S("p", 16), C(3, 16)) != Default().Add(Default().S("p", 16), Default().C(3, 16)) {
+		t.Fatal("package-level constructors must build in the default arena")
+	}
+}

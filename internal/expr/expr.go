@@ -6,9 +6,13 @@
 // commutative operand ordering), which keeps path constraints small
 // before they ever reach the solver — the same role KLEE's expression
 // rewriter plays in the original system — and then intern the node in
-// a global sharded table (intern.go), so every constructor returns the
-// one canonical node per structure. Structural equality of constructed
-// expressions is therefore pointer equality (or equality of the stable
+// a sharded hash-consing table (an Arena, intern.go), so every
+// constructor returns the one canonical node per structure within its
+// arena. The package-level constructors build in a process-global
+// default arena; long-lived services give each job its own Arena so a
+// finished job's expressions are reclaimed wholesale. Structural
+// equality of same-arena constructed expressions is pointer equality
+// (or equality of the stable
 // ID every canonical node carries), and the evaluation, variable and
 // bit-blasting memos throughout the system key on those IDs. Widths
 // are in bits, 1..32; width-1 expressions are booleans produced by
@@ -112,22 +116,28 @@ func mask(w uint8) uint32 {
 // Mask returns the value mask for width w.
 func Mask(w uint8) uint32 { return mask(w) }
 
+// C constructs a constant of width w in the default arena.
+func C(v uint32, w uint8) *Expr { return defaultArena.C(v, w) }
+
 // C constructs a constant of width w.
-func C(v uint32, w uint8) *Expr {
+func (ar *Arena) C(v uint32, w uint8) *Expr {
 	v &= mask(w)
 	if v < 256 && w <= 32 {
 		if c := smallConsts[w][v]; c != nil {
 			return c
 		}
 	}
-	return intern(internKey{kind: KConst, width: w, val: v})
+	return ar.intern(internKey{kind: KConst, width: w, val: v})
 }
 
-// S constructs a symbolic variable. Names are globally meaningful:
+// S constructs a symbolic variable in the default arena.
+func S(name string, w uint8) *Expr { return defaultArena.S(name, w) }
+
+// S constructs a symbolic variable. Names are meaningful per arena:
 // the same name always denotes the same unknown, and under interning
 // the same name and width always return the same node.
-func S(name string, w uint8) *Expr {
-	return intern(internKey{kind: KSym, width: w, name: name})
+func (ar *Arena) S(name string, w uint8) *Expr {
+	return ar.intern(internKey{kind: KSym, width: w, name: name})
 }
 
 // Bool converts a Go bool to the width-1 constants used as branch
@@ -186,7 +196,7 @@ func binFold(k Kind, a, b uint32, w uint8) uint32 {
 	panic("expr: binFold on non-arithmetic kind " + kindNames[k])
 }
 
-func bin(k Kind, a, b *Expr) *Expr {
+func (ar *Arena) bin(k Kind, a, b *Expr) *Expr {
 	if a.Width != b.Width {
 		panic(fmt.Sprintf("expr: width mismatch %d vs %d in %s", a.Width, b.Width, kindNames[k]))
 	}
@@ -194,7 +204,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 	av, aConst := a.IsConst()
 	bv, bConst := b.IsConst()
 	if aConst && bConst {
-		return C(binFold(k, av, bv, w), w)
+		return ar.C(binFold(k, av, bv, w), w)
 	}
 	// Algebraic identities with a constant operand.
 	if bConst {
@@ -202,7 +212,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 		case bv == 0 && (k == KAdd || k == KSub || k == KOr || k == KXor || k == KShl || k == KLshr || k == KAshr):
 			return a
 		case bv == 0 && (k == KAnd || k == KMul):
-			return C(0, w)
+			return ar.C(0, w)
 		case bv == mask(w) && k == KAnd:
 			return a
 		case bv == 1 && k == KMul:
@@ -214,7 +224,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 		case av == 0 && (k == KAdd || k == KOr || k == KXor):
 			return b
 		case av == 0 && (k == KAnd || k == KMul || k == KShl || k == KLshr || k == KAshr):
-			return C(0, w)
+			return ar.C(0, w)
 		case av == mask(w) && k == KAnd:
 			return b
 		case av == 1 && k == KMul:
@@ -224,7 +234,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 	if Equal(a, b) {
 		switch k {
 		case KSub, KXor:
-			return C(0, w)
+			return ar.C(0, w)
 		case KAnd, KOr:
 			return a
 		}
@@ -241,7 +251,7 @@ func bin(k Kind, a, b *Expr) *Expr {
 		}
 		if bConst && a.Kind == k {
 			if iv, ok := a.B.IsConst(); ok {
-				return bin(k, a.A, C(binFold(k, iv, bv, w), w))
+				return ar.bin(k, a.A, ar.C(binFold(k, iv, bv, w), w))
 			}
 		}
 		if !aConst && !bConst && a.Hash() > b.Hash() {
@@ -250,42 +260,72 @@ func bin(k Kind, a, b *Expr) *Expr {
 	case KSub:
 		// x - c  =>  x + (-c), unifying with the KAdd re-association.
 		if bConst {
-			return bin(KAdd, a, C(-bv&mask(w), w))
+			return ar.bin(KAdd, a, ar.C(-bv&mask(w), w))
 		}
 	}
 	_ = av
-	return intern(internKey{kind: k, width: w, a: a, b: b})
+	return ar.intern(internKey{kind: k, width: w, a: a, b: b})
 }
 
 // Add returns a+b.
-func Add(a, b *Expr) *Expr { return bin(KAdd, a, b) }
+func Add(a, b *Expr) *Expr { return defaultArena.Add(a, b) }
+
+// Add returns a+b.
+func (ar *Arena) Add(a, b *Expr) *Expr { return ar.bin(KAdd, a, b) }
 
 // Sub returns a-b.
-func Sub(a, b *Expr) *Expr { return bin(KSub, a, b) }
+func Sub(a, b *Expr) *Expr { return defaultArena.Sub(a, b) }
+
+// Sub returns a-b.
+func (ar *Arena) Sub(a, b *Expr) *Expr { return ar.bin(KSub, a, b) }
 
 // Mul returns a*b (low bits).
-func Mul(a, b *Expr) *Expr { return bin(KMul, a, b) }
+func Mul(a, b *Expr) *Expr { return defaultArena.Mul(a, b) }
+
+// Mul returns a*b (low bits).
+func (ar *Arena) Mul(a, b *Expr) *Expr { return ar.bin(KMul, a, b) }
 
 // And returns a&b.
-func And(a, b *Expr) *Expr { return bin(KAnd, a, b) }
+func And(a, b *Expr) *Expr { return defaultArena.And(a, b) }
+
+// And returns a&b.
+func (ar *Arena) And(a, b *Expr) *Expr { return ar.bin(KAnd, a, b) }
 
 // Or returns a|b.
-func Or(a, b *Expr) *Expr { return bin(KOr, a, b) }
+func Or(a, b *Expr) *Expr { return defaultArena.Or(a, b) }
+
+// Or returns a|b.
+func (ar *Arena) Or(a, b *Expr) *Expr { return ar.bin(KOr, a, b) }
 
 // Xor returns a^b.
-func Xor(a, b *Expr) *Expr { return bin(KXor, a, b) }
+func Xor(a, b *Expr) *Expr { return defaultArena.Xor(a, b) }
+
+// Xor returns a^b.
+func (ar *Arena) Xor(a, b *Expr) *Expr { return ar.bin(KXor, a, b) }
 
 // Shl returns a << b (shift amount taken mod 32).
-func Shl(a, b *Expr) *Expr { return bin(KShl, a, b) }
+func Shl(a, b *Expr) *Expr { return defaultArena.Shl(a, b) }
+
+// Shl returns a << b (shift amount taken mod 32).
+func (ar *Arena) Shl(a, b *Expr) *Expr { return ar.bin(KShl, a, b) }
 
 // Lshr returns the logical right shift a >> b.
-func Lshr(a, b *Expr) *Expr { return bin(KLshr, a, b) }
+func Lshr(a, b *Expr) *Expr { return defaultArena.Lshr(a, b) }
+
+// Lshr returns the logical right shift a >> b.
+func (ar *Arena) Lshr(a, b *Expr) *Expr { return ar.bin(KLshr, a, b) }
 
 // Ashr returns the arithmetic right shift a >> b.
-func Ashr(a, b *Expr) *Expr { return bin(KAshr, a, b) }
+func Ashr(a, b *Expr) *Expr { return defaultArena.Ashr(a, b) }
+
+// Ashr returns the arithmetic right shift a >> b.
+func (ar *Arena) Ashr(a, b *Expr) *Expr { return ar.bin(KAshr, a, b) }
 
 // Eq returns the boolean a == b.
-func Eq(a, b *Expr) *Expr {
+func Eq(a, b *Expr) *Expr { return defaultArena.Eq(a, b) }
+
+// Eq returns the boolean a == b.
+func (ar *Arena) Eq(a, b *Expr) *Expr {
 	if a.Width != b.Width {
 		panic("expr: width mismatch in eq")
 	}
@@ -308,11 +348,14 @@ func Eq(a, b *Expr) *Expr {
 	if a.Kind != KConst && b.Kind != KConst && a.Hash() > b.Hash() {
 		a, b = b, a
 	}
-	return intern(internKey{kind: KEq, width: 1, a: a, b: b})
+	return ar.intern(internKey{kind: KEq, width: 1, a: a, b: b})
 }
 
 // Ult returns the boolean a < b, unsigned.
-func Ult(a, b *Expr) *Expr {
+func Ult(a, b *Expr) *Expr { return defaultArena.Ult(a, b) }
+
+// Ult returns the boolean a < b, unsigned.
+func (ar *Arena) Ult(a, b *Expr) *Expr {
 	if a.Width != b.Width {
 		panic("expr: width mismatch in ult")
 	}
@@ -327,11 +370,14 @@ func Ult(a, b *Expr) *Expr {
 	if Equal(a, b) {
 		return Bool(false)
 	}
-	return intern(internKey{kind: KUlt, width: 1, a: a, b: b})
+	return ar.intern(internKey{kind: KUlt, width: 1, a: a, b: b})
 }
 
 // Slt returns the boolean a < b, signed at the operand width.
-func Slt(a, b *Expr) *Expr {
+func Slt(a, b *Expr) *Expr { return defaultArena.Slt(a, b) }
+
+// Slt returns the boolean a < b, signed at the operand width.
+func (ar *Arena) Slt(a, b *Expr) *Expr {
 	if a.Width != b.Width {
 		panic("expr: width mismatch in slt")
 	}
@@ -343,22 +389,28 @@ func Slt(a, b *Expr) *Expr {
 	if Equal(a, b) {
 		return Bool(false)
 	}
-	return intern(internKey{kind: KSlt, width: 1, a: a, b: b})
+	return ar.intern(internKey{kind: KSlt, width: 1, a: a, b: b})
 }
 
 // Not returns the bitwise complement; at width 1 this is logical not.
-func Not(a *Expr) *Expr {
+func Not(a *Expr) *Expr { return defaultArena.Not(a) }
+
+// Not returns the bitwise complement; at width 1 this is logical not.
+func (ar *Arena) Not(a *Expr) *Expr {
 	if v, ok := a.IsConst(); ok {
-		return C(^v, a.Width)
+		return ar.C(^v, a.Width)
 	}
 	if a.Kind == KNot {
 		return a.A
 	}
-	return intern(internKey{kind: KNot, width: a.Width, a: a})
+	return ar.intern(internKey{kind: KNot, width: a.Width, a: a})
 }
 
 // Zext zero-extends a to width w.
-func Zext(a *Expr, w uint8) *Expr {
+func Zext(a *Expr, w uint8) *Expr { return defaultArena.Zext(a, w) }
+
+// Zext zero-extends a to width w.
+func (ar *Arena) Zext(a *Expr, w uint8) *Expr {
 	if w < a.Width {
 		panic("expr: zext narrows")
 	}
@@ -366,16 +418,19 @@ func Zext(a *Expr, w uint8) *Expr {
 		return a
 	}
 	if v, ok := a.IsConst(); ok {
-		return C(v, w)
+		return ar.C(v, w)
 	}
 	if a.Kind == KZext {
-		return Zext(a.A, w)
+		return ar.Zext(a.A, w)
 	}
-	return intern(internKey{kind: KZext, width: w, a: a})
+	return ar.intern(internKey{kind: KZext, width: w, a: a})
 }
 
 // Trunc truncates a to width w.
-func Trunc(a *Expr, w uint8) *Expr {
+func Trunc(a *Expr, w uint8) *Expr { return defaultArena.Trunc(a, w) }
+
+// Trunc truncates a to width w.
+func (ar *Arena) Trunc(a *Expr, w uint8) *Expr {
 	if w > a.Width {
 		panic("expr: trunc widens")
 	}
@@ -383,39 +438,46 @@ func Trunc(a *Expr, w uint8) *Expr {
 		return a
 	}
 	if v, ok := a.IsConst(); ok {
-		return C(v, w)
+		return ar.C(v, w)
 	}
 	if a.Kind == KZext && a.A.Width >= w {
-		return Trunc(a.A, w)
+		return ar.Trunc(a.A, w)
 	}
 	if a.Kind == KConcat && a.B.Width >= w {
-		return Trunc(a.B, w)
+		return ar.Trunc(a.B, w)
 	}
-	return intern(internKey{kind: KTrunc, width: w, a: a})
+	return ar.intern(internKey{kind: KTrunc, width: w, a: a})
 }
 
 // Concat concatenates hi over lo; the result has width
 // hi.Width+lo.Width.
-func Concat(hi, lo *Expr) *Expr {
+func Concat(hi, lo *Expr) *Expr { return defaultArena.Concat(hi, lo) }
+
+// Concat concatenates hi over lo; the result has width
+// hi.Width+lo.Width.
+func (ar *Arena) Concat(hi, lo *Expr) *Expr {
 	w := hi.Width + lo.Width
 	if w > 32 {
 		panic("expr: concat exceeds 32 bits")
 	}
 	if hv, ok := hi.IsConst(); ok {
 		if lv, ok2 := lo.IsConst(); ok2 {
-			return C(hv<<lo.Width|lv, w)
+			return ar.C(hv<<lo.Width|lv, w)
 		}
 		if hv == 0 {
-			return Zext(lo, w)
+			return ar.Zext(lo, w)
 		}
 	}
 	// concat(trunc(x>>k), trunc(x)) patterns from byte-wise memory
 	// reassemble into x; handled by ExtractByte below.
-	return intern(internKey{kind: KConcat, width: w, a: hi, b: lo})
+	return ar.intern(internKey{kind: KConcat, width: w, a: hi, b: lo})
 }
 
 // Ite returns "if cond then a else b"; cond must have width 1.
-func Ite(cond, a, b *Expr) *Expr {
+func Ite(cond, a, b *Expr) *Expr { return defaultArena.Ite(cond, a, b) }
+
+// Ite returns "if cond then a else b"; cond must have width 1.
+func (ar *Arena) Ite(cond, a, b *Expr) *Expr {
 	if cond.Width != 1 {
 		panic("expr: ite condition must be width 1")
 	}
@@ -431,37 +493,48 @@ func Ite(cond, a, b *Expr) *Expr {
 	if Equal(a, b) {
 		return a
 	}
-	return intern(internKey{kind: KIte, width: a.Width, a: cond, b: a, c: b})
+	return ar.intern(internKey{kind: KIte, width: a.Width, a: cond, b: a, c: b})
 }
+
+// ExtractByte returns byte i (0 = least significant) of e as a width-8
+// expression.
+func ExtractByte(e *Expr, i int) *Expr { return defaultArena.ExtractByte(e, i) }
 
 // ExtractByte returns byte i (0 = least significant) of e as a width-8
 // expression, recognizing the reassembly patterns produced by
 // byte-granular symbolic memory.
-func ExtractByte(e *Expr, i int) *Expr {
+func (ar *Arena) ExtractByte(e *Expr, i int) *Expr {
 	if i*8 >= int(e.Width+7) {
-		return C(0, 8)
+		return ar.C(0, 8)
 	}
 	if v, ok := e.IsConst(); ok {
-		return C(v>>(8*i), 8)
+		return ar.C(v>>(8*i), 8)
 	}
 	if i == 0 {
-		return Trunc(e, 8)
+		return ar.Trunc(e, 8)
 	}
-	return Trunc(Lshr(e, C(uint32(8*i), e.Width)), 8)
+	return ar.Trunc(ar.Lshr(e, ar.C(uint32(8*i), e.Width)), 8)
 }
 
-// Byte assembles a 32-bit value from four width-8 byte expressions
-// (b0 least significant), recognizing the case where all four bytes
-// extract consecutive bytes of one source expression.
-func FromBytes32(b0, b1, b2, b3 *Expr) *Expr {
+// FromBytes32 assembles a 32-bit value from four width-8 byte
+// expressions (b0 least significant).
+func FromBytes32(b0, b1, b2, b3 *Expr) *Expr { return defaultArena.FromBytes32(b0, b1, b2, b3) }
+
+// FromBytes32 assembles a 32-bit value from four width-8 byte
+// expressions (b0 least significant), recognizing the case where all
+// four bytes extract consecutive bytes of one source expression.
+func (ar *Arena) FromBytes32(b0, b1, b2, b3 *Expr) *Expr {
 	if src := commonSource(b0, b1, b2, b3); src != nil {
 		return src
 	}
-	return Concat(Concat(b3, b2), Concat(b1, b0))
+	return ar.Concat(ar.Concat(b3, b2), ar.Concat(b1, b0))
 }
 
 // FromBytes16 assembles a 16-bit value from two byte expressions.
-func FromBytes16(b0, b1 *Expr) *Expr { return Concat(b1, b0) }
+func FromBytes16(b0, b1 *Expr) *Expr { return defaultArena.Concat(b1, b0) }
+
+// FromBytes16 assembles a 16-bit value from two byte expressions.
+func (ar *Arena) FromBytes16(b0, b1 *Expr) *Expr { return ar.Concat(b1, b0) }
 
 // commonSource detects b0..b3 = bytes 0..3 of a single 32-bit
 // expression and returns that expression.

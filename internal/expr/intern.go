@@ -6,21 +6,30 @@ import (
 )
 
 // This file implements hash-consing: every constructor funnels its
-// result through intern, which returns one canonical node per
-// expression structure. Canonical nodes carry a stable nonzero ID, so
-// structural equality of interned expressions is pointer (or ID)
-// equality, and downstream memo tables (evaluation, variable
-// collection, bit-blasting, solver caches) key on the ID instead of
-// re-walking trees.
+// result through an Arena's intern table, which returns one canonical
+// node per expression structure. Canonical nodes carry a stable
+// nonzero ID, so structural equality of interned expressions is
+// pointer (or ID) equality, and downstream memo tables (evaluation,
+// variable collection, bit-blasting, solver caches) key on the ID
+// instead of re-walking trees.
 //
-// The table is global and sharded: each shard is an independently
-// mutex-guarded map, so concurrent exploration workers interning
-// expressions contend only when they hash into the same shard. Nodes
-// are immutable and fully initialized (including the structural hash)
-// before they are published through a shard map, which is why no
-// per-node atomics are needed.
+// Interning used to go through one process-global table, which never
+// evicts: fine for a CLI run, fatal for a long-lived service whose
+// jobs each mint millions of nodes. An Arena is an isolated intern
+// table — a job builds all its expressions in its own arena and the
+// whole table becomes garbage when the job's last reference dies, so
+// reclamation happens wholesale by construction. The process-global
+// default arena still backs the package-level constructors, keeping
+// every existing caller (the CLIs, the tests) unchanged.
+//
+// Each arena is sharded: a shard is an independently mutex-guarded
+// map, so concurrent exploration workers interning expressions contend
+// only when they hash into the same shard. Nodes are immutable and
+// fully initialized (including the structural hash) before they are
+// published through a shard map, which is why no per-node atomics are
+// needed.
 
-// internShards is the lock-striping width of the global table. Sixty
+// internShards is the lock-striping width of an arena's table. Sixty
 // four shards keeps cross-worker contention negligible at the worker
 // counts the engine uses (≤ GOMAXPROCS).
 const internShards = 64
@@ -28,7 +37,8 @@ const internShards = 64
 // internKey identifies an expression structure. Children are compared
 // by pointer: constructors intern bottom-up, so structurally equal
 // children are already pointer-identical by the time a parent is
-// interned.
+// interned — provided parent and children come from one arena (plus
+// the shared small-constant pool, which is canonical everywhere).
 type internKey struct {
 	kind    Kind
 	width   uint8
@@ -42,39 +52,70 @@ type internShard struct {
 	m  map[internKey]*Expr
 }
 
+// Arena is an isolated hash-consing table. Expressions built through
+// one arena's constructor methods are canonical within that arena:
+// structurally equal constructions return the same pointer (and ID).
+// Expressions from different arenas never alias (except the shared
+// small-constant pool), so dropping every reference to an arena
+// reclaims all its nodes at once.
+//
+// An Arena is safe for concurrent use. The zero value is not usable;
+// call NewArena, or use the package-level constructors, which build in
+// the process-global default arena.
+type Arena struct {
+	shards [internShards]internShard
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	a := &Arena{}
+	for i := range a.shards {
+		a.shards[i].m = map[internKey]*Expr{}
+	}
+	return a
+}
+
 var (
-	internTable [internShards]internShard
-	nextID      atomic.Uint64
-	// internDisabled gates the table for the interning ablation
-	// benchmarks; the zero value (interning on) is the production
-	// configuration.
+	// defaultArena backs the package-level constructors; it is the
+	// old process-global intern table.
+	defaultArena = NewArena()
+	// nextID is shared by every arena so IDs are process-unique:
+	// ID-keyed memo tables stay correct even where arena nodes mix
+	// with the shared small constants.
+	nextID atomic.Uint64
+	// internDisabled gates all interning for the ablation benchmarks;
+	// the zero value (interning on) is the production configuration.
 	internDisabled atomic.Bool
 )
 
-// smallConsts short-circuits the table for the constants the engine
+// Default returns the process-global arena the package-level
+// constructors build in.
+func Default() *Arena { return defaultArena }
+
+// smallConsts short-circuits the tables for the constants the engine
 // mints constantly (immediates, masks, byte values): a lock-free
-// lookup instead of a shard round-trip.
+// lookup instead of a shard round-trip. The pool is shared by every
+// arena — the nodes are immutable, permanently live, and canonical
+// process-wide, so cross-arena sharing of them is safe.
 var smallConsts [33][256]*Expr
 
 func init() {
-	for i := range internTable {
-		internTable[i].m = map[internKey]*Expr{}
-	}
 	for w := 1; w <= 32; w++ {
 		for v := 0; v < 256; v++ {
 			if uint32(v) != uint32(v)&mask(uint8(w)) {
 				continue // not representable at this width
 			}
-			smallConsts[w][v] = intern(internKey{kind: KConst, width: uint8(w), val: uint32(v)})
+			k := internKey{kind: KConst, width: uint8(w), val: uint32(v)}
+			smallConsts[w][v] = materialize(k, hashKey(k))
 		}
 	}
 }
 
 // intern returns the canonical node for the given structure,
 // allocating (and assigning a fresh ID) only when the structure is new
-// to the table. Children must already be interned; table hits cost a
+// to the arena. Children must already be interned; table hits cost a
 // hash and one shard lookup, no allocation.
-func intern(k internKey) *Expr {
+func (ar *Arena) intern(k internKey) *Expr {
 	h := hashKey(k)
 	if internDisabled.Load() {
 		// Ablation mode: every construction is its own identity, as
@@ -82,7 +123,7 @@ func intern(k internKey) *Expr {
 		// remain correct; only sharing is lost.
 		return materialize(k, h)
 	}
-	sh := &internTable[h%internShards]
+	sh := &ar.shards[h%internShards]
 	sh.mu.Lock()
 	if ex, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
@@ -94,7 +135,7 @@ func intern(k internKey) *Expr {
 	return n
 }
 
-// materialize builds the node for a structure outside the table.
+// materialize builds the node for a structure outside any table.
 func materialize(k internKey, h uint64) *Expr {
 	return &Expr{
 		Kind: k.kind, Width: k.width, Val: k.val, Name: k.name,
@@ -103,7 +144,7 @@ func materialize(k internKey, h uint64) *Expr {
 	}
 }
 
-// SetInterning toggles the global intern table and reports the
+// SetInterning toggles interning (for every arena) and reports the
 // previous setting. It exists for the interning ablation benchmarks
 // only: flip it around a measured region and restore the previous
 // value. Turning interning off never produces wrong results — nodes
@@ -114,17 +155,21 @@ func SetInterning(on bool) (prev bool) {
 	return !internDisabled.Swap(!on)
 }
 
-// InternedNodes reports how many canonical nodes the global table
-// holds; a memory metric for tests and benchmarks.
-func InternedNodes() int {
+// InternedNodes reports how many canonical nodes the arena holds; a
+// memory metric for tests, benchmarks and the job service.
+func (ar *Arena) InternedNodes() int {
 	n := 0
-	for i := range internTable {
-		internTable[i].mu.Lock()
-		n += len(internTable[i].m)
-		internTable[i].mu.Unlock()
+	for i := range ar.shards {
+		ar.shards[i].mu.Lock()
+		n += len(ar.shards[i].m)
+		ar.shards[i].mu.Unlock()
 	}
 	return n
 }
+
+// InternedNodes reports how many canonical nodes the default arena
+// holds.
+func InternedNodes() int { return defaultArena.InternedNodes() }
 
 // hashKey is the structural FNV-style hash stored on every node at
 // intern time. Children contribute their own stored hashes, so the

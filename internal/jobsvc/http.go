@@ -1,0 +1,180 @@
+package jobsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the service's HTTP surface: a JSON job API plus a
+// Prometheus-text metrics endpoint, all on net/http — the service has
+// no dependencies outside the standard library.
+//
+//	POST /jobs            submit a JobSpec, returns the Job snapshot
+//	GET  /jobs            list all jobs (results elided)
+//	GET  /jobs/{id}       one job, full result included
+//	GET  /jobs/{id}/code  the synthesized C source, text/plain
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         200 while serving, 503 while draining
+
+// metrics is the service-level counter set, exported in Prometheus
+// text format. Plain atomics: the service deliberately has no
+// dependency on a metrics library.
+type metrics struct {
+	submitted           atomic.Int64
+	succeeded           atomic.Int64
+	failed              atomic.Int64
+	running             atomic.Int64
+	solverQueries       atomic.Int64
+	executedBlocks      atomic.Int64
+	arenaNodesReclaimed atomic.Int64
+	durationSeconds     lockedFloat
+}
+
+// lockedFloat is a mutex-guarded float accumulator (duration sums are
+// the one non-integer metric).
+type lockedFloat struct {
+	mu  sync.Mutex
+	sum float64
+	n   int64
+}
+
+func (f *lockedFloat) add(v float64) {
+	f.mu.Lock()
+	f.sum += v
+	f.n++
+	f.mu.Unlock()
+}
+
+func (f *lockedFloat) read() (float64, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sum, f.n
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/code", s.handleCode)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case err == ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err == ErrBusy:
+		writeError(w, http.StatusTooManyRequests, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.List()
+	// Elide the potentially large synthesized source from the listing;
+	// it stays available per job.
+	for i := range jobs {
+		if jobs[i].Result != nil {
+			res := *jobs[i].Result
+			res.Code = ""
+			jobs[i].Result = &res
+		}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleCode(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if j.Result == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.ID, j.Status))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, j.Result.Code)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued := 0
+	for _, id := range s.order {
+		if s.jobs[id].Status == StatusQueued {
+			queued++
+		}
+	}
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	sum, n := s.m.durationSeconds.read()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("revnicd_jobs_submitted_total", "Jobs accepted into the queue.", s.m.submitted.Load())
+	fmt.Fprintf(w, "# HELP revnicd_jobs_completed_total Jobs finished, by outcome.\n# TYPE revnicd_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "revnicd_jobs_completed_total{status=\"succeeded\"} %d\n", s.m.succeeded.Load())
+	fmt.Fprintf(w, "revnicd_jobs_completed_total{status=\"failed\"} %d\n", s.m.failed.Load())
+	gauge("revnicd_jobs_running", "Jobs currently executing.", s.m.running.Load())
+	gauge("revnicd_jobs_queued", "Jobs accepted but not yet started.", int64(queued))
+	gauge("revnicd_draining", "1 while graceful drain is in progress.", int64(draining))
+	fmt.Fprintf(w, "# HELP revnicd_job_duration_seconds Wall-clock job execution time.\n# TYPE revnicd_job_duration_seconds summary\n")
+	fmt.Fprintf(w, "revnicd_job_duration_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "revnicd_job_duration_seconds_count %d\n", n)
+	counter("revnicd_solver_queries_total", "Constraint-solver queries across completed jobs.", s.m.solverQueries.Load())
+	counter("revnicd_executed_blocks_total", "Translation blocks executed across completed jobs.", s.m.executedBlocks.Load())
+	counter("revnicd_arena_nodes_reclaimed_total", "Interned expression nodes reclaimed with finished job arenas.", s.m.arenaNodesReclaimed.Load())
+}

@@ -1,0 +1,502 @@
+// Package jobsvc turns the one-shot reverse-engineering pipeline into
+// a resident service: cmd/revnicd accepts HTTP/JSON job requests
+// (driver name or uploaded program image, searcher, shard/worker
+// fan-out, exploration budgets), schedules them on a bounded pool of
+// job runners that reuse the fork-join exploration in
+// internal/symexec, and serves job status, results and
+// Prometheus-style metrics.
+//
+// Every job runs inside its own expr.Arena: the engine, its worker
+// children and its solvers intern every expression in the job's
+// arena, so when the job's result summary has been extracted the
+// whole arena — millions of interned nodes for a deep exploration —
+// becomes garbage at once. Process-global intern state never grows
+// with job traffic, which is what makes the service viable as a
+// long-running daemon (the ROADMAP's eviction open item, resolved by
+// construction). Results are bit-identical to the cmd/revnic CLI for
+// the same driver/searcher/seed/shard settings, because expression
+// canonicalization is structural and therefore arena-independent.
+package jobsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"revnic/internal/core"
+	"revnic/internal/drivers"
+	"revnic/internal/expr"
+	"revnic/internal/hw"
+	"revnic/internal/isa"
+	"revnic/internal/symexec"
+	"revnic/internal/template"
+)
+
+// Status is a job's lifecycle phase.
+type Status string
+
+// Job lifecycle phases. Jobs move queued → running → succeeded or
+// failed; there are no other transitions.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusSucceeded Status = "succeeded"
+	StatusFailed    Status = "failed"
+)
+
+// ShellSpec carries the shell-device PCI parameters for uploaded
+// programs ("the vendor and product identifier of the device whose
+// driver is being reverse engineered", §3.4). Bundled drivers derive
+// theirs from the device inventory.
+type ShellSpec struct {
+	VendorID uint16 `json:"vendor_id"`
+	DeviceID uint16 `json:"device_id"`
+	IOBase   uint32 `json:"io_base,omitempty"`
+	IOSize   uint32 `json:"io_size,omitempty"`
+	IRQLine  uint8  `json:"irq_line,omitempty"`
+}
+
+// ProgramSpec is an uploaded driver binary: the same two inputs the
+// real tool gets (load address and image bytes), plus the shell
+// parameters.
+type ProgramSpec struct {
+	Name  string    `json:"name,omitempty"`
+	Base  uint32    `json:"base"`
+	Code  []byte    `json:"code"` // base64 in JSON
+	Shell ShellSpec `json:"shell"`
+}
+
+// JobSpec is one reverse-engineering request. Exactly one of Driver
+// (a bundled binary) or Program (an uploaded image) must be set; zero
+// values elsewhere select the engine defaults.
+type JobSpec struct {
+	Driver  string       `json:"driver,omitempty"`
+	Program *ProgramSpec `json:"program,omitempty"`
+	// Strategy names the path-selection searcher ("coverage", "dfs",
+	// "bfs"); empty selects the coverage-guided default.
+	Strategy string `json:"strategy,omitempty"`
+	// Target optionally names a template OS ("windows", "linux",
+	// "ucos-ii", "kitos"); when set, Code in the result is the fully
+	// instantiated driver instead of the bare synthesized functions.
+	Target string `json:"target,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Workers/Shards configure the fork-join exploration exactly as
+	// cmd/revnic's flags do; results are identical for any Workers.
+	Workers int `json:"workers,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+	// Exploration budgets (symexec.Config fields; 0 = default).
+	MaxStates                int  `json:"max_states,omitempty"`
+	PhaseBudget              int  `json:"phase_budget,omitempty"`
+	StagnationBudget         int  `json:"stagnation_budget,omitempty"`
+	CompleteTarget           int  `json:"complete_target,omitempty"`
+	PollThreshold            int  `json:"poll_threshold,omitempty"`
+	DisableIncrementalSolver bool `json:"disable_incremental_solver,omitempty"`
+}
+
+// JobResult is the summary extracted from a finished pipeline run. It
+// deliberately holds no expression or trace references, so the job's
+// arena (and every state, solver and collector of the run) is
+// reclaimable the moment the pipeline returns.
+type JobResult struct {
+	Driver            string  `json:"driver"`
+	Strategy          string  `json:"strategy"`
+	Coverage          float64 `json:"coverage"`
+	CoveredBlocks     int     `json:"covered_blocks"`
+	GroundTruthBlocks int     `json:"ground_truth_blocks"`
+	ExecutedBlocks    int64   `json:"executed_blocks"`
+	TranslatedBlocks  int64   `json:"translated_blocks"`
+	Forks             int64   `json:"forks"`
+	KilledLoops       int64   `json:"killed_loops"`
+	SolverQueries     int64   `json:"solver_queries"`
+	SolverCacheHits   int64   `json:"solver_cache_hits"`
+	SolverModelHits   int64   `json:"solver_model_hits"`
+	Funcs             int     `json:"funcs"`
+	// ArenaNodes is how many canonical expression nodes the job's
+	// arena held at completion — all reclaimed with the job.
+	ArenaNodes int `json:"arena_nodes"`
+	// Code is the synthesized C source (template-instantiated when
+	// the spec named a target OS).
+	Code string `json:"code,omitempty"`
+}
+
+// Job is one tracked request. Fields are snapshots: the service hands
+// out copies, never its internal pointers.
+type Job struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	Status    Status     `json:"status"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Pool is the number of jobs run concurrently; 0 selects 2. Each
+	// job additionally fans out per its Workers setting, so the pool
+	// bounds jobs, not goroutines.
+	Pool int
+	// QueueDepth bounds the backlog of accepted-but-unstarted jobs;
+	// submissions beyond it are rejected with ErrBusy. 0 selects 64.
+	QueueDepth int
+}
+
+// Service schedules reverse-engineering jobs on a bounded runner
+// pool. Create with New; stop with Drain.
+type Service struct {
+	pool  int
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup // runner goroutines
+
+	m metrics
+}
+
+// job is the service-internal mutable record behind the Job
+// snapshots.
+type job struct {
+	Job
+	done chan struct{}
+}
+
+// ErrDraining rejects submissions after Drain began.
+var ErrDraining = errors.New("jobsvc: service is draining")
+
+// ErrBusy rejects submissions when the queue is full.
+var ErrBusy = errors.New("jobsvc: job queue is full")
+
+// New starts a service with cfg.Pool runner goroutines.
+func New(cfg Config) *Service {
+	if cfg.Pool <= 0 {
+		cfg.Pool = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Service{
+		pool:  cfg.Pool,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  map[string]*job{},
+	}
+	for i := 0; i < s.pool; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, returning its snapshot.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	if err := validate(spec); err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Job{}, ErrDraining
+	}
+	s.nextID++
+	j := &job{
+		Job: Job{
+			ID:        fmt.Sprintf("job-%d", s.nextID),
+			Spec:      spec,
+			Status:    StatusQueued,
+			Submitted: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		return Job{}, ErrBusy
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.m.submitted.Add(1)
+	// Snapshot under the lock: a pool runner may already be mutating
+	// the job's status.
+	snap := redactSpec(j.Job)
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// redactSpec strips the uploaded image bytes from a snapshot's spec:
+// they can be megabytes, and the API never needs to echo them back —
+// neither in the submit response nor in listings or polls. The
+// service-internal record keeps them for the runner.
+func redactSpec(j Job) Job {
+	if j.Spec.Program != nil && len(j.Spec.Program.Code) > 0 {
+		p := *j.Spec.Program
+		p.Code = nil
+		j.Spec.Program = &p
+	}
+	return j
+}
+
+// validate rejects malformed specs at submission time, so queue slots
+// are only spent on runnable jobs.
+func validate(spec JobSpec) error {
+	if (spec.Driver == "") == (spec.Program == nil) {
+		return errors.New("jobsvc: exactly one of driver or program must be set")
+	}
+	if spec.Driver != "" {
+		if _, err := drivers.ByName(spec.Driver); err != nil {
+			return fmt.Errorf("jobsvc: %w", err)
+		}
+	} else {
+		p := spec.Program
+		if len(p.Code) == 0 {
+			return errors.New("jobsvc: uploaded program has no code")
+		}
+		// The image must fit the guest RAM the engine copies it into.
+		if uint64(p.Base)+uint64(len(p.Code)) > hw.RAMSize {
+			return fmt.Errorf("jobsvc: program [%#x, %#x) exceeds guest RAM (%#x bytes)",
+				p.Base, uint64(p.Base)+uint64(len(p.Code)), uint64(hw.RAMSize))
+		}
+	}
+	if spec.Strategy != "" {
+		if _, err := symexec.SearcherByName(spec.Strategy); err != nil {
+			return fmt.Errorf("jobsvc: %w", err)
+		}
+	}
+	if spec.Target != "" {
+		ok := false
+		for _, os := range template.AllOS {
+			if template.OS(spec.Target) == os {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("jobsvc: unknown target OS %q (have %v)", spec.Target, template.AllOS)
+		}
+	}
+	return nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Service) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return redactSpec(j.Job), true
+}
+
+// List returns snapshots of every job in submission order.
+func (s *Service) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, redactSpec(s.jobs[id].Job))
+	}
+	return out
+}
+
+// Wait blocks until the job finishes (or ctx is done), returning the
+// final snapshot.
+func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("jobsvc: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return s.mustGet(id), nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+}
+
+func (s *Service) mustGet(id string) Job {
+	j, _ := s.Get(id)
+	return j
+}
+
+// Drain stops accepting new jobs, lets queued and running jobs finish,
+// and returns when the pool has wound down or ctx expires. It is the
+// graceful-shutdown half of revnicd's signal handler; safe to call
+// once.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// runner is one pool goroutine: it executes queued jobs until the
+// queue is closed by Drain.
+func (s *Service) runner() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job end to end in a private expression arena.
+func (s *Service) run(j *job) {
+	start := time.Now()
+	s.setStatus(j, StatusRunning, &start, nil, nil, "")
+	s.m.running.Add(1)
+	defer s.m.running.Add(-1)
+
+	res, err := executeSpec(j.Spec)
+	end := time.Now()
+	s.m.durationSeconds.add(end.Sub(start).Seconds())
+	if err != nil {
+		s.m.failed.Add(1)
+		s.setStatus(j, StatusFailed, &start, &end, nil, err.Error())
+	} else {
+		s.m.succeeded.Add(1)
+		s.m.solverQueries.Add(res.SolverQueries)
+		s.m.executedBlocks.Add(res.ExecutedBlocks)
+		s.m.arenaNodesReclaimed.Add(int64(res.ArenaNodes))
+		s.setStatus(j, StatusSucceeded, &start, &end, res, "")
+	}
+	close(j.done)
+}
+
+func (s *Service) setStatus(j *job, st Status, started, finished *time.Time, res *JobResult, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Status = st
+	j.Started = started
+	j.Finished = finished
+	j.Result = res
+	j.Error = errMsg
+}
+
+// executeSpec runs the full pipeline for one spec and reduces it to a
+// result summary. The expr.Arena created here is the job's whole
+// expression universe — it is referenced only by the pipeline run and
+// becomes collectable as soon as this function returns. A panic
+// anywhere in the pipeline fails the job, not the daemon: one
+// malformed request must never take down a service with other jobs in
+// flight.
+func executeSpec(spec JobSpec) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("jobsvc: pipeline panic: %v", r)
+		}
+	}()
+	return runSpec(spec)
+}
+
+func runSpec(spec JobSpec) (*JobResult, error) {
+	prog, shell, name, err := resolveProgram(spec)
+	if err != nil {
+		return nil, err
+	}
+	var searcher symexec.SearcherFactory
+	if spec.Strategy != "" {
+		searcher, _ = symexec.SearcherByName(spec.Strategy)
+	}
+	ar := expr.NewArena()
+	rev, err := core.ReverseEngineer(prog, core.Options{
+		Shell:      shell,
+		DriverName: name,
+		Engine: symexec.Config{
+			Arena:                    ar,
+			Searcher:                 searcher,
+			Seed:                     spec.Seed,
+			Workers:                  spec.Workers,
+			Shards:                   spec.Shards,
+			MaxStates:                spec.MaxStates,
+			PhaseBudget:              spec.PhaseBudget,
+			StagnationBudget:         spec.StagnationBudget,
+			CompleteTarget:           spec.CompleteTarget,
+			PollThreshold:            spec.PollThreshold,
+			DisableIncrementalSolver: spec.DisableIncrementalSolver,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	code := rev.Synth.Code
+	if spec.Target != "" {
+		code = rev.InstantiateTemplate(template.OS(spec.Target))
+	}
+	exp := rev.Exploration
+	return &JobResult{
+		Driver:            name,
+		Strategy:          exp.Strategy,
+		Coverage:          rev.Coverage(),
+		CoveredBlocks:     exp.Collector.CoveredBlocks(),
+		GroundTruthBlocks: rev.GroundTruth.NumBlocks(),
+		ExecutedBlocks:    exp.ExecutedBlocks,
+		TranslatedBlocks:  exp.TranslatedBlocks,
+		Forks:             exp.ForkCount,
+		KilledLoops:       exp.KilledLoops,
+		SolverQueries:     exp.SolverQueries,
+		SolverCacheHits:   exp.SolverCacheHits,
+		SolverModelHits:   exp.SolverModelHits,
+		Funcs:             len(rev.Synth.Funcs),
+		ArenaNodes:        ar.InternedNodes(),
+		Code:              code,
+	}, nil
+}
+
+// resolveProgram turns a spec into the pipeline inputs: a bundled
+// driver with its inventory shell parameters, or an uploaded image
+// with the spec's.
+func resolveProgram(spec JobSpec) (*isa.Program, hw.PCIConfig, string, error) {
+	if spec.Driver != "" {
+		info, err := drivers.ByName(spec.Driver)
+		if err != nil {
+			return nil, hw.PCIConfig{}, "", err
+		}
+		return info.Program, core.ShellConfig(info), info.Name, nil
+	}
+	p := spec.Program
+	name := p.Name
+	if name == "" {
+		name = "uploaded"
+	}
+	shell := hw.PCIConfig{
+		VendorID: p.Shell.VendorID, DeviceID: p.Shell.DeviceID,
+		IOBase: p.Shell.IOBase, IOSize: p.Shell.IOSize, IRQLine: p.Shell.IRQLine,
+	}
+	if shell.IOBase == 0 {
+		shell.IOBase, shell.IOSize = 0xC000, 0x100
+	}
+	if shell.IRQLine == 0 {
+		shell.IRQLine = 11
+	}
+	return &isa.Program{Base: p.Base, Code: p.Code}, shell, name, nil
+}

@@ -6,7 +6,13 @@
 // It is the decision procedure underneath RevNIC's bitvector
 // constraint solver (package solver), standing in for the STP solver
 // KLEE uses in the original system.
+//
+// Long-lived incremental sessions keep learning: an activity-based
+// learnt-clause deletion policy (SetLearntCap) bounds the database so
+// session memory stays flat over arbitrarily many queries.
 package sat
+
+import "sort"
 
 // Lit is a literal: a variable index with a sign. Variables are
 // numbered from 0; the literal for variable v is Pos(v) or Neg(v).
@@ -39,6 +45,11 @@ const (
 type clause struct {
 	lits   []Lit
 	learnt bool
+	// act is the VSIDS-style clause activity: bumped whenever the
+	// clause participates in conflict analysis, decayed geometrically.
+	// Learnt-clause deletion discards the least active half when the
+	// database exceeds the cap.
+	act float64
 }
 
 type watcher struct {
@@ -70,12 +81,42 @@ type Solver struct {
 	unsat     bool // a top-level conflict was derived
 	conflicts int64
 	decisions int64
+
+	claInc    float64
+	learntCap int
+	deleted   int64
 }
 
-// New returns an empty solver.
+// DefaultLearntCap bounds the learnt-clause database. Incremental
+// sessions live for a whole exploration and learn continuously; the
+// cap keeps their memory bounded (ROADMAP: "sat learnt-clause
+// databases grow without bound within a session"). Deletion never
+// changes answers — learnt clauses are consequences of the input —
+// only the amount of pruning retained.
+const DefaultLearntCap = 10000
+
+// New returns an empty solver with the default learnt-clause cap.
 func New() *Solver {
-	return &Solver{varInc: 1}
+	return &Solver{varInc: 1, claInc: 1, learntCap: DefaultLearntCap}
 }
+
+// SetLearntCap bounds the learnt-clause database: when more than n
+// learnt clauses accumulate, the least active (locked and binary
+// clauses excepted) are deleted down to n/2. n < 0 disables deletion;
+// n == 0 restores the default.
+func (s *Solver) SetLearntCap(n int) {
+	if n == 0 {
+		n = DefaultLearntCap
+	}
+	s.learntCap = n
+}
+
+// NumLearnts reports the current learnt-clause count.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// DeletedLearnts reports how many learnt clauses activity-based
+// deletion has discarded.
+func (s *Solver) DeletedLearnts() int64 { return s.deleted }
 
 // NewVar introduces a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -252,6 +293,74 @@ func (s *Solver) bumpVar(v int) {
 	}
 }
 
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// locked reports whether c is the reason of a current assignment and
+// therefore must survive deletion.
+func (s *Solver) locked(c *clause) bool {
+	return s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
+}
+
+// detachClause removes c's two watchers.
+func (s *Solver) detachClause(c *clause) {
+	for _, wl := range [2]Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i := range ws {
+			if ws[i].c == c {
+				s.watches[wl] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// maybeReduce runs activity-based learnt-clause deletion when the
+// database exceeds the cap: the least active half goes, except locked
+// clauses (reasons of current assignments) and binary clauses, which
+// are cheap to keep and expensive to relearn. Deleting learnt clauses
+// never changes satisfiability — they are consequences of the input
+// clauses — so the cap bounds memory without affecting answers.
+func (s *Solver) maybeReduce() {
+	if s.learntCap <= 0 || len(s.learnts) <= s.learntCap {
+		return
+	}
+	byAct := make([]*clause, len(s.learnts))
+	copy(byAct, s.learnts)
+	sort.SliceStable(byAct, func(i, j int) bool { return byAct[i].act < byAct[j].act })
+	goal := len(s.learnts) - s.learntCap/2
+	doomed := make(map[*clause]bool, goal)
+	for _, c := range byAct {
+		if len(doomed) >= goal {
+			break
+		}
+		if len(c.lits) <= 2 || s.locked(c) {
+			continue
+		}
+		doomed[c] = true
+	}
+	if len(doomed) == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if doomed[c] {
+			s.detachClause(c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	s.deleted += int64(len(doomed))
+}
+
 // analyze performs first-UIP conflict analysis, returning the learnt
 // clause (asserting literal first) and the backtrack level.
 func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
@@ -263,6 +372,9 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 	c := conflict
 
 	for {
+		if c.learnt {
+			s.bumpClause(c)
+		}
 		start := 0
 		if haveP {
 			start = 1 // lits[0] is p itself
@@ -314,6 +426,7 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 		s.seen[l.Var()] = false
 	}
 	s.varInc *= 1.05
+	s.claInc *= 1.001
 	return learnt, btLevel
 }
 
@@ -375,8 +488,12 @@ func (s *Solver) Solve() bool {
 				c := &clause{lits: learnt, learnt: true}
 				s.learnts = append(s.learnts, c)
 				s.watchClause(c)
+				// Bump after appending so a rescale triggered by the
+				// bump scales this clause along with the rest.
+				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
+			s.maybeReduce()
 			if s.conflicts-conflictsAtRestart >= restartLimit {
 				restartLimit += restartLimit / 2
 				conflictsAtRestart = s.conflicts
@@ -454,6 +571,8 @@ func (s *Solver) SolveUnder(assumptions ...Lit) bool {
 					c := &clause{lits: learnt, learnt: true}
 					s.learnts = append(s.learnts, c)
 					s.watchClause(c)
+					s.bumpClause(c)
+					s.maybeReduce()
 				}
 				continue
 			}
@@ -465,8 +584,12 @@ func (s *Solver) SolveUnder(assumptions ...Lit) bool {
 				c := &clause{lits: learnt, learnt: true}
 				s.learnts = append(s.learnts, c)
 				s.watchClause(c)
+				// Bump after appending so a rescale triggered by the
+				// bump scales this clause along with the rest.
+				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
+			s.maybeReduce()
 			if s.conflicts-conflictsAtRestart >= restartLimit {
 				restartLimit += restartLimit / 2
 				conflictsAtRestart = s.conflicts

@@ -289,3 +289,117 @@ func TestRandomAssumptionQueries(t *testing.T) {
 		}
 	}
 }
+
+func TestLearntDeletionBoundsDatabase(t *testing.T) {
+	capped := New()
+	capped.SetLearntCap(50)
+	pigeonhole(capped, 7, 6)
+	if capped.Solve() {
+		t.Fatal("PHP(7,6) must be UNSAT")
+	}
+	if n := capped.NumLearnts(); n > 50 {
+		t.Errorf("learnt database %d exceeds cap 50", n)
+	}
+	if capped.DeletedLearnts() == 0 {
+		t.Error("expected activity-based deletion to fire on a conflict-heavy instance")
+	}
+}
+
+func TestLearntDeletionPreservesAnswers(t *testing.T) {
+	// Deleting learnt clauses only drops derived pruning; answers must
+	// match brute force for every cap, including an aggressive one.
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 4 + r.Intn(9)
+		nClauses := 1 + r.Intn(6*nVars)
+		s := New()
+		s.SetLearntCap(4)
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		addOK := true
+		for i := 0; i < nClauses; i++ {
+			n := 1 + r.Intn(3)
+			c := make([]Lit, n)
+			for j := range c {
+				v := r.Intn(nVars)
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			clauses = append(clauses, c)
+			if !s.AddClause(c...) {
+				addOK = false
+				break
+			}
+		}
+		want := bruteForce(nVars, clauses)
+		got := addOK && s.Solve()
+		if got != want {
+			t.Fatalf("trial %d: capped solver=%v brute=%v clauses=%v", trial, got, want, clauses)
+		}
+	}
+}
+
+func TestLearntDeletionUnderAssumptions(t *testing.T) {
+	// Exercise the SolveUnder reduction path: repeated assumption
+	// queries on one long-lived instance must stay correct while the
+	// database is constantly trimmed (locked clauses survive).
+	r := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 4 + r.Intn(6)
+		s := New()
+		s.SetLearntCap(4)
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		ok := true
+		for i := 0; i < 2*nVars; i++ {
+			n := 1 + r.Intn(3)
+			c := make([]Lit, n)
+			for j := range c {
+				v := r.Intn(nVars)
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			clauses = append(clauses, c)
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		for q := 0; q < 8; q++ {
+			var assumptions []Lit
+			seen := map[int]bool{}
+			for i := 0; i < 1+r.Intn(3); i++ {
+				v := r.Intn(nVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if r.Intn(2) == 0 {
+					assumptions = append(assumptions, Pos(v))
+				} else {
+					assumptions = append(assumptions, Neg(v))
+				}
+			}
+			ref := append([][]Lit{}, clauses...)
+			for _, a := range assumptions {
+				ref = append(ref, []Lit{a})
+			}
+			want := bruteForce(nVars, ref)
+			got := ok && s.SolveUnder(assumptions...)
+			if got != want {
+				t.Fatalf("trial %d query %d: got %v want %v (clauses %v assume %v)",
+					trial, q, got, want, clauses, assumptions)
+			}
+		}
+	}
+}

@@ -51,13 +51,40 @@ const (
 // happened.
 const DefaultCacheLimit = 1 << 16
 
-// recentModels is the size of the counterexample ring: how many
-// recently discovered models are tried against each new query before
-// bit-blasting.
-const recentModels = 4
+// DefaultRecentModels is the default size of the counterexample ring:
+// how many recently discovered models are tried against each new
+// query before bit-blasting.
+const DefaultRecentModels = 4
+
+// Config parameterizes a solver. The zero value selects the defaults
+// New uses.
+type Config struct {
+	// Arena is the expression arena the solver builds derived
+	// expressions in (negations for MustBeTrue, exclusion constraints
+	// for Values). nil selects the process-global default arena; a
+	// job-scoped solver must pass the job's arena so its expressions
+	// die with the job.
+	Arena *expr.Arena
+	// CacheLimit bounds the query/model caches; 0 selects
+	// DefaultCacheLimit.
+	CacheLimit int
+	// RecentModels sizes the counterexample ring. 0 selects
+	// DefaultRecentModels; negative disables model reuse across
+	// queries entirely. The size affects performance only, never
+	// query answers.
+	RecentModels int
+	// LearntCap is forwarded to every SAT instance the solver
+	// creates (sat.Solver.SetLearntCap): 0 keeps the SAT default,
+	// negative disables learnt-clause deletion.
+	LearntCap int
+	// DisableIncremental starts the solver with incremental branch
+	// queries off (ablation).
+	DisableIncremental bool
+}
 
 // Solver answers bitvector queries with memoization, model reuse and
-// incremental branch queries. The zero value is not usable; call New.
+// incremental branch queries. The zero value is not usable; call New
+// or NewWith.
 //
 // A Solver is safe for concurrent use: the caches are mutex-guarded
 // and the statistics counters are atomic, so parallel exploration
@@ -65,10 +92,12 @@ const recentModels = 4
 // a private SAT instance and run in parallel; incremental branch
 // queries serialize on the shared session.
 type Solver struct {
+	ar         *expr.Arena
+	learntCap  int
 	mu         sync.Mutex
 	cache      map[uint64]bool
 	models     map[uint64]map[string]uint32
-	recent     [recentModels]map[string]uint32
+	recent     []map[string]uint32
 	recentPos  int
 	varsCache  map[uint64][]string
 	cacheLimit int
@@ -94,16 +123,35 @@ type incSession struct {
 	ids []uint64
 }
 
-// New returns a solver with an empty cache bounded at
-// DefaultCacheLimit entries and incremental branch queries enabled.
-func New() *Solver {
+// New returns a solver with the default configuration: default arena,
+// cache bounded at DefaultCacheLimit entries, a DefaultRecentModels
+// counterexample ring, and incremental branch queries enabled.
+func New() *Solver { return NewWith(Config{}) }
+
+// NewWith returns a solver configured by cfg.
+func NewWith(cfg Config) *Solver {
+	if cfg.Arena == nil {
+		cfg.Arena = expr.Default()
+	}
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = DefaultCacheLimit
+	}
+	ring := cfg.RecentModels
+	if ring == 0 {
+		ring = DefaultRecentModels
+	} else if ring < 0 {
+		ring = 0
+	}
 	s := &Solver{
+		ar:         cfg.Arena,
+		learntCap:  cfg.LearntCap,
 		cache:      map[uint64]bool{},
 		models:     map[uint64]map[string]uint32{},
+		recent:     make([]map[string]uint32, ring),
 		varsCache:  map[uint64][]string{},
-		cacheLimit: DefaultCacheLimit,
+		cacheLimit: cfg.CacheLimit,
 	}
-	s.incremental.Store(true)
+	s.incremental.Store(!cfg.DisableIncremental)
 	return s
 }
 
@@ -165,10 +213,13 @@ func (s *Solver) SetCacheLimit(n int) {
 func (s *Solver) flushLocked() {
 	s.cache = map[uint64]bool{}
 	s.models = map[uint64]map[string]uint32{}
-	s.recent = [recentModels]map[string]uint32{}
+	s.recent = make([]map[string]uint32, len(s.recent))
 	s.recentPos = 0
 	s.evictions.Add(1)
 }
+
+// RingSize reports the counterexample ring capacity.
+func (s *Solver) RingSize() int { return len(s.recent) }
 
 // cacheGet looks up a memoized query verdict.
 func (s *Solver) cacheGet(fp uint64) (bool, bool) {
@@ -207,8 +258,10 @@ func (s *Solver) storeModel(fp uint64, m map[string]uint32) {
 		s.flushLocked()
 	}
 	s.models[fp] = m
-	s.recent[s.recentPos%recentModels] = m
-	s.recentPos++
+	if len(s.recent) > 0 {
+		s.recent[s.recentPos%len(s.recent)] = m
+		s.recentPos++
+	}
 }
 
 // rememberModel caches a reused witness under a new fingerprint
@@ -228,8 +281,14 @@ func (s *Solver) rememberModel(fp uint64, m map[string]uint32) {
 // models; a model satisfying all of them proves SAT without touching
 // the SAT solver. Returns the witnessing model on success.
 func (s *Solver) tryRecent(constraints []*expr.Expr) (map[string]uint32, bool) {
+	// Snapshot the ring into a stack buffer: this runs on every query
+	// that misses the verdict cache, and a heap copy per probe would
+	// undo the zero-allocation property of the fingerprint path.
+	// Oversized configured rings (rare) fall back to one allocation.
+	var buf [4 * DefaultRecentModels]map[string]uint32
+	ring := buf[:0]
 	s.mu.Lock()
-	ring := s.recent
+	ring = append(ring, s.recent...)
 	s.mu.Unlock()
 next:
 	for _, m := range ring {
@@ -308,7 +367,7 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 		s.rememberModel(fp, m)
 		return true
 	}
-	b := newBlaster()
+	b := s.newBlaster()
 	for _, c := range live {
 		out := b.blast(c)
 		b.s.AddClause(out[0])
@@ -467,7 +526,7 @@ func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (bool, m
 	defer s.incMu.Unlock()
 	sess := s.inc
 	if sess == nil || !prefixExtends(sess.ids, prefix) {
-		sess = &incSession{b: newBlaster()}
+		sess = &incSession{b: s.newBlaster()}
 		s.inc = sess
 		s.rebuilt.Add(1)
 	} else {
@@ -511,7 +570,7 @@ func prefixExtends(ids []uint64, prefix []*expr.Expr) bool {
 // MustBeTrue reports whether cond is implied by the path constraints:
 // UNSAT(pc ∧ ¬cond).
 func (s *Solver) MustBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
-	return !s.MayBeTrue(pc, expr.Not(cond))
+	return !s.MayBeTrue(pc, s.ar.Not(cond))
 }
 
 // Model returns a satisfying assignment for the constraints, or ok =
@@ -545,7 +604,7 @@ func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 		s.rememberModel(fp, m)
 		return copyModel(m), true
 	}
-	b := newBlaster()
+	b := s.newBlaster()
 	for _, c := range live {
 		out := b.blast(c)
 		b.s.AddClause(out[0])
@@ -603,7 +662,7 @@ func (s *Solver) Values(pc []*expr.Expr, e *expr.Expr, max int) []uint32 {
 		}
 		v := expr.Eval(e, model)
 		out = append(out, v)
-		cons = append(cons, expr.Not(expr.Eq(e, expr.C(v, e.Width))))
+		cons = append(cons, s.ar.Not(s.ar.Eq(e, s.ar.C(v, e.Width))))
 	}
 	return out
 }
@@ -628,6 +687,16 @@ func newBlaster() *blaster {
 	v := b.s.NewVar()
 	b.true_ = sat.Pos(v)
 	b.s.AddClause(b.true_)
+	return b
+}
+
+// newBlaster builds a blaster configured per the solver (learnt-clause
+// cap forwarded to the SAT instance).
+func (s *Solver) newBlaster() *blaster {
+	b := newBlaster()
+	if s.learntCap != 0 {
+		b.s.SetLearntCap(s.learntCap)
+	}
 	return b
 }
 

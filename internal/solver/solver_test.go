@@ -592,3 +592,52 @@ func BenchmarkMayBeTrue(b *testing.B) {
 		})
 	}
 }
+
+func TestConfigurableCounterexampleRing(t *testing.T) {
+	if got := New().RingSize(); got != DefaultRecentModels {
+		t.Fatalf("default ring size %d, want %d", got, DefaultRecentModels)
+	}
+	if got := NewWith(Config{RecentModels: 16}).RingSize(); got != 16 {
+		t.Fatalf("ring size %d, want 16", got)
+	}
+	if got := NewWith(Config{RecentModels: -1}).RingSize(); got != 0 {
+		t.Fatalf("ring size %d, want 0 (disabled)", got)
+	}
+	// Answers must not depend on the ring size, including disabled.
+	x := expr.S("ringx", 8)
+	for _, ring := range []int{-1, 1, 16} {
+		s := NewWith(Config{RecentModels: ring})
+		pc := []*expr.Expr{expr.Ult(x, expr.C(10, 8))}
+		if !s.Satisfiable(pc) {
+			t.Fatalf("ring %d: x < 10 must be SAT", ring)
+		}
+		if s.Satisfiable([]*expr.Expr{expr.Ult(x, expr.C(10, 8)), expr.Not(expr.Ult(x, expr.C(10, 8)))}) {
+			t.Fatalf("ring %d: contradiction must be UNSAT", ring)
+		}
+		if _, ok := s.Model(pc); !ok {
+			t.Fatalf("ring %d: model must exist", ring)
+		}
+	}
+}
+
+func TestSolverArenaScoped(t *testing.T) {
+	// A solver bound to a private arena must not grow the default
+	// arena when it derives expressions (Values exclusions,
+	// MustBeTrue negations).
+	ar := expr.NewArena()
+	s := NewWith(Config{Arena: ar})
+	x := ar.S("arsx", 32)
+	pc := []*expr.Expr{ar.Ult(x, ar.C(4, 32))}
+	expr.VarNames(x) // warm any lazy default-arena state
+	before := expr.InternedNodes()
+	vals := s.Values(pc, x, 8)
+	if len(vals) != 4 {
+		t.Fatalf("expected 4 values below 4, got %v", vals)
+	}
+	if !s.MustBeTrue(pc, ar.Ult(x, ar.C(100, 32))) {
+		t.Fatal("x < 4 implies x < 100")
+	}
+	if after := expr.InternedNodes(); after != before {
+		t.Fatalf("arena-scoped solver grew the default arena: %d -> %d", before, after)
+	}
+}

@@ -30,6 +30,16 @@ type Config struct {
 	// paper's min-count heuristic; NewDFS and NewBFS are the ablation
 	// baselines, and SearcherByName resolves command-line names.
 	Searcher SearcherFactory
+	// Arena is the expression arena the engine (and its solvers and
+	// fork-join worker children) builds every expression in. nil
+	// selects the process-global default arena — the CLI
+	// configuration. A long-lived service gives each job its own
+	// arena so the job's interned expressions are reclaimed wholesale
+	// when the job's results are dropped. The arena choice never
+	// affects exploration results: canonicalization is structural, so
+	// traces, coverage and synthesized code are bit-identical across
+	// arenas.
+	Arena *expr.Arena
 	// DisableIncrementalSolver turns off the solver's shared
 	// incremental SAT session for branch queries (ablation). Query
 	// answers — and therefore exploration results — are identical
@@ -77,6 +87,9 @@ type Config struct {
 func (c *Config) defaults() {
 	if c.Searcher == nil {
 		c.Searcher = NewCoverageGuided
+	}
+	if c.Arena == nil {
+		c.Arena = expr.Default()
 	}
 	if c.PollThreshold == 0 {
 		c.PollThreshold = 48
@@ -153,6 +166,7 @@ type Engine struct {
 	cache *ir.Cache
 	col   *trace.Collector
 	sol   *solver.Solver
+	ar    *expr.Arena
 	rng   *rand.Rand
 
 	baseRAM []byte
@@ -218,6 +232,7 @@ func New(prog *isa.Program, cfg Config) *Engine {
 		prog:    prog,
 		col:     trace.NewCollector(),
 		sol:     newSolver(cfg),
+		ar:      cfg.Arena,
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 		baseRAM: ram,
 	}
@@ -225,18 +240,19 @@ func New(prog *isa.Program, cfg Config) *Engine {
 	return e
 }
 
-// newSolver builds a constraint solver configured per the engine
-// ablation switches.
+// newSolver builds a constraint solver configured per the engine: it
+// shares the engine's expression arena and the ablation switches.
 func newSolver(cfg Config) *solver.Solver {
-	s := solver.New()
-	s.SetIncremental(!cfg.DisableIncrementalSolver)
-	return s
+	return solver.NewWith(solver.Config{
+		Arena:              cfg.Arena,
+		DisableIncremental: cfg.DisableIncrementalSolver,
+	})
 }
 
 // freshSym mints a new hardware/input symbol.
 func (e *Engine) freshSym(prefix string, w uint8) *expr.Expr {
 	e.symCount++
-	return expr.S(fmt.Sprintf("%s%s_%d", e.symPrefix, prefix, e.symCount), w)
+	return e.ar.S(fmt.Sprintf("%s%s_%d", e.symPrefix, prefix, e.symCount), w)
 }
 
 // jobIDSpan reserves a state-ID range per worker child so IDs stay
@@ -257,6 +273,7 @@ func (e *Engine) child(idx int) *Engine {
 		cache:     e.cache,
 		col:       trace.NewCollector(),
 		sol:       newSolver(e.cfg),
+		ar:        e.ar,
 		rng:       rand.New(rand.NewSource(e.cfg.Seed + int64(e.jobSeq))),
 		baseRAM:   e.baseRAM,
 		entries:   e.entries,
@@ -271,14 +288,14 @@ func (e *Engine) newState() *State {
 	e.stateID++
 	s := &State{
 		ID:         e.stateID,
-		Mem:        NewMemory(e.baseRAM),
+		Mem:        NewMemoryArena(e.baseRAM, e.ar),
 		heapNext:   0x00080000,
 		localCount: map[uint32]int{},
 	}
 	for i := range s.Regs {
-		s.Regs[i] = expr.C(0, 32)
+		s.Regs[i] = e.ar.C(0, 32)
 	}
-	s.Regs[isa.SP] = expr.C(hw.StackTop, 32)
+	s.Regs[isa.SP] = e.ar.C(hw.StackTop, 32)
 	return s
 }
 
@@ -303,7 +320,7 @@ func (e *Engine) concretizeU32(s *State, v *expr.Expr) (uint32, bool) {
 	if !ok {
 		return 0, false
 	}
-	s.Constrain(expr.Eq(v, expr.C(val, v.Width)))
+	s.Constrain(e.ar.Eq(v, e.ar.C(val, v.Width)))
 	return val, true
 }
 
@@ -327,9 +344,9 @@ func (e *Engine) hwRead(s *State, bi *trace.BlockInfo, instrAddr, addr uint32, s
 	if e.cfg.ConcreteHardware {
 		// Ablation: a passive concrete device. Status registers read
 		// as zero, which is what idle hardware mostly returns.
-		return expr.C(0, 32)
+		return e.ar.C(0, 32)
 	}
-	return expr.Zext(e.freshSym("hw", uint8(size*8)), 32)
+	return e.ar.Zext(e.freshSym("hw", uint8(size*8)), 32)
 }
 
 func (e *Engine) hwWrite(s *State, bi *trace.BlockInfo, instrAddr, addr uint32, size int, v *expr.Expr) {
@@ -413,8 +430,8 @@ func (e *Engine) apiModel(s *State, bi *trace.BlockInfo, callSite uint32, index 
 	// stdcall: the callee (here, the OS) pops the arguments. The call
 	// instruction has not pushed a return address in this model; the
 	// caller resumes at the instruction after the call.
-	s.Regs[isa.SP] = expr.C(sp+uint32(4*d.NArgs), 32)
-	s.Regs[isa.R0] = expr.C(ret, 32)
+	s.Regs[isa.SP] = e.ar.C(sp+uint32(4*d.NArgs), 32)
+	s.Regs[isa.R0] = e.ar.C(ret, 32)
 	return nil
 }
 
@@ -458,26 +475,26 @@ func (e *Engine) stepBlock(s *State) ([]*State, error) {
 
 func (e *Engine) src2(s *State, in isa.Instr) *expr.Expr {
 	if in.HasImmOperand() {
-		return expr.C(in.Imm, 32)
+		return e.ar.C(in.Imm, 32)
 	}
 	return s.Regs[in.Rs2]
 }
 
 // condExpr builds the boolean for a branch condition.
-func condExpr(c isa.Cond, a, b *expr.Expr) *expr.Expr {
+func (e *Engine) condExpr(c isa.Cond, a, b *expr.Expr) *expr.Expr {
 	switch c {
 	case isa.EQ:
-		return expr.Eq(a, b)
+		return e.ar.Eq(a, b)
 	case isa.NE:
-		return expr.Not(expr.Eq(a, b))
+		return e.ar.Not(e.ar.Eq(a, b))
 	case isa.LT:
-		return expr.Slt(a, b)
+		return e.ar.Slt(a, b)
 	case isa.GE:
-		return expr.Not(expr.Slt(a, b))
+		return e.ar.Not(e.ar.Slt(a, b))
 	case isa.LTU:
-		return expr.Ult(a, b)
+		return e.ar.Ult(a, b)
 	case isa.GEU:
-		return expr.Not(expr.Ult(a, b))
+		return e.ar.Not(e.ar.Ult(a, b))
 	}
 	panic("symexec: bad cond")
 }
@@ -527,62 +544,62 @@ func (e *Engine) execInstrs(s *State, b *ir.Block, bi *trace.BlockInfo) ([]*Stat
 		switch in.Op {
 		case isa.NOP:
 		case isa.MOVI:
-			s.Regs[in.Rd] = expr.C(in.Imm, 32)
+			s.Regs[in.Rd] = e.ar.C(in.Imm, 32)
 		case isa.MOV:
 			s.Regs[in.Rd] = s.Regs[in.Rs1]
 		case isa.ADD:
-			s.Regs[in.Rd] = expr.Add(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Add(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.SUB:
-			s.Regs[in.Rd] = expr.Sub(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Sub(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.AND:
-			s.Regs[in.Rd] = expr.And(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.And(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.OR:
-			s.Regs[in.Rd] = expr.Or(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Or(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.XOR:
-			s.Regs[in.Rd] = expr.Xor(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Xor(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.SHL:
-			s.Regs[in.Rd] = expr.Shl(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Shl(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.SHR:
-			s.Regs[in.Rd] = expr.Lshr(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Lshr(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.SAR:
-			s.Regs[in.Rd] = expr.Ashr(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Ashr(s.Regs[in.Rs1], e.src2(s, in))
 		case isa.MUL:
-			s.Regs[in.Rd] = expr.Mul(s.Regs[in.Rs1], e.src2(s, in))
+			s.Regs[in.Rd] = e.ar.Mul(s.Regs[in.Rs1], e.src2(s, in))
 
 		case isa.LD8, isa.LD16, isa.LD32:
-			v, err := e.load(s, bi, addr, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)), in.Op.AccessSize())
+			v, err := e.load(s, bi, addr, e.ar.Add(s.Regs[in.Rs1], e.ar.C(in.Imm, 32)), in.Op.AccessSize())
 			if err != nil {
 				s.Reason = TermError
 				return nil, nil
 			}
 			s.Regs[in.Rd] = v
 		case isa.ST8, isa.ST16, isa.ST32:
-			if err := e.store(s, bi, addr, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)), in.Op.AccessSize(), s.Regs[in.Rs2]); err != nil {
+			if err := e.store(s, bi, addr, e.ar.Add(s.Regs[in.Rs1], e.ar.C(in.Imm, 32)), in.Op.AccessSize(), s.Regs[in.Rs2]); err != nil {
 				s.Reason = TermError
 				return nil, nil
 			}
 		case isa.IN8, isa.IN16, isa.IN32:
-			port, ok := e.concretizeU32(s, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)))
+			port, ok := e.concretizeU32(s, e.ar.Add(s.Regs[in.Rs1], e.ar.C(in.Imm, 32)))
 			if !ok {
 				s.Reason = TermError
 				return nil, nil
 			}
 			s.Regs[in.Rd] = e.hwRead(s, bi, addr, port, in.Op.AccessSize(), trace.ClassPortIO)
 		case isa.OUT8, isa.OUT16, isa.OUT32:
-			port, ok := e.concretizeU32(s, expr.Add(s.Regs[in.Rs1], expr.C(in.Imm, 32)))
+			port, ok := e.concretizeU32(s, e.ar.Add(s.Regs[in.Rs1], e.ar.C(in.Imm, 32)))
 			if !ok {
 				s.Reason = TermError
 				return nil, nil
 			}
 			sz := in.Op.AccessSize()
-			v := expr.Trunc(s.Regs[in.Rs2], uint8(sz*8))
+			v := e.ar.Trunc(s.Regs[in.Rs2], uint8(sz*8))
 			e.col.IO(bi, trace.Access{
 				InstrAddr: addr, Addr: port, Size: sz, Write: true,
 				Class: trace.ClassPortIO, Value: expr.Eval(v, nil),
 				Symbolic: v.Kind != expr.KConst,
 			})
 		case isa.PUSH:
-			sp := expr.Sub(s.Regs[isa.SP], expr.C(4, 32))
+			sp := e.ar.Sub(s.Regs[isa.SP], e.ar.C(4, 32))
 			s.Regs[isa.SP] = sp
 			if err := e.store(s, bi, addr, sp, 4, s.Regs[in.Rs1]); err != nil {
 				s.Reason = TermError
@@ -595,7 +612,7 @@ func (e *Engine) execInstrs(s *State, b *ir.Block, bi *trace.BlockInfo) ([]*Stat
 				return nil, nil
 			}
 			s.Regs[in.Rd] = v
-			s.Regs[isa.SP] = expr.Add(s.Regs[isa.SP], expr.C(4, 32))
+			s.Regs[isa.SP] = e.ar.Add(s.Regs[isa.SP], e.ar.C(4, 32))
 
 		case isa.JMP:
 			e.col.Edge(addr, in.Imm, trace.EdgeBranch)
@@ -606,13 +623,13 @@ func (e *Engine) execInstrs(s *State, b *ir.Block, bi *trace.BlockInfo) ([]*Stat
 		case isa.BR, isa.BRI:
 			var rhs *expr.Expr
 			if in.Op == isa.BRI {
-				rhs = expr.C(uint32(uint8(in.Rs2)), 32)
+				rhs = e.ar.C(uint32(uint8(in.Rs2)), 32)
 			} else {
 				rhs = s.Regs[in.Rs2]
 			}
-			return e.branch(s, bi, addr, condExpr(in.Cond(), s.Regs[in.Rs1], rhs), in.Imm, b.EndAddr())
+			return e.branch(s, bi, addr, e.condExpr(in.Cond(), s.Regs[in.Rs1], rhs), in.Imm, b.EndAddr())
 		case isa.CALL, isa.CALLR:
-			targetE := expr.C(in.Imm, 32)
+			targetE := e.ar.C(in.Imm, 32)
 			if in.Op == isa.CALLR {
 				targetE = s.Regs[in.Rs1]
 			}
@@ -629,9 +646,9 @@ func (e *Engine) execInstrs(s *State, b *ir.Block, bi *trace.BlockInfo) ([]*Stat
 				s.PC = nextPC
 				continue // API call does not end the path
 			}
-			sp := expr.Sub(s.Regs[isa.SP], expr.C(4, 32))
+			sp := e.ar.Sub(s.Regs[isa.SP], e.ar.C(4, 32))
 			s.Regs[isa.SP] = sp
-			if err := e.store(s, bi, addr, sp, 4, expr.C(nextPC, 32)); err != nil {
+			if err := e.store(s, bi, addr, sp, 4, e.ar.C(nextPC, 32)); err != nil {
 				s.Reason = TermError
 				return nil, nil
 			}
@@ -652,7 +669,7 @@ func (e *Engine) execInstrs(s *State, b *ir.Block, bi *trace.BlockInfo) ([]*Stat
 				s.Reason = TermError
 				return nil, nil
 			}
-			s.Regs[isa.SP] = expr.Add(s.Regs[isa.SP], expr.C(4+in.Imm, 32))
+			s.Regs[isa.SP] = e.ar.Add(s.Regs[isa.SP], e.ar.C(4+in.Imm, 32))
 			if len(s.Frames) > 0 {
 				s.pendingRet = s.Frames[len(s.Frames)-1].target
 				s.Frames = s.Frames[:len(s.Frames)-1]
@@ -693,7 +710,7 @@ func (e *Engine) load(s *State, bi *trace.BlockInfo, instrAddr uint32, addrE *ex
 		// DMA memory is written by the device, so its contents are
 		// symbolic hardware input too (§3.4).
 		e.col.IO(bi, trace.Access{InstrAddr: instrAddr, Addr: addr, Size: size, Class: trace.ClassDMA, Symbolic: true})
-		return expr.Zext(e.freshSym("dma", uint8(size*8)), 32), nil
+		return e.ar.Zext(e.freshSym("dma", uint8(size*8)), 32), nil
 	}
 	if int(addr)+size > len(e.baseRAM) {
 		return nil, fmt.Errorf("read outside RAM")
@@ -730,7 +747,7 @@ func (e *Engine) store(s *State, bi *trace.BlockInfo, instrAddr uint32, addrE *e
 	if int(addr)+size > len(e.baseRAM) {
 		return fmt.Errorf("write outside RAM")
 	}
-	s.Mem.Write(addr, size, expr.Trunc(v, uint8(size*8)))
+	s.Mem.Write(addr, size, e.ar.Trunc(v, uint8(size*8)))
 	return nil
 }
 
@@ -749,7 +766,7 @@ func (e *Engine) branch(s *State, bi *trace.BlockInfo, instrAddr uint32, cond *e
 		return []*State{s}, nil
 	}
 	mayTake := e.sol.MayBeTrue(s.Constraints, cond)
-	mayFall := e.sol.MayBeTrue(s.Constraints, expr.Not(cond))
+	mayFall := e.sol.MayBeTrue(s.Constraints, e.ar.Not(cond))
 	switch {
 	case mayTake && !mayFall:
 		s.Constrain(cond)
@@ -757,7 +774,7 @@ func (e *Engine) branch(s *State, bi *trace.BlockInfo, instrAddr uint32, cond *e
 		s.PC = taken
 		return []*State{s}, nil
 	case !mayTake && mayFall:
-		s.Constrain(expr.Not(cond))
+		s.Constrain(e.ar.Not(cond))
 		e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
 		s.PC = fallthrough_
 		return []*State{s}, nil
@@ -771,7 +788,7 @@ func (e *Engine) branch(s *State, bi *trace.BlockInfo, instrAddr uint32, cond *e
 	if !e.cfg.DisableLoopKill {
 		if s.localCount[taken] >= e.cfg.PollThreshold && s.localCount[fallthrough_] < e.cfg.PollThreshold {
 			e.killed++
-			s.Constrain(expr.Not(cond))
+			s.Constrain(e.ar.Not(cond))
 			e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
 			s.PC = fallthrough_
 			return []*State{s}, nil
@@ -788,7 +805,7 @@ func (e *Engine) branch(s *State, bi *trace.BlockInfo, instrAddr uint32, cond *e
 	s.Constrain(cond)
 	s.PC = taken
 	e.col.Edge(instrAddr, taken, trace.EdgeBranch)
-	c.Constrain(expr.Not(cond))
+	c.Constrain(e.ar.Not(cond))
 	c.PC = fallthrough_
 	e.col.Edge(instrAddr, fallthrough_, trace.EdgeFallthrough)
 	return []*State{s, c}, nil
@@ -815,7 +832,7 @@ func (e *Engine) indirectJump(s *State, bi *trace.BlockInfo, instrAddr uint32, t
 		} else {
 			st = e.fork(s)
 		}
-		st.Constrain(expr.Eq(target, expr.C(v, target.Width)))
+		st.Constrain(e.ar.Eq(target, e.ar.C(v, target.Width)))
 		st.PC = v
 		e.col.Edge(instrAddr, v, trace.EdgeBranch)
 		out = append(out, st)

@@ -40,11 +40,11 @@ type phase struct {
 }
 
 func statusOK(e *Engine, s *State) bool {
-	return e.sol.MayBeTrue(s.Constraints, expr.Eq(s.Result, expr.C(guestos.StatusSuccess, 32)))
+	return e.sol.MayBeTrue(s.Constraints, e.ar.Eq(s.Result, e.ar.C(guestos.StatusSuccess, 32)))
 }
 
 func nonZero(e *Engine, s *State) bool {
-	return e.sol.MayBeTrue(s.Constraints, expr.Not(expr.Eq(s.Result, expr.C(0, 32))))
+	return e.sol.MayBeTrue(s.Constraints, e.ar.Not(e.ar.Eq(s.Result, e.ar.C(0, 32))))
 }
 
 func anyResult(e *Engine, s *State) bool { return true }
@@ -268,9 +268,9 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 		}
 		for i := uint32(0); i < b.n; i++ {
 			if int(i) < len(pattern) {
-				st.Mem.SetByte(b.addr+i, expr.C(uint32(pattern[i]), 8))
+				st.Mem.SetByte(b.addr+i, e.ar.C(uint32(pattern[i]), 8))
 			} else {
-				st.Mem.SetByte(b.addr+i, expr.C(uint32(i*7)&0xFF, 8))
+				st.Mem.SetByte(b.addr+i, e.ar.C(uint32(i*7)&0xFF, 8))
 			}
 		}
 		for _, off := range b.symBytes {
@@ -289,13 +289,13 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 		if args[i].symbolic != "" {
 			v = e.freshSym(args[i].symbolic, 32)
 		} else {
-			v = expr.C(args[i].concrete, 32)
+			v = e.ar.C(args[i].concrete, 32)
 		}
 		st.Mem.Write(sp, 4, v)
 	}
 	sp -= 4
-	st.Mem.Write(sp, 4, expr.C(vm.MagicReturn, 32))
-	st.Regs[isa.SP] = expr.C(sp, 32)
+	st.Mem.Write(sp, 4, e.ar.C(vm.MagicReturn, 32))
+	st.Regs[isa.SP] = e.ar.C(sp, 32)
 	st.PC = entry
 	st.localCount = map[uint32]int{}
 	// The kernel's invocation is the root frame: parameter reads at
@@ -344,6 +344,27 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 	sr := e.cfg.Searcher(e.col)
 	sr.Update(live, nil)
 
+	// pos tracks each live state's slice index so removing the
+	// searcher's selection is O(1); with the priority-queue coverage
+	// searcher the whole scheduling decision is then O(log n) instead
+	// of two O(n) scans per executed block.
+	pos := make(map[*State]int, len(live))
+	for i, st := range live {
+		pos[st] = i
+	}
+	push := func(st *State) {
+		pos[st] = len(live)
+		live = append(live, st)
+	}
+	remove := func(st *State) {
+		i := pos[st]
+		last := len(live) - 1
+		live[i] = live[last]
+		pos[live[i]] = i
+		live = live[:last]
+		delete(pos, st)
+	}
+
 	for len(live) > 0 {
 		if spreadTo > 0 && len(live) >= spreadTo {
 			return completed, live, e.exec - startExec, nil
@@ -356,19 +377,15 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 			break
 		}
 		s := sr.Select(live)
-		for i := range live {
-			if live[i] == s {
-				live[i] = live[len(live)-1]
-				live = live[:len(live)-1]
-				break
-			}
-		}
+		remove(s)
 
 		out, err := e.stepBlock(s)
 		if err != nil {
 			return nil, nil, e.exec - startExec, fmt.Errorf("symexec: phase %s: %w", name, err)
 		}
-		live = append(live, out...)
+		for _, o := range out {
+			push(o)
+		}
 		sr.Update(out, []*State{s})
 
 		if c := e.col.CoveredBlocks(); c != lastCov {
@@ -388,6 +405,7 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 					}
 					sr.Update(nil, live)
 					live = nil
+					clear(pos)
 				}
 			}
 		}
@@ -398,6 +416,10 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 			var killed []*State
 			live, killed = e.shedStates(live, bdg.maxStates)
 			sr.Update(nil, killed)
+			clear(pos)
+			for i, st := range live {
+				pos[st] = i
+			}
 		}
 	}
 	return completed, nil, e.exec - startExec, nil

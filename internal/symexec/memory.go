@@ -26,16 +26,26 @@ type page struct {
 // Memory is a byte-granular symbolic memory with page-level
 // copy-on-write. The concrete base image (the RAM snapshot taken when
 // symbolic execution starts) is shared by all states and never
-// mutated.
+// mutated. Reads assemble (and writes decompose) multi-byte values in
+// the memory's expression arena, so a job-scoped engine never leaks
+// nodes into the process-global table.
 type Memory struct {
 	base  []byte
 	pages map[uint32]*page
+	ar    *expr.Arena
 }
 
-// NewMemory wraps a concrete base image. The image is aliased, not
-// copied: callers must not mutate it afterwards.
+// NewMemory wraps a concrete base image, building expressions in the
+// default arena. The image is aliased, not copied: callers must not
+// mutate it afterwards.
 func NewMemory(base []byte) *Memory {
-	return &Memory{base: base, pages: map[uint32]*page{}}
+	return NewMemoryArena(base, expr.Default())
+}
+
+// NewMemoryArena wraps a concrete base image, building expressions in
+// the given arena.
+func NewMemoryArena(base []byte, ar *expr.Arena) *Memory {
+	return &Memory{base: base, pages: map[uint32]*page{}, ar: ar}
 }
 
 // Fork produces a child memory sharing all pages copy-on-write.
@@ -45,7 +55,7 @@ func NewMemory(base []byte) *Memory {
 // immutable — SetByte copies it before writing — so fork trees may be
 // partitioned across concurrently explored state sets without races.
 func (m *Memory) Fork() *Memory {
-	child := &Memory{base: m.base, pages: make(map[uint32]*page, len(m.pages))}
+	child := &Memory{base: m.base, pages: make(map[uint32]*page, len(m.pages)), ar: m.ar}
 	for k, p := range m.pages {
 		if !p.shared {
 			p.shared = true
@@ -69,7 +79,7 @@ func (m *Memory) ByteAt(addr uint32) *expr.Expr {
 			return e
 		}
 	}
-	return expr.C(uint32(m.baseByte(addr)), 8)
+	return m.ar.C(uint32(m.baseByte(addr)), 8)
 }
 
 // SetByte stores a symbolic byte, cloning a shared page first.
@@ -94,11 +104,11 @@ func (m *Memory) SetByte(addr uint32, v *expr.Expr) {
 func (m *Memory) Read(addr uint32, size int) *expr.Expr {
 	switch size {
 	case 1:
-		return expr.Zext(m.ByteAt(addr), 32)
+		return m.ar.Zext(m.ByteAt(addr), 32)
 	case 2:
-		return expr.Zext(expr.FromBytes16(m.ByteAt(addr), m.ByteAt(addr+1)), 32)
+		return m.ar.Zext(m.ar.FromBytes16(m.ByteAt(addr), m.ByteAt(addr+1)), 32)
 	case 4:
-		return expr.FromBytes32(m.ByteAt(addr), m.ByteAt(addr+1), m.ByteAt(addr+2), m.ByteAt(addr+3))
+		return m.ar.FromBytes32(m.ByteAt(addr), m.ByteAt(addr+1), m.ByteAt(addr+2), m.ByteAt(addr+3))
 	}
 	panic("symexec: invalid read size")
 }
@@ -106,7 +116,7 @@ func (m *Memory) Read(addr uint32, size int) *expr.Expr {
 // Write stores the low size bytes of v at addr, little-endian.
 func (m *Memory) Write(addr uint32, size int, v *expr.Expr) {
 	for i := 0; i < size; i++ {
-		m.SetByte(addr+uint32(i), expr.ExtractByte(v, i))
+		m.SetByte(addr+uint32(i), m.ar.ExtractByte(v, i))
 	}
 }
 
@@ -114,7 +124,7 @@ func (m *Memory) Write(addr uint32, size int, v *expr.Expr) {
 // OS model when it builds buffers in guest memory).
 func (m *Memory) WriteConcreteBytes(addr uint32, data []byte) {
 	for i, b := range data {
-		m.SetByte(addr+uint32(i), expr.C(uint32(b), 8))
+		m.SetByte(addr+uint32(i), m.ar.C(uint32(b), 8))
 	}
 }
 

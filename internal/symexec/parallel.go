@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -98,13 +99,25 @@ func (e *Engine) exploreShards(live []*State, name string, bdg phaseBudgets, suc
 	} else {
 		jobs := make(chan int)
 		var wg sync.WaitGroup
+		// A panic inside a worker goroutine cannot unwind past the
+		// goroutine boundary, so callers' recovers (the revnicd job
+		// runner's in particular) would never see it and the whole
+		// process would die. Convert it to a per-shard error instead.
+		runShard := func(idx int) {
+			defer func() {
+				if r := recover(); r != nil {
+					errs[idx] = fmt.Errorf("symexec: shard %d worker panic: %v", idx, r)
+				}
+			}()
+			completedByShard[idx], _, _, errs[idx] =
+				children[idx].exploreSet(groups[idx], name, per, success, 0)
+		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for idx := range jobs {
-					completedByShard[idx], _, _, errs[idx] =
-						children[idx].exploreSet(groups[idx], name, per, success, 0)
+					runShard(idx)
 				}
 			}()
 		}

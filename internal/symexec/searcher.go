@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -55,27 +56,106 @@ type SearcherFactory func(counts BlockCounts) Searcher
 // NewCoverageGuided returns the paper's default heuristic (§3.2): run
 // the state whose next block has executed least. "A good side effect
 // of this heuristic is that it does not get stuck in loops."
+//
+// Selection is a priority queue keyed on block execution counts, not
+// a scan of the live set: Select is O(log n) in the frontier size, so
+// large MaxStates configurations no longer pay O(n) per scheduling
+// decision. Because block counts only grow, the queue rescores
+// lazily — an entry's priority is re-checked (and the entry pushed
+// back down) only when it surfaces at the top — which keeps Update
+// O(1) per frontier change instead of reheapifying on every count
+// bump.
 func NewCoverageGuided(counts BlockCounts) Searcher {
-	return &coverageSearcher{counts: counts}
+	return &coverageSearcher{counts: counts, pos: map[*State]*covEntry{}}
+}
+
+// covEntry is one frontier state in the coverage priority queue.
+type covEntry struct {
+	st *State
+	// count is the block count the entry was last scored with; it may
+	// lag the collector (lazy rescoring), never lead it.
+	count int64
+	// seq breaks count ties FIFO, keeping selection a deterministic
+	// function of the engine's call sequence.
+	seq   int
+	index int // heap position, maintained by covHeap
 }
 
 type coverageSearcher struct {
 	counts BlockCounts
+	h      covHeap
+	pos    map[*State]*covEntry
+	seq    int
 }
 
 func (s *coverageSearcher) Name() string { return "coverage" }
 
 func (s *coverageSearcher) Select(live []*State) *State {
-	best, bestCount := 0, int64(1)<<62
-	for i, st := range live {
-		if c := s.counts.BlockCount(st.PC); c < bestCount {
-			best, bestCount = i, c
-		}
+	if len(s.h) == 0 {
+		// Defensive resynchronization; the engine protocol keeps the
+		// queue in lockstep with live, so this is never hit there.
+		s.Update(live, nil)
 	}
-	return live[best]
+	for {
+		top := s.h[0]
+		// Lazy rescoring: counts are monotone, so a stale entry can
+		// only have become worse. Fix it in place and look again; an
+		// up-to-date top is the true minimum.
+		if c := s.counts.BlockCount(top.st.PC); c != top.count {
+			top.count = c
+			heap.Fix(&s.h, 0)
+			continue
+		}
+		return top.st
+	}
 }
 
-func (s *coverageSearcher) Update(added, removed []*State) {}
+func (s *coverageSearcher) Update(added, removed []*State) {
+	for _, r := range removed {
+		if e, ok := s.pos[r]; ok {
+			heap.Remove(&s.h, e.index)
+			delete(s.pos, r)
+		}
+	}
+	for _, a := range added {
+		if _, ok := s.pos[a]; ok {
+			continue
+		}
+		e := &covEntry{st: a, count: s.counts.BlockCount(a.PC), seq: s.seq}
+		s.seq++
+		s.pos[a] = e
+		heap.Push(&s.h, e)
+	}
+}
+
+// covHeap is a min-heap of frontier entries ordered by (count, seq).
+type covHeap []*covEntry
+
+func (h covHeap) Len() int { return len(h) }
+func (h covHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].seq < h[j].seq
+}
+func (h covHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *covHeap) Push(x any) {
+	e := x.(*covEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *covHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
 
 // NewDFS returns a depth-first searcher: the most recently produced
 // state runs next, so one path is driven to termination before its

@@ -1,0 +1,135 @@
+package symexec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fakeCounts is a scriptable BlockCounts for searcher unit tests.
+type fakeCounts map[uint32]int64
+
+func (f fakeCounts) BlockCount(a uint32) int64 { return f[a] }
+
+// TestCoverageSearcherPicksMinimum drives the priority-queue searcher
+// through a randomized frontier schedule with counts mutating between
+// selections (the lazy-rescoring path) and checks the min-count
+// invariant the paper's heuristic promises on every selection.
+func TestCoverageSearcherPicksMinimum(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	counts := fakeCounts{}
+	sr := NewCoverageGuided(counts)
+	var live []*State
+	nextID := 0
+	add := func(n int) []*State {
+		var out []*State
+		for i := 0; i < n; i++ {
+			nextID++
+			out = append(out, &State{ID: nextID, PC: uint32(r.Intn(20)) * 4})
+		}
+		live = append(live, out...)
+		return out
+	}
+	sr.Update(add(8), nil)
+	for step := 0; step < 500; step++ {
+		// Mutate counts behind the searcher's back, as block
+		// executions by other states do.
+		counts[uint32(r.Intn(20))*4]++
+		s := sr.Select(live)
+		min := int64(1) << 62
+		for _, st := range live {
+			if c := counts[st.PC]; c < min {
+				min = c
+			}
+		}
+		if counts[s.PC] != min {
+			t.Fatalf("step %d: selected count %d, frontier min %d", step, counts[s.PC], min)
+		}
+		// Engine protocol: remove the selection, maybe re-add it (as a
+		// follow-on state with a new PC) plus an occasional fork.
+		for i := range live {
+			if live[i] == s {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				break
+			}
+		}
+		var added []*State
+		if r.Intn(4) > 0 {
+			s.PC = uint32(r.Intn(20)) * 4
+			added = append(added, s)
+			live = append(live, s)
+		}
+		if r.Intn(3) == 0 {
+			added = append(added, add(1)...)
+		}
+		sr.Update(added, []*State{s})
+		if len(live) == 0 {
+			sr.Update(add(4), nil)
+		}
+	}
+}
+
+// TestCoverageSearcherDeterministic feeds two instances the identical
+// call sequence and demands identical selections — the property the
+// fork-join determinism contract rests on.
+func TestCoverageSearcherDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		run := func() []int {
+			r := rand.New(rand.NewSource(seed))
+			counts := fakeCounts{}
+			sr := NewCoverageGuided(counts)
+			var live []*State
+			for i := 0; i < 16; i++ {
+				live = append(live, &State{ID: i + 1, PC: uint32(r.Intn(8)) * 4})
+			}
+			sr.Update(live, nil)
+			var picks []int
+			for step := 0; step < 200; step++ {
+				counts[uint32(r.Intn(8))*4]++
+				s := sr.Select(live)
+				picks = append(picks, s.ID)
+				for i := range live {
+					if live[i] == s {
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+						break
+					}
+				}
+				s.PC = uint32(r.Intn(8)) * 4
+				live = append(live, s)
+				sr.Update([]*State{s}, []*State{s})
+			}
+			return picks
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: selection diverged at step %d: %d vs %d", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCoverageSearcherRemoval checks that bulk discards (budget and
+// shed-states paths) leave the queue consistent.
+func TestCoverageSearcherRemoval(t *testing.T) {
+	counts := fakeCounts{}
+	sr := NewCoverageGuided(counts)
+	var live []*State
+	for i := 0; i < 10; i++ {
+		live = append(live, &State{ID: i + 1, PC: uint32(i) * 4})
+	}
+	sr.Update(live, nil)
+	// Discard everything but the last two, as the success-discard
+	// heuristic does.
+	sr.Update(nil, live[:8])
+	live = live[8:]
+	counts[live[1].PC] = 5
+	if s := sr.Select(live); s != live[0] {
+		t.Fatalf("expected the cold survivor, got state %d", s.ID)
+	}
+	sr.Update(nil, []*State{live[0]})
+	if s := sr.Select(live[1:]); s != live[1] {
+		t.Fatalf("expected the last survivor, got state %d", s.ID)
+	}
+}
