@@ -7,20 +7,29 @@
 // Usage:
 //
 //	revnicd [-addr :8939] [-pool 2] [-queue 64] [-drain-timeout 1m]
+//	        [-data-dir DIR] [-max-job-wall 0] [-per-client 0]
+//	        [-retain-count 256] [-retain-age 0] [-max-body 8388608]
 //
 // Jobs run on a bounded pool; each job explores inside its own
 // expression arena, so finished jobs release all their interned
 // expressions and the daemon's memory returns to baseline between
-// bursts. SIGINT/SIGTERM trigger a graceful drain: submissions are
-// rejected, running and queued jobs finish (up to -drain-timeout),
-// then the process exits.
+// bursts. Jobs can be cancelled (DELETE /jobs/{id}) or bounded by a
+// per-job deadline_ms and the global -max-job-wall cap; stopped jobs
+// wind down cooperatively and finish with a partial result. With
+// -data-dir set, accepted jobs are journaled to DIR/jobs.journal
+// (fsynced before the submit is acknowledged) and replayed after a
+// crash: queued jobs re-run, mid-run jobs surface as "interrupted".
+// SIGINT/SIGTERM trigger a graceful drain: submissions are rejected,
+// running and queued jobs finish (up to -drain-timeout), then the
+// process exits.
 //
 // Example session:
 //
-//	revnicd -addr :8939 &
+//	revnicd -addr :8939 -data-dir /var/lib/revnicd &
 //	curl -s -X POST localhost:8939/jobs -d '{"driver":"RTL8029"}'
 //	curl -s localhost:8939/jobs/job-1 | jq .status
 //	curl -s localhost:8939/jobs/job-1/code
+//	curl -s -X DELETE localhost:8939/jobs/job-1
 package main
 
 import (
@@ -45,10 +54,34 @@ func main() {
 		pool         = flag.Int("pool", 2, "jobs executed concurrently")
 		queue        = flag.Int("queue", 64, "accepted-but-unstarted job backlog bound")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-drain allowance on SIGINT/SIGTERM")
+		dataDir      = flag.String("data-dir", "", "durable job journal directory (empty = no durability)")
+		maxJobWall   = flag.Duration("max-job-wall", 0, "global per-job wall-clock cap (0 = unlimited)")
+		perClient    = flag.Int("per-client", 0, "concurrent live jobs allowed per client address (0 = unlimited)")
+		retainCount  = flag.Int("retain-count", 256, "finished jobs kept before LRU eviction (negative = unlimited)")
+		retainAge    = flag.Duration("retain-age", 0, "finished jobs evicted after this idle time (0 = no age bound)")
+		maxBody      = flag.Int64("max-body", 8<<20, "POST /jobs request-body byte limit")
 	)
 	flag.Parse()
 
-	svc := jobsvc.New(jobsvc.Config{Pool: *pool, QueueDepth: *queue})
+	svc, err := jobsvc.Open(jobsvc.Config{
+		Pool:         *pool,
+		QueueDepth:   *queue,
+		MaxJobWall:   *maxJobWall,
+		PerClientCap: *perClient,
+		RetainCount:  *retainCount,
+		RetainAge:    *retainAge,
+		MaxBodyBytes: *maxBody,
+		DataDir:      *dataDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revnicd: %v\n", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		requeued, interrupted := svc.ReplayStats()
+		log.Printf("revnicd: journal %s: %d jobs requeued, %d marked interrupted",
+			*dataDir, requeued, interrupted)
+	}
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	errc := make(chan error, 1)

@@ -2,7 +2,9 @@ package jobsvc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -12,12 +14,17 @@ import (
 // Prometheus-text metrics endpoint, all on net/http — the service has
 // no dependencies outside the standard library.
 //
-//	POST /jobs            submit a JobSpec, returns the Job snapshot
-//	GET  /jobs            list all jobs (results elided)
-//	GET  /jobs/{id}       one job, full result included
-//	GET  /jobs/{id}/code  the synthesized C source, text/plain
-//	GET  /metrics         Prometheus text exposition
-//	GET  /healthz         200 while serving, 503 while draining
+//	POST   /jobs            submit a JobSpec, returns the Job snapshot
+//	GET    /jobs            list all jobs (results elided)
+//	GET    /jobs/{id}       one job, full result included
+//	DELETE /jobs/{id}       cancel a queued or running job
+//	GET    /jobs/{id}/code  the synthesized C source, text/plain
+//	GET    /metrics         Prometheus text exposition
+//	GET    /healthz         200 while serving, 503 while draining
+//
+// Admission control: a full queue or a client over its concurrent-job
+// cap gets 429 with a Retry-After estimate; bodies over the configured
+// limit get 413; journal failures get 503.
 
 // metrics is the service-level counter set, exported in Prometheus
 // text format. Plain atomics: the service deliberately has no
@@ -26,7 +33,16 @@ type metrics struct {
 	submitted           atomic.Int64
 	succeeded           atomic.Int64
 	failed              atomic.Int64
+	cancelled           atomic.Int64
+	deadlineHits        atomic.Int64
 	running             atomic.Int64
+	evicted             atomic.Int64
+	replayed            atomic.Int64
+	replayedInterrupted atomic.Int64
+	rejectedQueueFull   atomic.Int64
+	rejectedClientCap   atomic.Int64
+	rejectedDraining    atomic.Int64
+	rejectedBody        atomic.Int64
 	solverQueries       atomic.Int64
 	executedBlocks      atomic.Int64
 	arenaNodesReclaimed atomic.Int64
@@ -60,6 +76,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/code", s.handleCode)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -79,22 +96,72 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.m.rejectedBody.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
-	j, err := s.Submit(spec)
+	j, err := s.SubmitFrom(clientKey(r), spec)
 	switch {
-	case err == ErrDraining:
+	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
-	case err == ErrBusy:
+	case errors.Is(err, ErrBusy) || errors.Is(err, ErrClientBusy):
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrJournal):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
 		writeJSON(w, http.StatusAccepted, j)
 	}
+}
+
+// clientKey is the admission-control identity of a request: the
+// connection's source host (port stripped, so one client's concurrent
+// connections count together).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds estimates when a rejected submitter should come
+// back: the mean observed job duration, clamped to [1, 60] seconds.
+// An estimate, not a promise — but far better backpressure than a
+// constant for jobs that span milliseconds to minutes.
+func (s *Service) retryAfterSeconds() int {
+	sum, n := s.m.durationSeconds.read()
+	if n == 0 {
+		return 1
+	}
+	sec := int(sum / float64(n))
+	if sec < 1 {
+		return 1
+	}
+	if sec > 60 {
+		return 60
+	}
+	return sec
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -168,6 +235,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP revnicd_jobs_completed_total Jobs finished, by outcome.\n# TYPE revnicd_jobs_completed_total counter\n")
 	fmt.Fprintf(w, "revnicd_jobs_completed_total{status=\"succeeded\"} %d\n", s.m.succeeded.Load())
 	fmt.Fprintf(w, "revnicd_jobs_completed_total{status=\"failed\"} %d\n", s.m.failed.Load())
+	fmt.Fprintf(w, "revnicd_jobs_completed_total{status=\"cancelled\"} %d\n", s.m.cancelled.Load())
+	fmt.Fprintf(w, "revnicd_jobs_completed_total{status=\"deadline\"} %d\n", s.m.deadlineHits.Load())
+	fmt.Fprintf(w, "# HELP revnicd_jobs_rejected_total Submissions refused by admission control, by reason.\n# TYPE revnicd_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "revnicd_jobs_rejected_total{reason=\"queue_full\"} %d\n", s.m.rejectedQueueFull.Load())
+	fmt.Fprintf(w, "revnicd_jobs_rejected_total{reason=\"client_cap\"} %d\n", s.m.rejectedClientCap.Load())
+	fmt.Fprintf(w, "revnicd_jobs_rejected_total{reason=\"draining\"} %d\n", s.m.rejectedDraining.Load())
+	fmt.Fprintf(w, "revnicd_jobs_rejected_total{reason=\"body_too_large\"} %d\n", s.m.rejectedBody.Load())
+	counter("revnicd_jobs_evicted_total", "Finished jobs dropped by the retention policy.", s.m.evicted.Load())
+	counter("revnicd_journal_replayed_total", "Journaled jobs requeued on startup.", s.m.replayed.Load())
+	counter("revnicd_journal_interrupted_total", "Journaled jobs found mid-run on startup.", s.m.replayedInterrupted.Load())
 	gauge("revnicd_jobs_running", "Jobs currently executing.", s.m.running.Load())
 	gauge("revnicd_jobs_queued", "Jobs accepted but not yet started.", int64(queued))
 	gauge("revnicd_draining", "1 while graceful drain is in progress.", int64(draining))

@@ -22,6 +22,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,14 +40,29 @@ import (
 // Status is a job's lifecycle phase.
 type Status string
 
-// Job lifecycle phases. Jobs move queued → running → succeeded or
-// failed; there are no other transitions.
+// Job lifecycle phases. Jobs move queued → running → one of the
+// terminal states. A queued job may be cancelled before it starts;
+// a running job winds down to cancelled or deadline with a partial
+// result when stopped; interrupted marks jobs a daemon restart found
+// mid-run in the journal (their in-memory progress is gone).
 const (
-	StatusQueued    Status = "queued"
-	StatusRunning   Status = "running"
-	StatusSucceeded Status = "succeeded"
-	StatusFailed    Status = "failed"
+	StatusQueued      Status = "queued"
+	StatusRunning     Status = "running"
+	StatusSucceeded   Status = "succeeded"
+	StatusFailed      Status = "failed"
+	StatusCancelled   Status = "cancelled"
+	StatusDeadline    Status = "deadline"
+	StatusInterrupted Status = "interrupted"
 )
+
+// Terminal reports whether a job in this status will never run again.
+func (st Status) Terminal() bool {
+	switch st {
+	case StatusSucceeded, StatusFailed, StatusCancelled, StatusDeadline, StatusInterrupted:
+		return true
+	}
+	return false
+}
 
 // ShellSpec carries the shell-device PCI parameters for uploaded
 // programs ("the vendor and product identifier of the device whose
@@ -93,6 +111,13 @@ type JobSpec struct {
 	CompleteTarget           int  `json:"complete_target,omitempty"`
 	PollThreshold            int  `json:"poll_threshold,omitempty"`
 	DisableIncrementalSolver bool `json:"disable_incremental_solver,omitempty"`
+	// DeadlineMS bounds the job's execution wall clock in
+	// milliseconds, measured from the moment the job starts running.
+	// A job past its deadline winds down cooperatively and finishes as
+	// status "deadline" with a partial result. The service's global
+	// MaxJobWall cap applies on top — the tighter bound wins. 0 means
+	// no per-job deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // JobResult is the summary extracted from a finished pipeline run. It
@@ -119,6 +144,11 @@ type JobResult struct {
 	// Code is the synthesized C source (template-instantiated when
 	// the spec named a target OS).
 	Code string `json:"code,omitempty"`
+	// Stopped is "cancelled" or "deadline" when exploration was wound
+	// down before the exercise script finished: the result is then
+	// partial — it holds everything the completed phases produced —
+	// but structurally complete. Empty for a full run.
+	Stopped string `json:"stopped,omitempty"`
 }
 
 // Job is one tracked request. Fields are snapshots: the service hands
@@ -141,14 +171,61 @@ type Config struct {
 	// bounds jobs, not goroutines.
 	Pool int
 	// QueueDepth bounds the backlog of accepted-but-unstarted jobs;
-	// submissions beyond it are rejected with ErrBusy. 0 selects 64.
+	// submissions beyond it are rejected with ErrBusy (HTTP 429 with
+	// Retry-After) instead of blocking the submitter. 0 selects 64.
 	QueueDepth int
+	// MaxJobWall caps every job's execution wall clock; jobs past it
+	// finish as status "deadline" with a partial result. A per-job
+	// deadline_ms tightens (never loosens) the cap. 0 means no global
+	// cap.
+	MaxJobWall time.Duration
+	// PerClientCap bounds how many live (queued or running) jobs one
+	// client may hold; submissions beyond it are rejected with
+	// ErrClientBusy. 0 disables the cap.
+	PerClientCap int
+	// RetainCount bounds how many finished jobs the index keeps;
+	// beyond it the least recently accessed finished jobs are evicted
+	// (their snapshots and results become 404s). 0 selects 256;
+	// negative disables the count bound.
+	RetainCount int
+	// RetainAge evicts finished jobs not accessed for this long,
+	// checked on every submission and completion. 0 disables the age
+	// bound.
+	RetainAge time.Duration
+	// MaxBodyBytes caps POST /jobs request bodies (uploaded images
+	// are base64 inside the JSON body); larger requests get 413.
+	// 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// DataDir, when non-empty, enables the durable job journal: an
+	// append-only JSONL WAL under DataDir (jobs.journal) records every
+	// submission (fsynced before the submit is acknowledged), start
+	// and completion. On startup the journal is replayed: jobs that
+	// were queued are resubmitted with their original IDs and specs
+	// (deterministic specs re-run to identical results), jobs that
+	// were mid-run are surfaced as status "interrupted". Empty
+	// disables durability.
+	DataDir string
+}
+
+func (c *Config) defaults() {
+	if c.Pool <= 0 {
+		c.Pool = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetainCount == 0 {
+		c.RetainCount = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
 }
 
 // Service schedules reverse-engineering jobs on a bounded runner
-// pool. Create with New; stop with Drain.
+// pool. Create with New or Open; stop with Drain.
 type Service struct {
-	pool  int
+	cfg   Config
 	queue chan *job
 
 	mu       sync.Mutex
@@ -156,6 +233,7 @@ type Service struct {
 	order    []string
 	nextID   int
 	draining bool
+	journal  *journal
 
 	wg sync.WaitGroup // runner goroutines
 
@@ -166,7 +244,16 @@ type Service struct {
 // snapshots.
 type job struct {
 	Job
-	done chan struct{}
+	seq    int           // numeric submission order (ID = "job-<seq>")
+	client string        // admission-control identity, "" if unknown
+	stop   chan struct{} // closed to request cooperative cancellation
+	// cancelled is set once cancellation was requested (guarded by
+	// Service.mu); it keeps the stop channel single-close.
+	cancelled bool
+	// access is the retention clock: bumped on finish and on reads, so
+	// count-bound eviction drops the least recently used finished job.
+	access time.Time
+	done   chan struct{}
 }
 
 // ErrDraining rejects submissions after Drain began.
@@ -175,61 +262,137 @@ var ErrDraining = errors.New("jobsvc: service is draining")
 // ErrBusy rejects submissions when the queue is full.
 var ErrBusy = errors.New("jobsvc: job queue is full")
 
-// New starts a service with cfg.Pool runner goroutines.
+// ErrClientBusy rejects submissions when the client already holds
+// Config.PerClientCap live jobs.
+var ErrClientBusy = errors.New("jobsvc: per-client concurrent-job cap reached")
+
+// ErrJournal wraps journal I/O failures: the submission was rejected
+// because it could not be made durable.
+var ErrJournal = errors.New("jobsvc: journal write failed")
+
+// New starts a service with cfg.Pool runner goroutines. It panics if
+// the durable journal cannot be opened or replayed (only possible
+// with cfg.DataDir set) — use Open to handle that error.
 func New(cfg Config) *Service {
-	if cfg.Pool <= 0 {
-		cfg.Pool = 2
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 64
-	}
-	s := &Service{
-		pool:  cfg.Pool,
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  map[string]*job{},
-	}
-	for i := 0; i < s.pool; i++ {
-		s.wg.Add(1)
-		go s.runner()
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
 
-// Submit validates and enqueues a job, returning its snapshot.
+// Open starts a service, replaying the durable journal first when
+// cfg.DataDir is set: journaled jobs that never started are
+// resubmitted (same ID, same spec — deterministic specs reproduce
+// their results exactly), and jobs that were mid-run when the
+// previous process died are surfaced as status "interrupted".
+func Open(cfg Config) (*Service, error) {
+	cfg.defaults()
+	s := &Service{
+		cfg:  cfg,
+		jobs: map[string]*job{},
+	}
+	var pending []*job
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobsvc: data dir: %w", err)
+		}
+		jl, recs, err := openJournal(filepath.Join(cfg.DataDir, journalFile))
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		pending = s.replay(recs)
+	}
+	// The queue must absorb every replayed job even when the backlog
+	// outgrew the configured depth before the restart.
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range pending {
+		s.queue <- j
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// Submit validates and enqueues a job, returning its snapshot. It is
+// SubmitFrom without a client identity (exempt from the per-client
+// cap).
 func (s *Service) Submit(spec JobSpec) (Job, error) {
+	return s.SubmitFrom("", spec)
+}
+
+// SubmitFrom validates and enqueues a job on behalf of the given
+// client, returning its snapshot. Admission control runs before any
+// queue slot is taken: draining and malformed specs are rejected
+// outright, a full queue returns ErrBusy, and a client already at
+// Config.PerClientCap live jobs gets ErrClientBusy. With the durable
+// journal enabled, the submission record is fsynced to disk before
+// the job is acknowledged — an accepted job survives a crash.
+func (s *Service) SubmitFrom(client string, spec JobSpec) (Job, error) {
 	if err := validate(spec); err != nil {
 		return Job{}, err
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
+		s.m.rejectedDraining.Add(1)
 		return Job{}, ErrDraining
 	}
+	if s.cfg.PerClientCap > 0 && client != "" {
+		live := 0
+		for _, j := range s.jobs {
+			if j.client == client && !j.Status.Terminal() {
+				live++
+			}
+		}
+		if live >= s.cfg.PerClientCap {
+			s.m.rejectedClientCap.Add(1)
+			return Job{}, ErrClientBusy
+		}
+	}
+	// All senders hold s.mu and runners only drain, so a spare slot
+	// observed here cannot vanish before the send below.
+	if len(s.queue) == cap(s.queue) {
+		s.m.rejectedQueueFull.Add(1)
+		return Job{}, ErrBusy
+	}
 	s.nextID++
+	now := time.Now()
 	j := &job{
 		Job: Job{
 			ID:        fmt.Sprintf("job-%d", s.nextID),
 			Spec:      spec,
 			Status:    StatusQueued,
-			Submitted: time.Now(),
+			Submitted: now,
 		},
-		done: make(chan struct{}),
+		seq:    s.nextID,
+		client: client,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-	default:
+	// Durability before acknowledgement: the fsynced submitted record
+	// is what restart replay re-runs the job from.
+	if err := s.journalAppend(journalRecord{
+		T: recSubmitted, ID: j.ID, TS: now, Client: client, Spec: &spec,
+	}, true); err != nil {
 		s.nextID--
-		s.mu.Unlock()
-		return Job{}, ErrBusy
+		return Job{}, fmt.Errorf("%w: %v", ErrJournal, err)
 	}
+	s.queue <- j
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.m.submitted.Add(1)
+	s.evictLocked(now)
 	// Snapshot under the lock: a pool runner may already be mutating
 	// the job's status.
-	snap := redactSpec(j.Job)
-	s.mu.Unlock()
-	return snap, nil
+	return redactSpec(j.Job), nil
 }
 
 // redactSpec strips the uploaded image bytes from a snapshot's spec:
@@ -282,10 +445,15 @@ func validate(spec JobSpec) error {
 			return fmt.Errorf("jobsvc: unknown target OS %q (have %v)", spec.Target, template.AllOS)
 		}
 	}
+	if spec.DeadlineMS < 0 {
+		return fmt.Errorf("jobsvc: negative deadline_ms %d", spec.DeadlineMS)
+	}
 	return nil
 }
 
-// Get returns a snapshot of one job.
+// Get returns a snapshot of one job. Reading a finished job bumps its
+// retention clock, so polled results stay resident while colder ones
+// are evicted first.
 func (s *Service) Get(id string) (Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -293,22 +461,68 @@ func (s *Service) Get(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
+	if j.Status.Terminal() {
+		j.access = time.Now()
+	}
 	return redactSpec(j.Job), true
 }
 
-// List returns snapshots of every job in submission order.
+// Cancel requests cancellation of a job. A queued job transitions to
+// cancelled immediately; a running job gets its cooperative stop
+// signal and winds down to cancelled with a partial result within the
+// engine's stop-detection latency (well under 2s). Cancelling an
+// already-finished job is a no-op. The returned snapshot reflects the
+// state after the request.
+func (s *Service) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("jobsvc: unknown job %q", id)
+	}
+	switch j.Status {
+	case StatusQueued:
+		now := time.Now()
+		j.Status = StatusCancelled
+		j.Finished = &now
+		j.access = now
+		j.cancelled = true
+		s.m.cancelled.Add(1)
+		s.journalAppend(journalRecord{T: recFinished, ID: j.ID, TS: now, Status: StatusCancelled}, false)
+		close(j.done)
+	case StatusRunning:
+		if !j.cancelled {
+			j.cancelled = true
+			close(j.stop)
+		}
+	}
+	return redactSpec(j.Job), nil
+}
+
+// List returns snapshots of every job in stable submission order
+// (ascending numeric ID), so /jobs output is deterministic no matter
+// how submissions, completions and evictions interleave.
 func (s *Service) List() []Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Job, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, redactSpec(s.jobs[id].Job))
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, redactSpec(j.Job))
 	}
+	seq := func(j Job) int {
+		return s.jobs[j.ID].seq
+	}
+	sort.Slice(out, func(i, k int) bool { return seq(out[i]) < seq(out[k]) })
 	return out
 }
 
 // Wait blocks until the job finishes (or ctx is done), returning the
-// final snapshot.
+// final snapshot. There is no waiter registration to leak: the wait
+// selects on the job's completion channel, so a context cancellation
+// simply returns — nothing stays behind in the service, no matter how
+// many Waits were abandoned. The snapshot is taken from the job
+// record itself, so Wait stays correct even if the finished job was
+// evicted from the index between completion and wake-up.
 func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -318,15 +532,13 @@ func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 	}
 	select {
 	case <-j.done:
-		return s.mustGet(id), nil
+		s.mu.Lock()
+		snap := redactSpec(j.Job)
+		s.mu.Unlock()
+		return snap, nil
 	case <-ctx.Done():
 		return Job{}, ctx.Err()
 	}
-}
-
-func (s *Service) mustGet(id string) Job {
-	j, _ := s.Get(id)
-	return j
 }
 
 // Drain stops accepting new jobs, lets queued and running jobs finish,
@@ -371,35 +583,229 @@ func (s *Service) runner() {
 
 // run executes one job end to end in a private expression arena.
 func (s *Service) run(j *job) {
+	s.mu.Lock()
+	if j.Status != StatusQueued {
+		// Cancelled while queued: the record is already terminal, the
+		// queue entry is just a husk to skip.
+		s.mu.Unlock()
+		return
+	}
 	start := time.Now()
-	s.setStatus(j, StatusRunning, &start, nil, nil, "")
+	j.Status = StatusRunning
+	j.Started = &start
+	deadline := s.deadlineFor(j.Spec, start)
+	s.journalAppend(journalRecord{T: recStarted, ID: j.ID, TS: start}, false)
+	s.mu.Unlock()
 	s.m.running.Add(1)
-	defer s.m.running.Add(-1)
 
-	res, err := executeSpec(j.Spec)
+	res, err := executeSpec(j.Spec, j.stop, deadline)
 	end := time.Now()
+	s.m.running.Add(-1)
 	s.m.durationSeconds.add(end.Sub(start).Seconds())
-	if err != nil {
+
+	status, errMsg := StatusSucceeded, ""
+	switch {
+	case err != nil:
+		status, errMsg = StatusFailed, err.Error()
 		s.m.failed.Add(1)
-		s.setStatus(j, StatusFailed, &start, &end, nil, err.Error())
-	} else {
+	case res.Stopped == "deadline":
+		status = StatusDeadline
+		s.m.deadlineHits.Add(1)
+	case res.Stopped == "cancelled":
+		status = StatusCancelled
+		s.m.cancelled.Add(1)
+	default:
 		s.m.succeeded.Add(1)
+	}
+	if res != nil {
 		s.m.solverQueries.Add(res.SolverQueries)
 		s.m.executedBlocks.Add(res.ExecutedBlocks)
 		s.m.arenaNodesReclaimed.Add(int64(res.ArenaNodes))
-		s.setStatus(j, StatusSucceeded, &start, &end, res, "")
 	}
+	s.mu.Lock()
+	j.Status = status
+	j.Finished = &end
+	j.Result = res
+	j.Error = errMsg
+	j.access = end
+	s.journalAppend(journalRecord{T: recFinished, ID: j.ID, TS: end, Status: status, Error: errMsg}, false)
+	s.evictLocked(end)
+	s.mu.Unlock()
 	close(j.done)
 }
 
-func (s *Service) setStatus(j *job, st Status, started, finished *time.Time, res *JobResult, errMsg string) {
+// deadlineFor combines the spec's per-job deadline with the service's
+// global wall cap: the tighter bound wins; zero means unbounded.
+func (s *Service) deadlineFor(spec JobSpec, start time.Time) time.Time {
+	var d time.Duration
+	if spec.DeadlineMS > 0 {
+		d = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+	if s.cfg.MaxJobWall > 0 && (d == 0 || s.cfg.MaxJobWall < d) {
+		d = s.cfg.MaxJobWall
+	}
+	if d == 0 {
+		return time.Time{}
+	}
+	return start.Add(d)
+}
+
+// evictLocked enforces the retention policy over finished jobs: the
+// age bound first, then the count bound dropping the least recently
+// accessed. Queued and running jobs are never evicted. Called with
+// s.mu held on every submission and completion.
+func (s *Service) evictLocked(now time.Time) {
+	var finished []*job
+	for _, j := range s.jobs {
+		if j.Status.Terminal() {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].access.Before(finished[k].access) })
+	evict := 0
+	if s.cfg.RetainAge > 0 {
+		for evict < len(finished) && now.Sub(finished[evict].access) > s.cfg.RetainAge {
+			evict++
+		}
+	}
+	if s.cfg.RetainCount > 0 && len(finished)-evict > s.cfg.RetainCount {
+		evict = len(finished) - s.cfg.RetainCount
+	}
+	for _, j := range finished[:evict] {
+		delete(s.jobs, j.ID)
+		for i, id := range s.order {
+			if id == j.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.m.evicted.Add(1)
+	}
+}
+
+// journalAppend writes one record to the durable journal (no-op
+// without a data dir); sync forces an fsync before returning.
+func (s *Service) journalAppend(rec journalRecord, sync bool) error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.append(rec, sync)
+}
+
+// replay folds the journal records of the previous incarnation into
+// the fresh service: jobs whose lifecycle completed are dropped (their
+// results lived only in memory), jobs that were mid-run are surfaced
+// as status "interrupted", and jobs that never started are rebuilt —
+// original ID, spec and client — and returned for requeueing. The
+// journal is then compacted to just the surviving submissions, so it
+// does not grow without bound across restarts. Runs before any runner
+// starts, so no locking.
+func (s *Service) replay(recs []journalRecord) []*job {
+	type entry struct {
+		rec     journalRecord
+		started bool
+	}
+	byID := map[string]*entry{}
+	var ids []string // submission order
+	for _, r := range recs {
+		switch r.T {
+		case recSubmitted:
+			if _, dup := byID[r.ID]; !dup {
+				byID[r.ID] = &entry{rec: r}
+				ids = append(ids, r.ID)
+			}
+		case recStarted:
+			if e := byID[r.ID]; e != nil {
+				e.started = true
+			}
+		case recFinished:
+			delete(byID, r.ID)
+		}
+		// Track the highest seq ever journaled so new IDs never collide
+		// with finished (and deleted) ones.
+		var seq int
+		if n, err := fmt.Sscanf(r.ID, "job-%d", &seq); n == 1 && err == nil && seq > s.nextID {
+			s.nextID = seq
+		}
+	}
+
+	var pending []*job
+	var keep []journalRecord
+	for _, id := range ids {
+		e, ok := byID[id]
+		if !ok || e.rec.Spec == nil {
+			continue
+		}
+		j := &job{
+			Job: Job{
+				ID:        id,
+				Spec:      *e.rec.Spec,
+				Submitted: e.rec.TS,
+			},
+			client: e.rec.Client,
+			stop:   make(chan struct{}),
+			done:   make(chan struct{}),
+		}
+		fmt.Sscanf(id, "job-%d", &j.seq)
+		if e.started {
+			// Mid-run at crash time: the exploration state is gone and the
+			// spec may have burned wall clock already, so it is surfaced
+			// rather than silently re-run.
+			now := time.Now()
+			j.Status = StatusInterrupted
+			j.Finished = &now
+			j.access = now
+			close(j.done)
+			s.m.replayedInterrupted.Add(1)
+		} else {
+			j.Status = StatusQueued
+			pending = append(pending, j)
+			keep = append(keep, e.rec)
+			s.m.replayed.Add(1)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	// Compaction: rewrite errors are non-fatal — the un-compacted
+	// journal still replays correctly, it is just longer.
+	if s.journal != nil {
+		_ = s.journal.rewrite(keep)
+	}
+	return pending
+}
+
+// ReplayStats reports how many journaled jobs the startup replay
+// requeued and how many it marked interrupted.
+func (s *Service) ReplayStats() (requeued, interrupted int64) {
+	return s.m.replayed.Load(), s.m.replayedInterrupted.Load()
+}
+
+// crash simulates an abrupt process death for tests: runners are
+// abandoned mid-job (their stop channels close so they wind down, but
+// no finished records are written) and the journal file handle is
+// dropped without compaction. Only the on-disk journal survives, which
+// is exactly the state a SIGKILL leaves behind.
+func (s *Service) crash() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	j.Status = st
-	j.Started = started
-	j.Finished = finished
-	j.Result = res
-	j.Error = errMsg
+	s.draining = true
+	if s.journal != nil {
+		s.journal.close()
+		s.journal = nil
+	}
+	close(s.queue)
+	for _, j := range s.jobs {
+		switch {
+		case j.Status == StatusRunning && !j.cancelled:
+			j.cancelled = true
+			close(j.stop)
+		case j.Status == StatusQueued:
+			// Turn queued entries into husks the runners skip: a killed
+			// process would never have run them.
+			j.Status = StatusCancelled
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 }
 
 // executeSpec runs the full pipeline for one spec and reduces it to a
@@ -409,16 +815,16 @@ func (s *Service) setStatus(j *job, st Status, started, finished *time.Time, res
 // anywhere in the pipeline fails the job, not the daemon: one
 // malformed request must never take down a service with other jobs in
 // flight.
-func executeSpec(spec JobSpec) (res *JobResult, err error) {
+func executeSpec(spec JobSpec, stop <-chan struct{}, deadline time.Time) (res *JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("jobsvc: pipeline panic: %v", r)
 		}
 	}()
-	return runSpec(spec)
+	return runSpec(spec, stop, deadline)
 }
 
-func runSpec(spec JobSpec) (*JobResult, error) {
+func runSpec(spec JobSpec, stop <-chan struct{}, deadline time.Time) (*JobResult, error) {
 	prog, shell, name, err := resolveProgram(spec)
 	if err != nil {
 		return nil, err
@@ -443,6 +849,8 @@ func runSpec(spec JobSpec) (*JobResult, error) {
 			CompleteTarget:           spec.CompleteTarget,
 			PollThreshold:            spec.PollThreshold,
 			DisableIncrementalSolver: spec.DisableIncrementalSolver,
+			Stop:                     stop,
+			Deadline:                 deadline,
 		},
 	})
 	if err != nil {
@@ -469,7 +877,20 @@ func runSpec(spec JobSpec) (*JobResult, error) {
 		Funcs:             len(rev.Synth.Funcs),
 		ArenaNodes:        ar.InternedNodes(),
 		Code:              code,
+		Stopped:           stoppedString(exp.Stopped),
 	}, nil
+}
+
+// stoppedString maps the engine's stop reason to the JobResult wire
+// form: empty for a run that was never interrupted.
+func stoppedString(r symexec.TermReason) string {
+	switch r {
+	case symexec.TermCancelled:
+		return "cancelled"
+	case symexec.TermDeadline:
+		return "deadline"
+	}
+	return ""
 }
 
 // resolveProgram turns a spec into the pipeline inputs: a bundled

@@ -1,0 +1,169 @@
+package jobsvc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// The durable job journal is an append-only JSONL write-ahead log
+// under Config.DataDir. Each line is one journalRecord; the file is
+// the only state that survives a crash. Submissions are fsynced before
+// the submit call returns (an acknowledged job is durable); started
+// and finished records ride on the OS page cache — losing one merely
+// degrades a finished job to "interrupted" on replay, never loses an
+// accepted job.
+
+// journalFile is the WAL's name inside Config.DataDir.
+const journalFile = "jobs.journal"
+
+// Journal record types.
+const (
+	recSubmitted = "submitted"
+	recStarted   = "started"
+	recFinished  = "finished"
+)
+
+// journalRecord is one JSONL line of the WAL.
+type journalRecord struct {
+	T      string    `json:"t"`
+	ID     string    `json:"id"`
+	TS     time.Time `json:"ts"`
+	Client string    `json:"client,omitempty"`
+	Spec   *JobSpec  `json:"spec,omitempty"`
+	Status Status    `json:"status,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// journal is the open WAL handle.
+type journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// openJournal opens (creating if needed) the WAL at path and returns
+// the records already in it. A torn final line — the signature of a
+// crash mid-append — is tolerated and dropped; a malformed line
+// elsewhere fails the open, because silently skipping records would
+// silently lose jobs.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobsvc: open journal: %w", err)
+	}
+	var recs []journalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	lastOK := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			if !lastOK {
+				f.Close()
+				return nil, nil, fmt.Errorf("jobsvc: corrupt journal %s: %v", path, err)
+			}
+			lastOK = false
+			continue
+		}
+		if !lastOK {
+			// A valid record after an invalid one means mid-file
+			// corruption, not a torn tail.
+			f.Close()
+			return nil, nil, fmt.Errorf("jobsvc: corrupt journal %s: bad record before %q", path, r.ID)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobsvc: read journal: %w", err)
+	}
+	return &journal{path: path, f: f}, recs, nil
+}
+
+// append writes one record as a JSONL line; sync additionally fsyncs,
+// making the record durable before return.
+func (jl *journal) append(rec journalRecord, sync bool) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("jobsvc: journal closed")
+	}
+	if _, err := jl.f.Write(b); err != nil {
+		return err
+	}
+	if sync {
+		return jl.f.Sync()
+	}
+	return nil
+}
+
+// rewrite atomically replaces the WAL with just the given records
+// (compaction after replay): written to a temp file, fsynced, then
+// renamed over the old journal so a crash mid-compaction leaves one of
+// the two consistent versions, never a mix.
+func (jl *journal) rewrite(recs []journalRecord) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	tmp := jl.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, jl.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if jl.f != nil {
+		jl.f.Close()
+	}
+	jl.f, err = os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	return err
+}
+
+// close drops the file handle; subsequent appends fail.
+func (jl *journal) close() {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}

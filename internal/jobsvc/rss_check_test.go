@@ -3,6 +3,7 @@ package jobsvc
 import (
 	"runtime"
 	"testing"
+	"time"
 )
 
 func TestArenaMemoryReclaimed(t *testing.T) {
@@ -13,7 +14,7 @@ func TestArenaMemoryReclaimed(t *testing.T) {
 		return m.HeapAlloc
 	}
 	run := func() {
-		if _, err := executeSpec(JobSpec{Driver: "RTL8029", Seed: 3}); err != nil {
+		if _, err := executeSpec(JobSpec{Driver: "RTL8029", Seed: 3}, nil, time.Time{}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -85,6 +85,12 @@ type Solver struct {
 	claInc    float64
 	learntCap int
 	deleted   int64
+
+	// interrupt, when set, is polled periodically inside Solve and
+	// SolveUnder; returning true aborts the search (see SetInterrupt).
+	interrupt   func() bool
+	interrupted bool
+	polls       int64
 }
 
 // DefaultLearntCap bounds the learnt-clause database. Incremental
@@ -98,6 +104,32 @@ const DefaultLearntCap = 10000
 // New returns an empty solver with the default learnt-clause cap.
 func New() *Solver {
 	return &Solver{varInc: 1, claInc: 1, learntCap: DefaultLearntCap}
+}
+
+// SetInterrupt installs a cooperative stop check: f is polled every
+// few hundred search-loop iterations inside Solve and SolveUnder, and
+// when it returns true the search aborts, backtracks to level zero and
+// returns false. An aborted answer means "unknown", not UNSAT —
+// callers must consult Interrupted before caching or acting on it.
+// The check never fires on its own and installing one that always
+// returns false leaves search behavior (and answers) unchanged.
+func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
+
+// Interrupted reports whether the most recent Solve or SolveUnder was
+// aborted by the interrupt check rather than decided.
+func (s *Solver) Interrupted() bool { return s.interrupted }
+
+// interruptNow polls the interrupt hook (amortized: one real check
+// every 256 calls).
+func (s *Solver) interruptNow() bool {
+	if s.interrupt == nil {
+		return false
+	}
+	s.polls++
+	if s.polls&255 != 0 {
+		return false
+	}
+	return s.interrupt()
 }
 
 // SetLearntCap bounds the learnt-clause database: when more than n
@@ -462,6 +494,7 @@ func (s *Solver) pickBranchVar() int {
 // true result, Value reports the satisfying assignment. Solve may be
 // called repeatedly after adding more clauses (incremental use).
 func (s *Solver) Solve() bool {
+	s.interrupted = false
 	if s.unsat {
 		return false
 	}
@@ -473,6 +506,11 @@ func (s *Solver) Solve() bool {
 	restartLimit := int64(100)
 	conflictsAtRestart := s.conflicts
 	for {
+		if s.interruptNow() {
+			s.interrupted = true
+			s.cancelUntil(0)
+			return false
+		}
 		conflict := s.propagate()
 		if conflict != nil {
 			s.conflicts++
@@ -519,6 +557,7 @@ func (s *Solver) Solve() bool {
 // literals without permanently asserting them. It is used by the
 // bitvector solver for cached incremental queries.
 func (s *Solver) SolveUnder(assumptions ...Lit) bool {
+	s.interrupted = false
 	if s.unsat {
 		return false
 	}
@@ -546,6 +585,11 @@ func (s *Solver) SolveUnder(assumptions ...Lit) bool {
 	restartLimit := int64(100)
 	conflictsAtRestart := s.conflicts
 	for {
+		if s.interruptNow() {
+			s.interrupted = true
+			s.cancelUntil(0)
+			return false
+		}
 		conflict := s.propagate()
 		if conflict != nil {
 			s.conflicts++

@@ -80,6 +80,13 @@ type Config struct {
 	// DisableIncremental starts the solver with incremental branch
 	// queries off (ablation).
 	DisableIncremental bool
+	// Interrupt, when non-nil, is polled during SAT search (forwarded
+	// to every sat.Solver instance via SetInterrupt): returning true
+	// aborts the solve. Aborted queries answer conservatively (UNSAT /
+	// no model) and are never cached, so an interrupt can wind a job
+	// down early but can never poison answers of later queries. A hook
+	// that never returns true leaves all answers unchanged.
+	Interrupt func() bool
 }
 
 // Solver answers bitvector queries with memoization, model reuse and
@@ -94,6 +101,7 @@ type Config struct {
 type Solver struct {
 	ar         *expr.Arena
 	learntCap  int
+	interrupt  func() bool
 	mu         sync.Mutex
 	cache      map[uint64]bool
 	models     map[uint64]map[string]uint32
@@ -145,6 +153,7 @@ func NewWith(cfg Config) *Solver {
 	s := &Solver{
 		ar:         cfg.Arena,
 		learntCap:  cfg.LearntCap,
+		interrupt:  cfg.Interrupt,
 		cache:      map[uint64]bool{},
 		models:     map[uint64]map[string]uint32{},
 		recent:     make([]map[string]uint32, ring),
@@ -373,6 +382,10 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 		b.s.AddClause(out[0])
 	}
 	r := b.s.Solve()
+	if b.s.Interrupted() {
+		// Aborted: "unknown" answered as UNSAT, never cached.
+		return false
+	}
 	if r {
 		s.storeModel(fp, b.model())
 	}
@@ -508,7 +521,10 @@ func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
 		s.rememberModel(fp, m)
 		return true
 	}
-	r, model := s.solveIncremental(prefix, cond)
+	r, model, aborted := s.solveIncremental(prefix, cond)
+	if aborted {
+		return false
+	}
 	if r && model != nil {
 		s.storeModel(fp, model)
 	}
@@ -520,8 +536,10 @@ func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
 // returning the witnessing model on SAT. The session is kept when the
 // prefix extends the asserted constraint sequence and rebuilt
 // otherwise; concurrent callers serialize here, which is the
-// documented trade-off of sharing a session.
-func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (bool, map[string]uint32) {
+// documented trade-off of sharing a session. aborted reports that the
+// solve was interrupted mid-search: the false verdict is then
+// "unknown" and must not be cached.
+func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (r bool, model map[string]uint32, aborted bool) {
 	s.incMu.Lock()
 	defer s.incMu.Unlock()
 	sess := s.inc
@@ -538,7 +556,7 @@ func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (bool, m
 		sess.ids = append(sess.ids, c.ID())
 	}
 	if sess.b.s.Unsat() {
-		return false, nil
+		return false, nil, false
 	}
 	var ok bool
 	if cond.IsTrue() {
@@ -548,9 +566,11 @@ func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (bool, m
 		ok = sess.b.s.SolveUnder(lit)
 	}
 	if !ok {
-		return false, nil
+		// An interrupted session stays structurally valid (the search
+		// backtracked to level zero); only this answer is tainted.
+		return false, nil, sess.b.s.Interrupted()
 	}
-	return true, sess.b.model()
+	return true, sess.b.model(), false
 }
 
 // prefixExtends reports whether the asserted ID sequence is a prefix
@@ -610,7 +630,9 @@ func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 		b.s.AddClause(out[0])
 	}
 	if !b.s.Solve() {
-		s.cachePut(fp, false)
+		if !b.s.Interrupted() {
+			s.cachePut(fp, false)
+		}
 		return nil, false
 	}
 	s.cachePut(fp, true)
@@ -691,11 +713,14 @@ func newBlaster() *blaster {
 }
 
 // newBlaster builds a blaster configured per the solver (learnt-clause
-// cap forwarded to the SAT instance).
+// cap and interrupt hook forwarded to the SAT instance).
 func (s *Solver) newBlaster() *blaster {
 	b := newBlaster()
 	if s.learntCap != 0 {
 		b.s.SetLearntCap(s.learntCap)
+	}
+	if s.interrupt != nil {
+		b.s.SetInterrupt(s.interrupt)
 	}
 	return b
 }

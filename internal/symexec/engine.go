@@ -3,6 +3,7 @@ package symexec
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"revnic/internal/expr"
 	"revnic/internal/guestos"
@@ -72,6 +73,19 @@ type Config struct {
 	// paths, traces and coverage are bit-identical for every Workers
 	// value. 0 and 1 both run the shards serially.
 	Workers int
+	// Stop, when non-nil, is a cooperative cancellation signal with
+	// context.Context.Done semantics: once the channel is closed, the
+	// exploration loops (and any SAT solve in flight) wind down and
+	// Explore returns a partial but well-formed Result — the traces,
+	// coverage and statistics of everything completed so far, with
+	// Result.Stopped set to TermCancelled. A Stop channel that never
+	// fires leaves the run bit-identical to Stop == nil.
+	Stop <-chan struct{}
+	// Deadline, when non-zero, is the wall-clock instant after which
+	// exploration winds down exactly like a cancellation, with
+	// Result.Stopped set to TermDeadline. A deadline that never
+	// arrives leaves results unchanged.
+	Deadline time.Time
 	// Shards is the fan-out width of the fork-join exploration: each
 	// phase first spreads serially until this many independent live
 	// states exist, then explores each group to completion with
@@ -157,6 +171,12 @@ type Result struct {
 	// TranslatedBlocks is the number of distinct translation-cache
 	// entries built (ir.Cache misses).
 	TranslatedBlocks int64
+	// Stopped records an early wind-down: TermCancelled (Config.Stop
+	// fired) or TermDeadline (Config.Deadline passed). TermRunning
+	// means the exercise script ran to completion. A stopped result is
+	// partial but well-formed: every phase that completed before the
+	// stop contributed its full traces and coverage.
+	Stopped TermReason
 }
 
 // Engine drives selective symbolic execution of one driver binary.
@@ -203,6 +223,11 @@ type Engine struct {
 
 	nextBuf uint32
 	bufs    []bufSpec
+
+	// stopHit latches the first observed stop reason (TermRunning
+	// while none); stopPoll amortizes the time.Now deadline check.
+	stopHit  TermReason
+	stopPoll int
 }
 
 // covDiscovery is one first-execution event in an engine's local
@@ -241,12 +266,62 @@ func New(prog *isa.Program, cfg Config) *Engine {
 }
 
 // newSolver builds a constraint solver configured per the engine: it
-// shares the engine's expression arena and the ablation switches.
+// shares the engine's expression arena, the ablation switches and the
+// cooperative stop signal (so a cancellation also aborts a SAT solve
+// already in flight instead of waiting for it).
 func newSolver(cfg Config) *solver.Solver {
 	return solver.NewWith(solver.Config{
 		Arena:              cfg.Arena,
 		DisableIncremental: cfg.DisableIncrementalSolver,
+		Interrupt:          stopFunc(cfg),
 	})
+}
+
+// stopFunc converts the config's stop signal and deadline into the
+// solver-level interrupt predicate; nil when neither is set, so the
+// common case pays nothing.
+func stopFunc(cfg Config) func() bool {
+	if cfg.Stop == nil && cfg.Deadline.IsZero() {
+		return nil
+	}
+	return func() bool {
+		if cfg.Stop != nil {
+			select {
+			case <-cfg.Stop:
+				return true
+			default:
+			}
+		}
+		return !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline)
+	}
+}
+
+// stopReason reports whether the run should wind down: TermCancelled
+// once Config.Stop fires, TermDeadline once Config.Deadline passes,
+// TermRunning otherwise. The first hit latches — every later call
+// returns the same reason. The deadline clock is polled only every
+// 64th call; with block execution in the microsecond range the
+// detection latency stays far under the 2-second wind-down target.
+func (e *Engine) stopReason() TermReason {
+	if e.stopHit != TermRunning {
+		return e.stopHit
+	}
+	if e.cfg.Stop != nil {
+		select {
+		case <-e.cfg.Stop:
+			e.stopHit = TermCancelled
+			return e.stopHit
+		default:
+		}
+	}
+	if !e.cfg.Deadline.IsZero() {
+		e.stopPoll++
+		if e.stopPoll&63 == 0 && time.Now().After(e.cfg.Deadline) {
+			e.stopHit = TermDeadline
+			return e.stopHit
+		}
+	}
+	return TermRunning
 }
 
 // freshSym mints a new hardware/input symbol.

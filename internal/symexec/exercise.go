@@ -64,6 +64,11 @@ func (e *Engine) Explore() (*Result, error) {
 		return nil, err
 	}
 	if !e.entries.Registered() {
+		if e.stopReason() != TermRunning {
+			// Stopped before DriverEntry registered anything: an empty
+			// but well-formed partial result, not an error.
+			return e.buildResult(false), nil
+		}
 		return nil, fmt.Errorf("symexec: driver did not register entry points")
 	}
 	e.col.Entry(e.prog.Base, "load")
@@ -79,6 +84,9 @@ func (e *Engine) Explore() (*Result, error) {
 	e.col.Entry(e.entries.Halt, "halt")
 	seed = e.pickSeed(completed, anyResult)
 	if seed == nil {
+		if e.stopReason() != TermRunning {
+			return e.buildResult(false), nil
+		}
 		return nil, fmt.Errorf("symexec: DriverEntry never completed")
 	}
 
@@ -143,6 +151,11 @@ func (e *Engine) Explore() (*Result, error) {
 
 	e.col.Async(e.entries.ISR)
 	for _, ph := range phases {
+		if e.stopReason() != TermRunning {
+			// Cancelled or past the deadline: keep everything the
+			// completed phases produced and stop exercising new ones.
+			break
+		}
 		entry := ph.entry()
 		if entry == 0 {
 			continue // optional entry point not registered
@@ -190,6 +203,14 @@ func (e *Engine) Explore() (*Result, error) {
 		}
 	}
 
+	return e.buildResult(initFailed), nil
+}
+
+// buildResult assembles the exploration summary from the engine's
+// accumulated state. For a stopped run it is a consistent snapshot:
+// only fully merged phase explorations contribute, so the completed
+// phases' traces match an uncancelled run's bit for bit.
+func (e *Engine) buildResult(initFailed bool) *Result {
 	queries, hits := e.sol.Stats()
 	return &Result{
 		InitFailed:       initFailed,
@@ -205,7 +226,8 @@ func (e *Engine) Explore() (*Result, error) {
 		SolverCacheHits:  hits + e.childHits,
 		SolverModelHits:  e.sol.ModelHits() + e.childModelHits,
 		TranslatedBlocks: e.cache.Misses(),
-	}, nil
+		Stopped:          e.stopHit,
+	}
 }
 
 // Timer returns the timer handler address registered during
@@ -366,6 +388,15 @@ func (e *Engine) exploreSet(live []*State, name string, bdg phaseBudgets, succes
 	}
 
 	for len(live) > 0 {
+		if r := e.stopReason(); r != TermRunning {
+			// Cooperative stop: discard the live set with the stop
+			// reason and return what completed — the partial result
+			// keeps every path that finished before the stop.
+			for _, s := range live {
+				s.Reason = r
+			}
+			break
+		}
 		if spreadTo > 0 && len(live) >= spreadTo {
 			return completed, live, e.exec - startExec, nil
 		}

@@ -180,5 +180,11 @@ func (e *Engine) mergeChild(c *Engine) {
 	if e.timer == 0 {
 		e.timer = c.timer
 	}
+	if e.stopHit == TermRunning && c.stopHit != TermRunning {
+		// A stop observed inside a worker is a stop of the whole run;
+		// latch it so Result.Stopped is set even when the parent's own
+		// loop never polled after the fan-out.
+		e.stopHit = c.stopHit
+	}
 	e.lastCov = e.col.CoveredBlocks()
 }

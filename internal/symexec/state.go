@@ -17,8 +17,33 @@ const (
 	TermError                    // infeasible/faulting path, terminated (§3.2:
 	// "When any error state is reached, RevNIC terminates the
 	// execution path and resumes a different one.")
-	TermBudget // exploration budget exhausted
+	TermBudget    // exploration budget exhausted
+	TermCancelled // cooperative cancellation (Config.Stop fired)
+	TermDeadline  // wall-clock deadline (Config.Deadline) passed
 )
+
+// String names the reason for logs and job results.
+func (r TermReason) String() string {
+	switch r {
+	case TermRunning:
+		return "running"
+	case TermCompleted:
+		return "completed"
+	case TermKilledLoop:
+		return "killed-loop"
+	case TermKilledDiscard:
+		return "killed-discard"
+	case TermError:
+		return "error"
+	case TermBudget:
+		return "budget"
+	case TermCancelled:
+		return "cancelled"
+	case TermDeadline:
+		return "deadline"
+	}
+	return "unknown"
+}
 
 // frame tracks one guest call for function-boundary reconstruction
 // and def-use parameter recovery.
