@@ -9,6 +9,8 @@
 //	revnicd [-addr :8939] [-pool 2] [-queue 64] [-drain-timeout 1m]
 //	        [-data-dir DIR] [-max-job-wall 0] [-per-client 0]
 //	        [-retain-count 256] [-retain-age 0] [-max-body 8388608]
+//	        [-peers URL,URL,...] [-coordinator] [-shard-pool 2]
+//	        [-probe-interval 5s]
 //
 // Jobs run on a bounded pool; each job explores inside its own
 // expression arena, so finished jobs release all their interned
@@ -22,6 +24,15 @@
 // SIGINT/SIGTERM trigger a graceful drain: submissions are rejected,
 // running and queued jobs finish (up to -drain-timeout), then the
 // process exits.
+//
+// Cluster mode: with -coordinator, each job's deterministic fork-join
+// shard groups are fanned out to the -peers instances over POST
+// /shards, with per-shard timeouts, retries, hedged requests and
+// per-peer circuit breakers; shards no peer can serve run locally, so
+// a job completes as long as this node lives, and the merged result
+// is bit-identical to a single-node run. Every revnicd serves /shards
+// (bounded by -shard-pool) whether or not it coordinates, so a
+// symmetric cluster just points each node at the others.
 //
 // Example session:
 //
@@ -42,27 +53,41 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"revnic/internal/cluster"
 	"revnic/internal/jobsvc"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8939", "listen address")
-		pool         = flag.Int("pool", 2, "jobs executed concurrently")
-		queue        = flag.Int("queue", 64, "accepted-but-unstarted job backlog bound")
-		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-drain allowance on SIGINT/SIGTERM")
-		dataDir      = flag.String("data-dir", "", "durable job journal directory (empty = no durability)")
-		maxJobWall   = flag.Duration("max-job-wall", 0, "global per-job wall-clock cap (0 = unlimited)")
-		perClient    = flag.Int("per-client", 0, "concurrent live jobs allowed per client address (0 = unlimited)")
-		retainCount  = flag.Int("retain-count", 256, "finished jobs kept before LRU eviction (negative = unlimited)")
-		retainAge    = flag.Duration("retain-age", 0, "finished jobs evicted after this idle time (0 = no age bound)")
-		maxBody      = flag.Int64("max-body", 8<<20, "POST /jobs request-body byte limit")
+		addr          = flag.String("addr", ":8939", "listen address")
+		pool          = flag.Int("pool", 2, "jobs executed concurrently")
+		queue         = flag.Int("queue", 64, "accepted-but-unstarted job backlog bound")
+		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "graceful-drain allowance on SIGINT/SIGTERM")
+		dataDir       = flag.String("data-dir", "", "durable job journal directory (empty = no durability)")
+		maxJobWall    = flag.Duration("max-job-wall", 0, "global per-job wall-clock cap (0 = unlimited)")
+		perClient     = flag.Int("per-client", 0, "concurrent live jobs allowed per client address (0 = unlimited)")
+		retainCount   = flag.Int("retain-count", 256, "finished jobs kept before LRU eviction (negative = unlimited)")
+		retainAge     = flag.Duration("retain-age", 0, "finished jobs evicted after this idle time (0 = no age bound)")
+		maxBody       = flag.Int64("max-body", 8<<20, "POST /jobs request-body byte limit")
+		peers         = flag.String("peers", "", "comma-separated base URLs of peer revnicd instances")
+		coordinator   = flag.Bool("coordinator", false, "fan job shards out to -peers (local fallback guaranteed)")
+		shardPool     = flag.Int("shard-pool", 2, "remote shards served concurrently before 503")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second, "peer health-probe period (0 = no probing)")
 	)
 	flag.Parse()
 
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
 	svc, err := jobsvc.Open(jobsvc.Config{
 		Pool:         *pool,
 		QueueDepth:   *queue,
@@ -72,6 +97,13 @@ func main() {
 		RetainAge:    *retainAge,
 		MaxBodyBytes: *maxBody,
 		DataDir:      *dataDir,
+		Coordinator:  *coordinator,
+		ShardPool:    *shardPool,
+		Cluster: cluster.Config{
+			Peers: peerList,
+			Logf:  log.Printf,
+		},
+		ProbeInterval: *probeInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revnicd: %v\n", err)
@@ -87,6 +119,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("revnicd: serving on %s (pool=%d, %d CPUs)", *addr, *pool, runtime.GOMAXPROCS(0))
+		if *coordinator {
+			log.Printf("revnicd: coordinator mode, %d peers %v", len(peerList), peerList)
+		}
 		errc <- server.ListenAndServe()
 	}()
 

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	base, cap := 100*time.Millisecond, 5*time.Second
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := backoffDelay(base, cap, attempt, 42, "job1/init/3/0")
+		b := backoffDelay(base, cap, attempt, 42, "job1/init/3/0")
+		if a != b {
+			t.Fatalf("attempt %d: same inputs gave %s and %s", attempt, a, b)
+		}
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	base, cap := 100*time.Millisecond, 5*time.Second
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := backoffDelay(base, cap, attempt, 7, "k")
+		full := base << uint(attempt-1)
+		if full > cap || full <= 0 {
+			full = cap
+		}
+		if d < full/2 || d > full {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d, full/2, full)
+		}
+		if d > cap {
+			t.Fatalf("attempt %d: delay %s exceeds cap %s", attempt, d, cap)
+		}
+	}
+}
+
+func TestBackoffJitterVariesByKeyAndSeed(t *testing.T) {
+	base, cap := 100*time.Millisecond, 5*time.Second
+	// Across many keys at a fixed attempt, at least two delays must
+	// differ — otherwise the "jitter" is a constant and retries from
+	// different shards synchronize against a recovering peer.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[backoffDelay(base, cap, 3, 42, string(rune('a'+i)))] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter does not vary across keys")
+	}
+	seenSeed := map[time.Duration]bool{}
+	for s := int64(0); s < 32; s++ {
+		seenSeed[backoffDelay(base, cap, 3, s, "k")] = true
+	}
+	if len(seenSeed) < 2 {
+		t.Fatal("jitter does not vary across seeds")
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	if d := backoffDelay(0, time.Second, 3, 1, "k"); d != 0 {
+		t.Fatalf("zero base gave nonzero delay %s", d)
+	}
+}

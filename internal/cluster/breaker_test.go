@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(0, 0)} }
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:           10,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		OpenFor:          5 * time.Second,
+		Now:              clk.now,
+	})
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	b := testBreaker(newFakeClock())
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("3 failures with MinSamples=4: state %v, want closed", got)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := testBreaker(newFakeClock())
+	// 2 successes + 2 failures = 4 samples at exactly 50% failure.
+	b.Record(true)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("failure rate at threshold: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+func TestBreakerHalfOpenRecloses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before OpenFor")
+	}
+	clk.advance(5 * time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("after OpenFor: state %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the trial request")
+	}
+	// The single trial slot is claimed: a concurrent caller is rejected.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("successful trial: state %v, want closed", got)
+	}
+	// The window was reset: one failure must not immediately retrip.
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("one failure after reclose: state %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the trial request")
+	}
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("failed trial: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request without waiting OpenFor again")
+	}
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker never offered a second trial")
+	}
+}
+
+func TestBreakerIgnoresLateOutcomesWhileOpen(t *testing.T) {
+	b := testBreaker(newFakeClock())
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	// An in-flight request from before the trip completes now; its
+	// outcome must not disturb the open state or the recovery window.
+	b.Record(true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("late success while open: state %v, want open", got)
+	}
+}

@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config tunes a Dispatcher.
+type Config struct {
+	// Peers are the base URLs (or opaque names, for non-HTTP
+	// transports) work may be sent to. Empty means every dispatch
+	// runs the local fallback directly.
+	Peers []string
+	// Transport moves payloads; required when Peers is non-empty.
+	Transport Transport
+	// AttemptTimeout bounds each remote attempt. Default 60s.
+	AttemptTimeout time.Duration
+	// MaxAttempts is how many remote attempts (each possibly hedged)
+	// are made before the local fallback. Default 3.
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the retry pauses. Defaults
+	// 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeDelay launches a second attempt on another peer when the
+	// first has not answered within this delay. Zero disables
+	// hedging.
+	HedgeDelay time.Duration
+	// Seed feeds the deterministic jitter and peer selection.
+	Seed int64
+	// Breaker tunes the per-peer circuit breakers.
+	Breaker BreakerConfig
+	// Logf, when set, receives one line per notable event (retry,
+	// hedge, breaker rejection, fallback).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 60 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 5 * time.Second
+	}
+	return c
+}
+
+// Dispatcher fans payloads out to peers with retries, hedging and
+// per-peer circuit breaking, falling back to local execution when
+// remote delivery fails. It is safe for concurrent use; revnicd runs
+// one dispatch per shard group concurrently.
+type Dispatcher struct {
+	cfg Config
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+
+	metrics *metrics
+}
+
+// NewDispatcher builds a dispatcher; zero-valued config fields take
+// the documented defaults.
+func NewDispatcher(cfg Config) *Dispatcher {
+	return &Dispatcher{
+		cfg:      cfg.withDefaults(),
+		breakers: make(map[string]*Breaker),
+		metrics:  newMetrics(),
+	}
+}
+
+// Peers returns the configured peer list.
+func (d *Dispatcher) Peers() []string { return d.cfg.Peers }
+
+func (d *Dispatcher) breaker(peer string) *Breaker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.breakers[peer]
+	if b == nil {
+		b = NewBreaker(d.cfg.Breaker)
+		d.breakers[peer] = b
+	}
+	return b
+}
+
+func (d *Dispatcher) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// attemptResult is the outcome of one remote attempt.
+type attemptResult struct {
+	peer       string
+	body       []byte
+	err        error
+	overload   bool
+	retryAfter time.Duration
+}
+
+// Do delivers payload to some peer and returns the accepted response
+// body, running local() instead when no peer can serve it. key names
+// the work unit (revnicd uses "jobID/phase/seq/index"); it seeds the
+// deterministic jitter and spreads shards across peers. accept
+// validates a response body before it is trusted — a torn or
+// malformed body fails accept and is retried like any other peer
+// failure. local is the guaranteed fallback and is invoked at most
+// once, after remote delivery is abandoned.
+func (d *Dispatcher) Do(ctx context.Context, key string, payload []byte, accept func([]byte) error, local func() ([]byte, error)) ([]byte, error) {
+	if len(d.cfg.Peers) == 0 || d.cfg.Transport == nil {
+		return d.fallback(key, local, "no peers configured")
+	}
+	start := int(hash64(d.cfg.Seed, key, -1) % uint64(len(d.cfg.Peers)))
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			lastErr = ctx.Err()
+			break
+		}
+		if attempt > 0 {
+			delay := backoffDelay(d.cfg.BackoffBase, d.cfg.BackoffCap, attempt, d.cfg.Seed, key)
+			if err := sleepCtx(ctx, delay); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		peer, ok := d.pickPeer(start, attempt, "")
+		if !ok {
+			d.logf("cluster: %s: every peer breaker is open", key)
+			lastErr = fmt.Errorf("every peer breaker open")
+			break
+		}
+		if attempt > 0 {
+			d.metrics.add(peer, func(s *peerStats) { s.retries++ })
+			d.logf("cluster: %s: retry %d on %s", key, attempt, peer)
+		}
+		res := d.attemptHedged(ctx, key, peer, start, attempt, payload, accept)
+		if res.err == nil {
+			return res.body, nil
+		}
+		lastErr = res.err
+		if res.overload && res.retryAfter > 0 {
+			d.logf("cluster: %s: %s overloaded, honoring Retry-After %s", key, res.peer, res.retryAfter)
+			if err := sleepCtx(ctx, res.retryAfter); err != nil {
+				lastErr = err
+				break
+			}
+		}
+	}
+	reason := "remote attempts exhausted"
+	if lastErr != nil {
+		reason = fmt.Sprintf("remote attempts exhausted (last: %v)", lastErr)
+	}
+	return d.fallback(key, local, reason)
+}
+
+// pickPeer scans the peer ring from a deterministic start for the
+// first peer whose breaker admits a request, skipping the excluded
+// peer (a hedge never doubles up on the primary).
+func (d *Dispatcher) pickPeer(start, attempt int, exclude string) (string, bool) {
+	n := len(d.cfg.Peers)
+	for i := 0; i < n; i++ {
+		p := d.cfg.Peers[(start+attempt+i)%n]
+		if p == exclude {
+			continue
+		}
+		if d.breaker(p).Allow() {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// attemptHedged runs one attempt against primary, launching a hedge
+// request on another peer if the primary has not answered within
+// HedgeDelay. The first success wins; with no success the last
+// failure is returned.
+func (d *Dispatcher) attemptHedged(ctx context.Context, key, primary string, start, attempt int, payload []byte, accept func([]byte) error) attemptResult {
+	ch := make(chan attemptResult, 2)
+	// A panicking Transport must fail the attempt, not kill the
+	// process: these goroutines have no caller to recover for them.
+	try := func(peer string) {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- attemptResult{peer: peer, err: fmt.Errorf("%s: transport panic: %v", peer, r)}
+			}
+		}()
+		ch <- d.tryPeer(ctx, peer, payload, accept)
+	}
+	go try(primary)
+	launched, received := 1, 0
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if d.cfg.HedgeDelay > 0 && len(d.cfg.Peers) > 1 {
+		hedgeTimer = time.NewTimer(d.cfg.HedgeDelay)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	var last attemptResult
+	for received < launched {
+		select {
+		case res := <-ch:
+			received++
+			if res.err == nil {
+				return res
+			}
+			last = res
+		case <-hedgeC:
+			hedgeC = nil
+			hp, ok := d.pickPeer(start, attempt+1, primary)
+			if !ok {
+				continue
+			}
+			d.metrics.add(hp, func(s *peerStats) { s.hedges++ })
+			d.logf("cluster: %s: hedging %s with %s after %s", key, primary, hp, d.cfg.HedgeDelay)
+			go try(hp)
+			launched++
+		}
+	}
+	return last
+}
+
+// tryPeer makes one bounded attempt against one peer and classifies
+// the outcome: success, overload (503 — retryable, not a breaker
+// failure), or failure (transport error, unexpected status, or a body
+// the caller's accept rejects).
+func (d *Dispatcher) tryPeer(ctx context.Context, peer string, payload []byte, accept func([]byte) error) attemptResult {
+	d.metrics.add(peer, func(s *peerStats) { s.attempts++ })
+	actx, cancel := context.WithTimeout(ctx, d.cfg.AttemptTimeout)
+	defer cancel()
+	resp, err := d.cfg.Transport.Send(actx, peer, payload)
+	br := d.breaker(peer)
+	fail := func(err error) attemptResult {
+		br.Record(false)
+		d.metrics.add(peer, func(s *peerStats) { s.failures++ })
+		return attemptResult{peer: peer, err: err}
+	}
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", peer, err))
+	}
+	if resp.Status == http.StatusServiceUnavailable {
+		// The peer is healthy but full (admission control); back off
+		// without poisoning its breaker.
+		d.metrics.add(peer, func(s *peerStats) { s.overloads++ })
+		return attemptResult{
+			peer:       peer,
+			err:        fmt.Errorf("%s: overloaded (503)", peer),
+			overload:   true,
+			retryAfter: resp.RetryAfter,
+		}
+	}
+	if resp.Status != http.StatusOK {
+		return fail(fmt.Errorf("%s: unexpected status %d", peer, resp.Status))
+	}
+	if err := accept(resp.Body); err != nil {
+		return fail(fmt.Errorf("%s: rejected response: %w", peer, err))
+	}
+	br.Record(true)
+	d.metrics.add(peer, func(s *peerStats) { s.successes++ })
+	return attemptResult{peer: peer, body: resp.Body}
+}
+
+// fallback runs the local path and counts it.
+func (d *Dispatcher) fallback(key string, local func() ([]byte, error), reason string) ([]byte, error) {
+	d.logf("cluster: %s: local fallback (%s)", key, reason)
+	d.metrics.mu.Lock()
+	d.metrics.fallbacks++
+	d.metrics.mu.Unlock()
+	return local()
+}
+
+// sleepCtx pauses for delay unless the context ends first.
+func sleepCtx(ctx context.Context, delay time.Duration) error {
+	if delay <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StartProber begins periodic health probes of every configured peer,
+// feeding outcomes into the per-peer breakers: probe failures trip
+// the breaker of an unreachable peer before any shard is wasted on
+// it, and a successful probe is the half-open trial that recloses it.
+// The returned stop function halts probing and waits for in-flight
+// probes.
+func (d *Dispatcher) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 || len(d.cfg.Peers) == 0 || d.cfg.Transport == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				d.probeAll(done)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// probeAll probes every peer once, concurrently.
+func (d *Dispatcher) probeAll(done <-chan struct{}) {
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.AttemptTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, p := range d.cfg.Peers {
+		br := d.breaker(p)
+		if !br.Allow() {
+			continue
+		}
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			err := d.cfg.Transport.Probe(ctx, p)
+			br.Record(err == nil)
+			if err != nil {
+				d.logf("cluster: probe %s failed: %v", p, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoHandler is the healthy-path peer: it answers with a JSON object
+// naming the serving peer and echoing the payload length.
+func echoHandler(peer string, body []byte) (*Response, error) {
+	b, _ := json.Marshal(map[string]any{"peer": peer, "len": len(body)})
+	return &Response{Status: 200, Body: b}, nil
+}
+
+// acceptJSON validates a body the way revnicd does: a full unmarshal,
+// so truncated bodies are rejected.
+func acceptJSON(b []byte) error {
+	var v map[string]any
+	return json.Unmarshal(b, &v)
+}
+
+func testDispatcher(ft *FaultTransport, peers []string, tweak func(*Config)) *Dispatcher {
+	cfg := Config{
+		Peers:          peers,
+		Transport:      ft,
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffCap:     4 * time.Millisecond,
+		Seed:           42,
+		Breaker:        BreakerConfig{Window: 10, MinSamples: 100}, // effectively disabled unless test lowers it
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return NewDispatcher(cfg)
+}
+
+func peerTotals(s Snapshot) (attempts, retries, failures, overloads, hedges int64) {
+	for _, p := range s.Peers {
+		attempts += p.Attempts
+		retries += p.Retries
+		failures += p.Failures
+		overloads += p.Overloads
+		hedges += p.Hedges
+	}
+	return
+}
+
+func TestDispatcherHealthyPath(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	d := testDispatcher(ft, []string{"p1", "p2"}, nil)
+	body, err := d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) {
+		t.Fatal("local fallback invoked on healthy path")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"len":1`) {
+		t.Fatalf("unexpected body %s", body)
+	}
+	if s := d.Snapshot(); s.Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0", s.Fallbacks)
+	}
+}
+
+func TestDispatcherRetriesDropThenSucceeds(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	for _, p := range []string{"p1", "p2"} {
+		ft.Script(p, Fault{Drop: true})
+	}
+	d := testDispatcher(ft, []string{"p1", "p2"}, nil)
+	_, err := d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) {
+		t.Fatal("fallback invoked though retries could succeed")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, retries, failures, _, _ := peerTotals(d.Snapshot())
+	if retries < 1 || failures < 1 {
+		t.Fatalf("retries=%d failures=%d, want both >= 1", retries, failures)
+	}
+}
+
+func TestDispatcherTornBodyRetried(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	for _, p := range []string{"p1", "p2"} {
+		ft.Script(p, Fault{Torn: true})
+	}
+	d := testDispatcher(ft, []string{"p1", "p2"}, nil)
+	body, err := d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) {
+		t.Fatal("fallback invoked though a retry could succeed")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acceptJSON(body); err != nil {
+		t.Fatalf("returned body is not valid JSON: %v", err)
+	}
+}
+
+func TestDispatcherAllPeersDeadFallsBackLocal(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	ft.Kill("p1")
+	ft.Kill("p2")
+	d := testDispatcher(ft, []string{"p1", "p2"}, nil)
+	var localRuns atomic.Int64
+	body, err := d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) {
+		localRuns.Add(1)
+		return []byte(`{"peer":"local"}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != `{"peer":"local"}` {
+		t.Fatalf("unexpected body %s", body)
+	}
+	if localRuns.Load() != 1 {
+		t.Fatalf("local ran %d times, want exactly 1", localRuns.Load())
+	}
+	if s := d.Snapshot(); s.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Fallbacks)
+	}
+}
+
+func TestDispatcherNoPeersRunsLocalDirectly(t *testing.T) {
+	d := testDispatcher(NewFaultTransport(echoHandler), nil, nil)
+	body, err := d.Do(context.Background(), "k", nil, acceptJSON, func() ([]byte, error) {
+		return []byte(`{}`), nil
+	})
+	if err != nil || string(body) != `{}` {
+		t.Fatalf("body=%s err=%v", body, err)
+	}
+	if s := d.Snapshot(); s.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Fallbacks)
+	}
+}
+
+func TestDispatcherOverloadIsNotBreakerFailure(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	// Enough 503s to trip the breaker if they counted as failures.
+	for _, p := range []string{"p1", "p2"} {
+		for i := 0; i < 2; i++ {
+			ft.Script(p, Fault{Status: 503, RetryAfter: time.Millisecond})
+		}
+	}
+	d := testDispatcher(ft, []string{"p1", "p2"}, func(c *Config) {
+		c.Breaker = BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5}
+		c.MaxAttempts = 5
+	})
+	_, err := d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) {
+		t.Fatal("fallback invoked though peers would recover")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Snapshot()
+	_, _, failures, overloads, _ := peerTotals(s)
+	if overloads < 1 {
+		t.Fatalf("overloads = %d, want >= 1", overloads)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0 (503 must not count)", failures)
+	}
+	for _, p := range s.Peers {
+		if p.Breaker != "closed" {
+			t.Fatalf("peer %s breaker %s after 503s, want closed", p.Peer, p.Breaker)
+		}
+	}
+}
+
+func TestDispatcherHedgesSlowPrimary(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	d := testDispatcher(ft, []string{"p1", "p2"}, func(c *Config) {
+		c.HedgeDelay = 10 * time.Millisecond
+		c.AttemptTimeout = 5 * time.Second
+	})
+	// Whichever peer the deterministic selection makes primary, make
+	// it a straggler; the hedge on the other peer must win.
+	primary, _ := d.pickPeer(int(hash64(42, "k", -1)%2), 0, "")
+	ft.Script(primary, Fault{Latency: 2 * time.Second})
+	start := time.Now()
+	_, err := d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) {
+		t.Fatal("fallback invoked")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not rescue the straggler: took %s", elapsed)
+	}
+	_, _, _, _, hedges := peerTotals(d.Snapshot())
+	if hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", hedges)
+	}
+}
+
+func TestDispatcherBreakerSkipsDeadPeer(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	ft.Kill("p1")
+	d := testDispatcher(ft, []string{"p1", "p2"}, func(c *Config) {
+		c.Breaker = BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: time.Hour}
+		c.MaxAttempts = 2
+	})
+	// Dispatch repeatedly; once p1's breaker opens, no further sends
+	// reach it.
+	for i := 0; i < 6; i++ {
+		d.Do(context.Background(), fmt.Sprintf("k%d", i), []byte("x"), acceptJSON, func() ([]byte, error) {
+			return []byte(`{}`), nil
+		})
+	}
+	tripped := ft.Sends("p1")
+	for i := 0; i < 6; i++ {
+		d.Do(context.Background(), fmt.Sprintf("m%d", i), []byte("x"), acceptJSON, func() ([]byte, error) {
+			return []byte(`{}`), nil
+		})
+	}
+	if after := ft.Sends("p1"); after != tripped {
+		t.Fatalf("open breaker let %d more sends through to dead peer", after-tripped)
+	}
+	var p1 PeerSnapshot
+	for _, p := range d.Snapshot().Peers {
+		if p.Peer == "p1" {
+			p1 = p
+		}
+	}
+	if p1.Breaker != "open" {
+		t.Fatalf("p1 breaker %s, want open", p1.Breaker)
+	}
+}
+
+func TestProberReclosesRecoveredPeer(t *testing.T) {
+	ft := NewFaultTransport(echoHandler)
+	ft.Kill("p1")
+	d := testDispatcher(ft, []string{"p1"}, func(c *Config) {
+		c.Breaker = BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: time.Millisecond}
+	})
+	// Trip the breaker through failed dispatches.
+	d.Do(context.Background(), "k", []byte("x"), acceptJSON, func() ([]byte, error) { return []byte(`{}`), nil })
+	if st := d.breaker("p1").State(); st == BreakerClosed {
+		t.Fatal("breaker still closed after dispatch to dead peer")
+	}
+	// Peer comes back; the prober's successful probe is the half-open
+	// trial that recloses the breaker.
+	ft.mu.Lock()
+	ft.dead["p1"] = false
+	ft.mu.Unlock()
+	stop := d.StartProber(2 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.breaker("p1").State() == BreakerClosed {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("breaker never reclosed; state %v", d.breaker("p1").State())
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// peerStats accumulates one peer's dispatch counters.
+type peerStats struct {
+	attempts  int64
+	retries   int64
+	hedges    int64
+	successes int64
+	failures  int64
+	overloads int64
+}
+
+// metrics is the dispatcher's counter store.
+type metrics struct {
+	mu        sync.Mutex
+	peers     map[string]*peerStats
+	fallbacks int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{peers: make(map[string]*peerStats)}
+}
+
+func (m *metrics) peer(name string) *peerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.peers[name]
+	if s == nil {
+		s = &peerStats{}
+		m.peers[name] = s
+	}
+	return s
+}
+
+func (m *metrics) add(name string, f func(*peerStats)) {
+	s := m.peer(name)
+	m.mu.Lock()
+	f(s)
+	m.mu.Unlock()
+}
+
+// PeerSnapshot is one peer's counters at a point in time.
+type PeerSnapshot struct {
+	Peer      string
+	Attempts  int64
+	Retries   int64
+	Hedges    int64
+	Successes int64
+	Failures  int64
+	Overloads int64
+	Breaker   string
+}
+
+// Snapshot is a point-in-time view of a dispatcher's activity.
+type Snapshot struct {
+	Peers     []PeerSnapshot
+	Fallbacks int64
+}
+
+// Snapshot returns the dispatcher's counters and breaker states,
+// peers sorted by name so the output is deterministic.
+func (d *Dispatcher) Snapshot() Snapshot {
+	d.metrics.mu.Lock()
+	names := make([]string, 0, len(d.metrics.peers))
+	for n := range d.metrics.peers {
+		names = append(names, n)
+	}
+	d.metrics.mu.Unlock()
+	// Configured peers appear even before their first dispatch.
+	for _, p := range d.cfg.Peers {
+		found := false
+		for _, n := range names {
+			if n == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			names = append(names, p)
+		}
+	}
+	sort.Strings(names)
+	snap := Snapshot{Peers: make([]PeerSnapshot, 0, len(names))}
+	for _, n := range names {
+		s := d.metrics.peer(n)
+		br := d.breaker(n)
+		d.metrics.mu.Lock()
+		ps := PeerSnapshot{
+			Peer:      n,
+			Attempts:  s.attempts,
+			Retries:   s.retries,
+			Hedges:    s.hedges,
+			Successes: s.successes,
+			Failures:  s.failures,
+			Overloads: s.overloads,
+			Breaker:   br.State().String(),
+		}
+		d.metrics.mu.Unlock()
+		snap.Peers = append(snap.Peers, ps)
+	}
+	d.metrics.mu.Lock()
+	snap.Fallbacks = d.metrics.fallbacks
+	d.metrics.mu.Unlock()
+	return snap
+}

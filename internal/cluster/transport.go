@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Response is a transport-level reply from a peer. Status carries the
+// HTTP status code (or its equivalent for non-HTTP transports); Body
+// is the raw payload; RetryAfter, when positive, is the peer's own
+// estimate of when to try again (from a 503's Retry-After header).
+type Response struct {
+	Status     int
+	Body       []byte
+	RetryAfter time.Duration
+}
+
+// Transport moves payloads to peers. Implementations must be safe for
+// concurrent use. Send returns an error only for transport-level
+// failures (connection refused, timeout, torn stream); an HTTP error
+// status is a successful Send with a non-200 Response, so the
+// dispatcher can distinguish overload (503) from peer failure.
+type Transport interface {
+	Send(ctx context.Context, peer string, body []byte) (*Response, error)
+	Probe(ctx context.Context, peer string) error
+}
+
+// HTTPTransport sends payloads as HTTP POSTs.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client; http.DefaultClient when
+	// nil. Per-attempt timeouts arrive through the request context,
+	// so the client itself needs no Timeout.
+	Client *http.Client
+	// Path is appended to the peer base URL for Send.
+	Path string
+	// ProbePath is appended for Probe.
+	ProbePath string
+	// MaxBody caps how much of a response body is read. Default 64 MiB.
+	MaxBody int64
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) maxBody() int64 {
+	if t.MaxBody > 0 {
+		return t.MaxBody
+	}
+	return 64 << 20
+}
+
+// Send posts body to peer+Path and reads the full response.
+func (t *HTTPTransport) Send(ctx context.Context, peer string, body []byte) (*Response, error) {
+	url := strings.TrimRight(peer, "/") + t.Path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, t.maxBody()))
+	if err != nil {
+		// A torn stream after the status line: surface as a transport
+		// failure so the dispatcher retries.
+		return nil, fmt.Errorf("reading response from %s: %w", peer, err)
+	}
+	r := &Response{Status: resp.StatusCode, Body: b}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			r.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return r, nil
+}
+
+// Probe issues a GET to peer+ProbePath and treats any 2xx as healthy.
+func (t *HTTPTransport) Probe(ctx context.Context, peer string) error {
+	url := strings.TrimRight(peer, "/") + t.ProbePath
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("probe %s: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}

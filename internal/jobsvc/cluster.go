@@ -1,0 +1,257 @@
+package jobsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"revnic/internal/cluster"
+	"revnic/internal/expr"
+	"revnic/internal/symexec"
+)
+
+// This file is revnicd's coordinator mode: with Config.Coordinator
+// set, a job's deterministic fork-join shard groups are serialized
+// and fanned out to peer revnicd instances through the fault-tolerant
+// cluster.Dispatcher (POST /shards on the peer side), and the merged
+// summary is bit-identical to a single-node run of the same spec —
+// the shard decomposition, task identities and merge order are pure
+// functions of the spec, and shard execution itself is idempotent, so
+// retries, hedges and local fallbacks cannot change the result. The
+// one exception is arena_nodes: a coordinator's arena never interns
+// the intermediate expressions remote shards allocate on their own
+// peers, so that gauge of allocator load is mode-dependent by nature.
+
+// shardEnvelope is the wire form of one dispatched shard: the job
+// spec (a peer rebuilds the identical engine configuration from it,
+// including uploaded program images) plus the self-contained task.
+type shardEnvelope struct {
+	Spec JobSpec            `json:"spec"`
+	Task *symexec.ShardTask `json:"task"`
+	// DeadlineMS is the coordinator job's remaining wall budget in
+	// milliseconds; the peer bounds the shard execution with it.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// shardKey names one shard of one job: tasks are regenerated
+// deterministically on a re-run of the same spec, so the key is
+// stable across coordinator restarts — which is what lets journal
+// replay match collected results to re-dispatched shards.
+func shardKey(task *symexec.ShardTask) string {
+	return fmt.Sprintf("%s/%d/%d", task.Phase, task.Seq, task.Index)
+}
+
+// shardRunner adapts the cluster dispatcher to symexec.ShardRunner
+// for one job: it serializes tasks, consults the journal-replayed
+// shard cache, dispatches with retries/hedging/breakers, journals
+// dispatch and completion, and deserializes results.
+type shardRunner struct {
+	s   *Service
+	j   *job
+	ctx context.Context
+}
+
+func (r *shardRunner) RunShard(task *symexec.ShardTask, local func() (*symexec.ShardResult, error)) (*symexec.ShardResult, error) {
+	key := shardKey(task)
+	if raw, ok := r.j.shardCache[key]; ok {
+		// Journal replay already holds this shard's result from the
+		// previous incarnation; reuse it instead of re-dispatching.
+		var res symexec.ShardResult
+		if err := json.Unmarshal(raw, &res); err == nil {
+			r.s.m.shardsReplayed.Add(1)
+			return &res, nil
+		}
+		// An unreadable cached result is re-executed, never trusted.
+	}
+	env := shardEnvelope{Spec: r.j.Spec, Task: task}
+	if dl, ok := r.ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		env.DeadlineMS = ms
+	}
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	r.s.journalAppend(journalRecord{
+		T: recShardDispatched, ID: r.j.ID, TS: time.Now(), Key: key,
+	}, false)
+	body, err := r.s.dispatcher.Do(r.ctx, r.j.ID+"/"+key, payload, acceptShardResult,
+		func() ([]byte, error) {
+			res, err := local()
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		})
+	if err != nil {
+		return nil, err
+	}
+	var res symexec.ShardResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("jobsvc: shard %s: decode result: %w", key, err)
+	}
+	// Journal the completed shard compactly (the body may be indented
+	// JSON; the journal is line-oriented) so a coordinator crash after
+	// this point replays with the shard already collected.
+	if compact, err := json.Marshal(&res); err == nil {
+		r.s.journalAppend(journalRecord{
+			T: recShardDone, ID: r.j.ID, TS: time.Now(), Key: key, Result: compact,
+		}, false)
+	}
+	return &res, nil
+}
+
+// acceptShardResult validates a peer's response body before the
+// dispatcher trusts it: a torn or truncated body fails the unmarshal
+// and is retried like any other peer failure, and a structurally
+// empty result (no collector) is rejected rather than merged.
+func acceptShardResult(body []byte) error {
+	var res symexec.ShardResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return err
+	}
+	if res.Collector == nil {
+		return errors.New("shard result has no collector")
+	}
+	return nil
+}
+
+// executeSpec runs the full pipeline for one job, fanning shard
+// groups out to the cluster when coordinator mode is on. A panic
+// anywhere in the pipeline fails the job, not the daemon; the failure
+// record carries the panic value and a trimmed stack so the operator
+// can diagnose it from GET /jobs/{id} alone.
+func (s *Service) executeSpec(j *job, deadline time.Time) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.jobPanics.Add(1)
+			res, err = nil, fmt.Errorf("jobsvc: pipeline panic: %v\n%s", r, trimStack(debug.Stack()))
+		}
+	}()
+	var runner symexec.ShardRunner
+	if s.dispatcher != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if !deadline.IsZero() {
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		stop := j.stop
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		runner = &shardRunner{s: s, j: j, ctx: ctx}
+	}
+	return runSpecHook(j.Spec, j.stop, deadline, runner)
+}
+
+// runSpecHook is runSpec behind a seam so tests can fault-inject the
+// pipeline (e.g. force a panic to exercise the failure record).
+var runSpecHook = runSpec
+
+// trimStack keeps the head of a panic stack trace: enough frames to
+// locate the fault, small enough to store in a job record and ship in
+// every status response.
+func trimStack(stack []byte) []byte {
+	const maxLines = 16
+	lines := bytes.SplitAfterN(stack, []byte("\n"), maxLines+1)
+	if len(lines) <= maxLines {
+		return bytes.TrimRight(stack, "\n")
+	}
+	trimmed := bytes.Join(lines[:maxLines], nil)
+	return append(bytes.TrimRight(trimmed, "\n"), []byte("\n\t...")...)
+}
+
+// handleShard serves POST /shards: the peer side of coordinator
+// dispatch. Admission control mirrors job submission: a draining
+// peer refuses outright, and a peer already serving its ShardPool
+// limit answers 503 with a Retry-After estimate — the dispatcher
+// treats that as overload (wait and retry), not failure.
+func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	select {
+	case s.shardSem <- struct{}{}:
+		defer func() { <-s.shardSem }()
+	default:
+		s.m.shardsRejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("jobsvc: shard capacity exhausted"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var env shardEnvelope
+	if err := json.NewDecoder(body).Decode(&env); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode shard envelope: %w", err))
+		return
+	}
+	if env.Task == nil {
+		writeError(w, http.StatusBadRequest, errors.New("jobsvc: shard envelope has no task"))
+		return
+	}
+	if err := validate(env.Spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.executeShard(r.Context(), env)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.m.shardsServed.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// executeShard runs one remote shard task on this node, in a fresh
+// arena, bounded by the request context (a dispatcher that gave up —
+// timeout, hedge won elsewhere, coordinator died — cancels it) and
+// the envelope's remaining deadline.
+func (s *Service) executeShard(ctx context.Context, env shardEnvelope) (res *symexec.ShardResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.jobPanics.Add(1)
+			res, err = nil, fmt.Errorf("jobsvc: shard panic: %v\n%s", r, trimStack(debug.Stack()))
+		}
+	}()
+	prog, shell, _, err := resolveProgram(env.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engineConfig(env.Spec, expr.NewArena())
+	cfg.Shell = shell
+	cfg.Stop = ctx.Done()
+	if env.DeadlineMS > 0 {
+		cfg.Deadline = time.Now().Add(time.Duration(env.DeadlineMS) * time.Millisecond)
+	}
+	return symexec.ExecuteShardTask(prog, cfg, env.Task)
+}
+
+// ClusterSnapshot reports the dispatcher's per-peer counters and
+// breaker states; ok is false when coordinator mode is off.
+func (s *Service) ClusterSnapshot() (cluster.Snapshot, bool) {
+	if s.dispatcher == nil {
+		return cluster.Snapshot{}, false
+	}
+	return s.dispatcher.Snapshot(), true
+}

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+
+	"revnic/internal/cluster"
 )
 
 // This file is the service's HTTP surface: a JSON job API plus a
@@ -46,6 +48,11 @@ type metrics struct {
 	solverQueries       atomic.Int64
 	executedBlocks      atomic.Int64
 	arenaNodesReclaimed atomic.Int64
+	jobPanics           atomic.Int64
+	shardsServed        atomic.Int64
+	shardsRejected      atomic.Int64
+	shardsReplayed      atomic.Int64
+	replayedResumed     atomic.Int64
 	durationSeconds     lockedFloat
 }
 
@@ -78,6 +85,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/code", s.handleCode)
+	mux.HandleFunc("POST /shards", s.handleShard)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -254,4 +262,40 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("revnicd_solver_queries_total", "Constraint-solver queries across completed jobs.", s.m.solverQueries.Load())
 	counter("revnicd_executed_blocks_total", "Translation blocks executed across completed jobs.", s.m.executedBlocks.Load())
 	counter("revnicd_arena_nodes_reclaimed_total", "Interned expression nodes reclaimed with finished job arenas.", s.m.arenaNodesReclaimed.Load())
+	counter("revnicd_job_panics_total", "Pipeline panics converted to job failures.", s.m.jobPanics.Load())
+	counter("revnicd_shards_served_total", "Remote shard tasks executed for coordinators.", s.m.shardsServed.Load())
+	counter("revnicd_shards_rejected_total", "Remote shard tasks refused with 503 (capacity).", s.m.shardsRejected.Load())
+	counter("revnicd_shards_replayed_total", "Shard results reused from the journal after a coordinator restart.", s.m.shardsReplayed.Load())
+	counter("revnicd_journal_resumed_total", "Journaled coordinator jobs requeued with collected shards pre-seeded.", s.m.replayedResumed.Load())
+
+	if snap, ok := s.ClusterSnapshot(); ok {
+		counter("revnicd_cluster_fallbacks_total", "Shards executed by the guaranteed local fallback.", snap.Fallbacks)
+		peerCounter := func(name, help string, value func(cluster.PeerSnapshot) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, p := range snap.Peers {
+				fmt.Fprintf(w, "%s{peer=%q} %d\n", name, p.Peer, value(p))
+			}
+		}
+		peerCounter("revnicd_cluster_attempts_total", "Remote shard attempts, per peer.",
+			func(p cluster.PeerSnapshot) int64 { return p.Attempts })
+		peerCounter("revnicd_cluster_retries_total", "Shard retry attempts, per peer.",
+			func(p cluster.PeerSnapshot) int64 { return p.Retries })
+		peerCounter("revnicd_cluster_hedges_total", "Hedged shard requests, per peer.",
+			func(p cluster.PeerSnapshot) int64 { return p.Hedges })
+		peerCounter("revnicd_cluster_failures_total", "Failed shard attempts, per peer.",
+			func(p cluster.PeerSnapshot) int64 { return p.Failures })
+		peerCounter("revnicd_cluster_overloads_total", "Shard attempts answered 503 (peer full), per peer.",
+			func(p cluster.PeerSnapshot) int64 { return p.Overloads })
+		fmt.Fprintf(w, "# HELP revnicd_cluster_breaker_state Per-peer circuit breaker: 0 closed, 1 half-open, 2 open.\n# TYPE revnicd_cluster_breaker_state gauge\n")
+		for _, p := range snap.Peers {
+			v := 0
+			switch p.Breaker {
+			case "half-open":
+				v = 1
+			case "open":
+				v = 2
+			}
+			fmt.Fprintf(w, "revnicd_cluster_breaker_state{peer=%q} %d\n", p.Peer, v)
+		}
+	}
 }

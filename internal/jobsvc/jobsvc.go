@@ -20,6 +20,7 @@ package jobsvc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"revnic/internal/cluster"
 	"revnic/internal/core"
 	"revnic/internal/drivers"
 	"revnic/internal/expr"
@@ -202,9 +204,33 @@ type Config struct {
 	// and completion. On startup the journal is replayed: jobs that
 	// were queued are resubmitted with their original IDs and specs
 	// (deterministic specs re-run to identical results), jobs that
-	// were mid-run are surfaced as status "interrupted". Empty
-	// disables durability.
+	// were mid-run are surfaced as status "interrupted" — unless the
+	// journal also holds coordinator shard-completion records for
+	// them, in which case they are requeued with the collected shards
+	// pre-seeded so only the missing work re-runs. Empty disables
+	// durability.
 	DataDir string
+	// Coordinator enables cluster mode: each job's fork-join shard
+	// groups are dispatched to Cluster.Peers through the
+	// fault-tolerant dispatcher, with local execution as the
+	// guaranteed fallback. Results are bit-identical to a single-node
+	// run of the same spec (arena_nodes excepted — see cluster.go).
+	// With no peers configured, every shard runs the local fallback:
+	// correct, just not distributed.
+	Coordinator bool
+	// Cluster tunes the shard dispatcher (peers, transport, timeouts,
+	// retries, hedging, breakers). A nil Cluster.Transport selects
+	// HTTP against the peers' POST /shards endpoints.
+	Cluster cluster.Config
+	// ShardPool bounds how many remote shards (POST /shards) this
+	// node serves concurrently; excess requests get 503 with
+	// Retry-After, which the coordinator's dispatcher treats as
+	// overload, not failure. 0 selects 2.
+	ShardPool int
+	// ProbeInterval is the period of peer health probes, which trip a
+	// dead peer's breaker before any shard is wasted on it and
+	// reclose it when the peer returns. 0 disables probing.
+	ProbeInterval time.Duration
 }
 
 func (c *Config) defaults() {
@@ -219,6 +245,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.ShardPool <= 0 {
+		c.ShardPool = 2
 	}
 }
 
@@ -237,6 +266,13 @@ type Service struct {
 
 	wg sync.WaitGroup // runner goroutines
 
+	// Cluster mode: the fault-tolerant shard dispatcher (nil unless
+	// Config.Coordinator), its health prober's stop hook, and the
+	// admission semaphore for shards served to other coordinators.
+	dispatcher *cluster.Dispatcher
+	stopProber func()
+	shardSem   chan struct{}
+
 	m metrics
 }
 
@@ -254,6 +290,10 @@ type job struct {
 	// count-bound eviction drops the least recently used finished job.
 	access time.Time
 	done   chan struct{}
+	// shardCache holds shard results collected before a coordinator
+	// crash, keyed by shardKey and pre-seeded from the journal on
+	// replay; the shard runner returns these without re-dispatching.
+	shardCache map[string]json.RawMessage
 }
 
 // ErrDraining rejects submissions after Drain began.
@@ -313,6 +353,17 @@ func Open(cfg Config) (*Service, error) {
 	s.queue = make(chan *job, depth)
 	for _, j := range pending {
 		s.queue <- j
+	}
+	s.shardSem = make(chan struct{}, cfg.ShardPool)
+	if cfg.Coordinator {
+		ccfg := cfg.Cluster
+		if ccfg.Transport == nil {
+			ccfg.Transport = &cluster.HTTPTransport{Path: "/shards", ProbePath: "/healthz"}
+		}
+		s.dispatcher = cluster.NewDispatcher(ccfg)
+		s.stopProber = s.dispatcher.StartProber(cfg.ProbeInterval)
+	} else {
+		s.stopProber = func() {}
 	}
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
@@ -550,6 +601,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.stopProber()
 	}
 	s.mu.Unlock()
 	finished := make(chan struct{})
@@ -598,7 +650,7 @@ func (s *Service) run(j *job) {
 	s.mu.Unlock()
 	s.m.running.Add(1)
 
-	res, err := executeSpec(j.Spec, j.stop, deadline)
+	res, err := s.executeSpec(j, deadline)
 	end := time.Now()
 	s.m.running.Add(-1)
 	s.m.durationSeconds.add(end.Sub(start).Seconds())
@@ -702,8 +754,10 @@ func (s *Service) journalAppend(rec journalRecord, sync bool) error {
 // starts, so no locking.
 func (s *Service) replay(recs []journalRecord) []*job {
 	type entry struct {
-		rec     journalRecord
-		started bool
+		rec       journalRecord
+		started   bool
+		shards    map[string]json.RawMessage
+		shardRecs []journalRecord
 	}
 	byID := map[string]*entry{}
 	var ids []string // submission order
@@ -718,6 +772,22 @@ func (s *Service) replay(recs []journalRecord) []*job {
 			if e := byID[r.ID]; e != nil {
 				e.started = true
 			}
+		case recShardDone:
+			// A collected shard result from a coordinator run; on
+			// re-dispatch the same deterministic key recurs, so first
+			// record wins.
+			if e := byID[r.ID]; e != nil && r.Key != "" && len(r.Result) > 0 {
+				if e.shards == nil {
+					e.shards = map[string]json.RawMessage{}
+				}
+				if _, dup := e.shards[r.Key]; !dup {
+					e.shards[r.Key] = r.Result
+					e.shardRecs = append(e.shardRecs, r)
+				}
+			}
+		case recShardDispatched:
+			// Dispatch-only records carry no result to reuse; the shard
+			// is simply re-dispatched on replay.
 		case recFinished:
 			delete(byID, r.ID)
 		}
@@ -747,7 +817,22 @@ func (s *Service) replay(recs []journalRecord) []*job {
 			done:   make(chan struct{}),
 		}
 		fmt.Sscanf(id, "job-%d", &j.seq)
-		if e.started {
+		switch {
+		case len(e.shards) > 0:
+			// Shard records survive compaction without the started
+			// record, so this branch keys on them alone: a job with
+			// collected shards is resumable whether or not the crash
+			// (or a crash after compaction) kept its started marker.
+			// A coordinator crash mid-fan-out: the journaled shard
+			// results are pre-seeded so the re-run re-dispatches only
+			// the missing shards and merges to the identical summary.
+			j.Status = StatusQueued
+			j.shardCache = e.shards
+			pending = append(pending, j)
+			keep = append(keep, e.rec)
+			keep = append(keep, e.shardRecs...)
+			s.m.replayedResumed.Add(1)
+		case e.started:
 			// Mid-run at crash time: the exploration state is gone and the
 			// spec may have burned wall clock already, so it is surfaced
 			// rather than silently re-run.
@@ -757,7 +842,7 @@ func (s *Service) replay(recs []journalRecord) []*job {
 			j.access = now
 			close(j.done)
 			s.m.replayedInterrupted.Add(1)
-		} else {
+		default:
 			j.Status = StatusQueued
 			pending = append(pending, j)
 			keep = append(keep, e.rec)
@@ -788,6 +873,7 @@ func (s *Service) ReplayStats() (requeued, interrupted int64) {
 func (s *Service) crash() {
 	s.mu.Lock()
 	s.draining = true
+	s.stopProber()
 	if s.journal != nil {
 		s.journal.close()
 		s.journal = nil
@@ -808,50 +894,48 @@ func (s *Service) crash() {
 	s.wg.Wait()
 }
 
-// executeSpec runs the full pipeline for one spec and reduces it to a
-// result summary. The expr.Arena created here is the job's whole
-// expression universe — it is referenced only by the pipeline run and
-// becomes collectable as soon as this function returns. A panic
-// anywhere in the pipeline fails the job, not the daemon: one
-// malformed request must never take down a service with other jobs in
-// flight.
-func executeSpec(spec JobSpec, stop <-chan struct{}, deadline time.Time) (res *JobResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("jobsvc: pipeline panic: %v", r)
-		}
-	}()
-	return runSpec(spec, stop, deadline)
-}
-
-func runSpec(spec JobSpec, stop <-chan struct{}, deadline time.Time) (*JobResult, error) {
-	prog, shell, name, err := resolveProgram(spec)
-	if err != nil {
-		return nil, err
-	}
+// engineConfig maps a spec to the engine configuration both the
+// coordinator's own run and a peer's shard execution must share —
+// any divergence here would break the bit-identity of remote shards.
+func engineConfig(spec JobSpec, ar *expr.Arena) symexec.Config {
 	var searcher symexec.SearcherFactory
 	if spec.Strategy != "" {
 		searcher, _ = symexec.SearcherByName(spec.Strategy)
 	}
+	return symexec.Config{
+		Arena:                    ar,
+		Searcher:                 searcher,
+		Seed:                     spec.Seed,
+		Workers:                  spec.Workers,
+		Shards:                   spec.Shards,
+		MaxStates:                spec.MaxStates,
+		PhaseBudget:              spec.PhaseBudget,
+		StagnationBudget:         spec.StagnationBudget,
+		CompleteTarget:           spec.CompleteTarget,
+		PollThreshold:            spec.PollThreshold,
+		DisableIncrementalSolver: spec.DisableIncrementalSolver,
+	}
+}
+
+// runSpec runs the full pipeline for one spec and reduces it to a
+// result summary. The expr.Arena created here is the job's whole
+// expression universe — it is referenced only by the pipeline run and
+// becomes collectable as soon as this function returns. A non-nil
+// runner dispatches the exploration's shard groups to the cluster.
+func runSpec(spec JobSpec, stop <-chan struct{}, deadline time.Time, runner symexec.ShardRunner) (*JobResult, error) {
+	prog, shell, name, err := resolveProgram(spec)
+	if err != nil {
+		return nil, err
+	}
 	ar := expr.NewArena()
+	ecfg := engineConfig(spec, ar)
+	ecfg.Stop = stop
+	ecfg.Deadline = deadline
+	ecfg.ShardRunner = runner
 	rev, err := core.ReverseEngineer(prog, core.Options{
 		Shell:      shell,
 		DriverName: name,
-		Engine: symexec.Config{
-			Arena:                    ar,
-			Searcher:                 searcher,
-			Seed:                     spec.Seed,
-			Workers:                  spec.Workers,
-			Shards:                   spec.Shards,
-			MaxStates:                spec.MaxStates,
-			PhaseBudget:              spec.PhaseBudget,
-			StagnationBudget:         spec.StagnationBudget,
-			CompleteTarget:           spec.CompleteTarget,
-			PollThreshold:            spec.PollThreshold,
-			DisableIncrementalSolver: spec.DisableIncrementalSolver,
-			Stop:                     stop,
-			Deadline:                 deadline,
-		},
+		Engine:     ecfg,
 	})
 	if err != nil {
 		return nil, err

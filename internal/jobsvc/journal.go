@@ -25,6 +25,13 @@ const (
 	recSubmitted = "submitted"
 	recStarted   = "started"
 	recFinished  = "finished"
+	// Coordinator-mode shard lifecycle: a dispatch marker when a
+	// shard is handed to the cluster, and the completed result when
+	// it comes back. On replay the done records pre-seed the job's
+	// shard cache, so a crashed coordinator re-dispatches only the
+	// missing shards.
+	recShardDispatched = "shard_dispatched"
+	recShardDone       = "shard_done"
 )
 
 // journalRecord is one JSONL line of the WAL.
@@ -36,6 +43,11 @@ type journalRecord struct {
 	Spec   *JobSpec  `json:"spec,omitempty"`
 	Status Status    `json:"status,omitempty"`
 	Error  string    `json:"error,omitempty"`
+	// Key identifies a shard within its job (shard records only);
+	// Result is the shard's compact JSON result (recShardDone only —
+	// it must hold no newlines, the WAL is line-oriented).
+	Key    string          `json:"key,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // journal is the open WAL handle.

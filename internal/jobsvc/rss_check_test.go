@@ -14,7 +14,7 @@ func TestArenaMemoryReclaimed(t *testing.T) {
 		return m.HeapAlloc
 	}
 	run := func() {
-		if _, err := executeSpec(JobSpec{Driver: "RTL8029", Seed: 3}, nil, time.Time{}); err != nil {
+		if _, err := runSpec(JobSpec{Driver: "RTL8029", Seed: 3}, nil, time.Time{}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

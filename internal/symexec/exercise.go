@@ -31,12 +31,35 @@ type phase struct {
 	name  string
 	entry func() uint32
 	args  func(ctx uint32) []argSpec
-	// success tests a completed state's return value; successful
-	// completions count toward the discard heuristic and are
-	// eligible to seed the next phase.
-	success successFn
+	// success names the predicate (successAny/successOK/successNonZero)
+	// testing a completed state's return value; successful completions
+	// count toward the discard heuristic and are eligible to seed the
+	// next phase. A name, not a function, because shard tasks carry it
+	// across process boundaries.
+	success string
 	// bindCtx extracts the adapter context from the seeding state.
 	bindCtx bool
+}
+
+// Wire names of the success predicates (ShardTask.Success).
+const (
+	successAny     = "any"
+	successOK      = "ok"
+	successNonZero = "nonzero"
+)
+
+// successFunc resolves a predicate's wire name; the empty name means
+// successAny, so older coordinators stay compatible.
+func successFunc(name string) (successFn, error) {
+	switch name {
+	case successAny, "":
+		return anyResult, nil
+	case successOK:
+		return statusOK, nil
+	case successNonZero:
+		return nonZero, nil
+	}
+	return nil, fmt.Errorf("symexec: unknown success predicate %q", name)
 }
 
 func statusOK(e *Engine, s *State) bool {
@@ -59,7 +82,7 @@ func (e *Engine) Explore() (*Result, error) {
 	// else (its RegisterMiniport call is monitored to discover entry
 	// points).
 	seed := e.newState()
-	completed, err := e.runPhase(seed, "load", e.prog.Base, nil, anyResult)
+	completed, err := e.runPhase(seed, "load", e.prog.Base, nil, successAny)
 	if err != nil {
 		return nil, err
 	}
@@ -95,14 +118,14 @@ func (e *Engine) Explore() (*Result, error) {
 	phases := []phase{
 		{name: "initialize", entry: func() uint32 { return e.entries.Init },
 			args:    func(uint32) []argSpec { return nil },
-			success: nonZero, bindCtx: true},
+			success: successNonZero, bindCtx: true},
 		{name: "query", entry: func() uint32 { return e.entries.Query },
 			args: func(ctx uint32) []argSpec {
 				// Symbolic OID explores every handler and the
 				// unsupported-OID error path in one invocation.
 				return []argSpec{conc(ctx), sym("oid"), conc(e.symBuffer(64, nil)), conc(64)}
 			},
-			success: statusOK},
+			success: successOK},
 		// Set IOCTLs are exercised the way the user-mode script issues
 		// them — one call per IOCTL class — mixing concrete and
 		// symbolic buffer data to keep exploration tractable (§3.2:
@@ -118,7 +141,7 @@ func (e *Engine) Explore() (*Result, error) {
 				// immediately; the list itself is exercised next.
 				return []argSpec{conc(ctx), sym("oid"), conc(e.symBuffer(64, []int{0, 1, 2, 3})), conc(0)}
 			},
-			success: statusOK},
+			success: successOK},
 		{name: "set-multicast", entry: func() uint32 { return e.entries.Set },
 			args: func(ctx uint32) []argSpec {
 				// Concrete group addresses keep the CRC-32 hashing
@@ -128,7 +151,7 @@ func (e *Engine) Explore() (*Result, error) {
 				return []argSpec{conc(ctx), conc(guestos.OIDMulticastList),
 					conc(e.symBuffer(64, nil)), sym("inlen")}
 			},
-			success: statusOK},
+			success: successOK},
 		{name: "send", entry: func() uint32 { return e.entries.Send },
 			args: func(ctx uint32) []argSpec {
 				// Symbolic length covers the runt/giant boundary
@@ -137,16 +160,16 @@ func (e *Engine) Explore() (*Result, error) {
 				// driver logic (ARP vs IP vs VLAN, §2) would fork.
 				return []argSpec{conc(ctx), conc(e.symBuffer(1514, []int{12, 13})), sym("pktlen")}
 			},
-			success: statusOK},
+			success: successOK},
 		{name: "isr", entry: func() uint32 { return e.entries.ISR },
 			args:    func(ctx uint32) []argSpec { return []argSpec{conc(ctx)} },
-			success: anyResult},
+			success: successAny},
 		{name: "timer", entry: func() uint32 { return e.timer },
 			args:    func(ctx uint32) []argSpec { return []argSpec{conc(ctx)} },
-			success: anyResult},
+			success: successAny},
 		{name: "halt", entry: func() uint32 { return e.entries.Halt },
 			args:    func(ctx uint32) []argSpec { return []argSpec{conc(ctx)} },
-			success: anyResult},
+			success: successAny},
 	}
 
 	e.col.Async(e.entries.ISR)
@@ -173,11 +196,15 @@ func (e *Engine) Explore() (*Result, error) {
 		if ph.args != nil {
 			specs = ph.args(ctx)
 		}
+		okFn, err := successFunc(ph.success)
+		if err != nil {
+			return nil, err
+		}
 		completed, err := e.runPhase(st, ph.name, entry, specs, ph.success)
 		if err != nil {
 			return nil, err
 		}
-		next := e.pickSeed(completed, ph.success)
+		next := e.pickSeed(completed, okFn)
 		if next == nil {
 			// The entry point never completed successfully (e.g. a
 			// hardware-dependent wait): fall back to any completed
@@ -278,7 +305,11 @@ func (e *Engine) pickSeed(completed []*State, ok func(*Engine, *State) bool) *St
 // groups are explored on up to Config.Workers goroutines, and the
 // results are merged back in seed order, so the outcome is the same
 // for every Workers value.
-func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, success successFn) ([]*State, error) {
+func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, successName string) ([]*State, error) {
+	success, err := successFunc(successName)
+	if err != nil {
+		return nil, err
+	}
 	// Fill pending buffers: patterned concrete data with symbolic
 	// bytes at the requested offsets. The concrete pattern includes
 	// two multicast group addresses so list-processing code sees
@@ -343,7 +374,7 @@ func (e *Engine) runPhase(st *State, name string, entry uint32, args []argSpec, 
 		return completed, nil
 	}
 	bdg.blocks -= used
-	forked, err := e.exploreShards(live, name, bdg, success)
+	forked, err := e.exploreShards(live, name, successName, bdg, success)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"revnic/internal/guestos"
+	"revnic/internal/hw"
+	"revnic/internal/trace"
 )
 
 // This file implements the fork-join parallel exploration mode: once
@@ -65,8 +69,12 @@ func (b phaseBudgets) split(n int) phaseBudgets {
 // Config.Workers goroutines run concurrently), and merges the
 // children back in seed order. The partition orders states by their
 // creation ID, so it is a pure function of the spread, not of the
-// worker count or scheduling.
-func (e *Engine) exploreShards(live []*State, name string, bdg phaseBudgets, success successFn) ([]*State, error) {
+// worker count or scheduling. With Config.ShardRunner set, the groups
+// are serialized into ShardTasks and dispatched through the runner
+// instead — remote execution, with the in-process path as its
+// guaranteed local fallback — and the decoded results merge in the
+// same seed order, so the outcome is bit-identical either way.
+func (e *Engine) exploreShards(live []*State, name, successName string, bdg phaseBudgets, success successFn) ([]*State, error) {
 	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
 	n := e.cfg.Shards
 	if n > len(live) {
@@ -77,6 +85,9 @@ func (e *Engine) exploreShards(live []*State, name string, bdg phaseBudgets, suc
 		groups[i%n] = append(groups[i%n], s)
 	}
 	per := bdg.split(n)
+	if e.cfg.ShardRunner != nil {
+		return e.exploreShardsVia(e.cfg.ShardRunner, groups, name, successName, per)
+	}
 
 	// Children are created serially so jobSeq (and with it symbol
 	// namespaces and state-ID ranges) advances deterministically.
@@ -138,7 +149,7 @@ func (e *Engine) exploreShards(live []*State, name string, bdg phaseBudgets, suc
 	// pickSeed RNG consumption identical across worker counts.
 	var completed []*State
 	for i := 0; i < n; i++ {
-		e.mergeChild(children[i])
+		e.applyOutcome(childOutcome(children[i]))
 		completed = append(completed, completedByShard[i]...)
 	}
 	// Skip past every child's reserved ID range (child i allocates
@@ -148,43 +159,148 @@ func (e *Engine) exploreShards(live []*State, name string, bdg phaseBudgets, suc
 	return completed, nil
 }
 
-// mergeChild folds one worker child engine back into the parent:
-// coverage discoveries are replayed (keeping only globally new
-// blocks) to extend the parent's coverage curve, counters are summed,
-// and the collector, DMA registry, entry points and timer handler are
-// merged. Merge order is the caller's responsibility; calling in seed
-// order makes the join deterministic.
-func (e *Engine) mergeChild(c *Engine) {
+// exploreShardsVia is the dispatched form of the fan-out: each group
+// becomes a self-contained ShardTask (built serially, so jobSeq and
+// the reserved state-ID ranges advance exactly as the in-process path
+// does), every task is handed to the runner concurrently, and the
+// results are decoded and merged in seed order.
+func (e *Engine) exploreShardsVia(runner ShardRunner, groups [][]*State, name, successName string, per phaseBudgets) ([]*State, error) {
+	n := len(groups)
+	tasks := make([]*ShardTask, n)
+	for i := range groups {
+		e.jobSeq++
+		tasks[i] = &ShardTask{
+			Phase:       name,
+			Index:       i,
+			Seq:         e.jobSeq,
+			StateIDBase: e.stateID + (i+1)*jobIDSpan,
+			Success:     successName,
+			Budget: ShardBudget{
+				Blocks:     per.blocks,
+				Stagnation: per.stagnation,
+				Successes:  per.successes,
+				MaxStates:  per.maxStates,
+			},
+			Entries: e.entries,
+			Timer:   e.timer,
+			DMA:     e.dma.Regions(),
+			Group:   encodeStateGroup(groups[i]),
+		}
+	}
+	results := make([]*ShardResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("symexec: shard %d runner panic: %v", i, r)
+				}
+			}()
+			results[i], errs[i] = runner.RunShard(tasks[i], func() (*ShardResult, error) {
+				return e.executeShardLocal(tasks[i])
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("symexec: shard %d (%s): %w", i, name, err)
+		}
+		if results[i] == nil {
+			return nil, fmt.Errorf("symexec: shard %d (%s): runner returned no result", i, name)
+		}
+	}
+	var completed []*State
+	for i := 0; i < n; i++ {
+		o, states, err := e.decodeShardResult(results[i])
+		if err != nil {
+			return nil, fmt.Errorf("symexec: shard %d (%s): %w", i, name, err)
+		}
+		e.applyOutcome(o)
+		completed = append(completed, states...)
+	}
+	e.stateID += (n + 1) * jobIDSpan
+	return completed, nil
+}
+
+// shardOutcome is everything one explored shard feeds into the join,
+// in a form common to the in-process path (childOutcome) and the
+// dispatched path (decodeShardResult) — one merge implementation,
+// however the shard was executed.
+type shardOutcome struct {
+	discov    []covDiscovery
+	exec      int64
+	forks     int64
+	killed    int64
+	queries   int64
+	hits      int64
+	modelHits int64
+	col       *trace.Collector
+	dma       hw.DMARegistry
+	entries   guestos.EntryPoints
+	timer     uint32
+	stopped   TermReason
+}
+
+// childOutcome extracts the mergeable outcome of an in-process worker
+// child engine.
+func childOutcome(c *Engine) *shardOutcome {
+	q, h := c.sol.Stats()
+	return &shardOutcome{
+		discov:    c.discov,
+		exec:      c.exec,
+		forks:     c.forks,
+		killed:    c.killed,
+		queries:   q + c.childQueries,
+		hits:      h + c.childHits,
+		modelHits: c.sol.ModelHits() + c.childModelHits,
+		col:       c.col,
+		dma:       c.dma,
+		entries:   c.entries,
+		timer:     c.timer,
+		stopped:   c.stopHit,
+	}
+}
+
+// applyOutcome folds one shard outcome back into the parent: coverage
+// discoveries are replayed (keeping only globally new blocks) to
+// extend the parent's coverage curve, counters are summed, and the
+// collector, DMA registry, entry points and timer handler are merged.
+// Merge order is the caller's responsibility; calling in seed order
+// makes the join deterministic.
+func (e *Engine) applyOutcome(o *shardOutcome) {
 	covered := make(map[uint32]bool, len(e.col.Blocks))
 	for a := range e.col.Blocks {
 		covered[a] = true
 	}
-	for _, d := range c.discov {
+	for _, d := range o.discov {
 		if !covered[d.addr] {
 			covered[d.addr] = true
 			e.coverage = append(e.coverage, CoveragePoint{e.exec + d.exec, len(covered)})
 		}
 	}
-	e.exec += c.exec
-	e.forks += c.forks
-	e.killed += c.killed
-	q, h := c.sol.Stats()
-	e.childQueries += q + c.childQueries
-	e.childHits += h + c.childHits
-	e.childModelHits += c.sol.ModelHits() + c.childModelHits
-	e.col.Merge(c.col)
-	e.dma.Merge(&c.dma)
-	if !e.entries.Registered() && c.entries.Registered() {
-		e.entries = c.entries
+	e.exec += o.exec
+	e.forks += o.forks
+	e.killed += o.killed
+	e.childQueries += o.queries
+	e.childHits += o.hits
+	e.childModelHits += o.modelHits
+	e.col.Merge(o.col)
+	e.dma.Merge(&o.dma)
+	if !e.entries.Registered() && o.entries.Registered() {
+		e.entries = o.entries
 	}
 	if e.timer == 0 {
-		e.timer = c.timer
+		e.timer = o.timer
 	}
-	if e.stopHit == TermRunning && c.stopHit != TermRunning {
+	if e.stopHit == TermRunning && o.stopped != TermRunning {
 		// A stop observed inside a worker is a stop of the whole run;
 		// latch it so Result.Stopped is set even when the parent's own
 		// loop never polled after the fan-out.
-		e.stopHit = c.stopHit
+		e.stopHit = o.stopped
 	}
 	e.lastCov = e.col.CoveredBlocks()
 }

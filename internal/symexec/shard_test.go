@@ -1,0 +1,235 @@
+package symexec
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"revnic/internal/drivers"
+	"revnic/internal/expr"
+	"revnic/internal/hw"
+	"revnic/internal/isa"
+)
+
+// wireRunner simulates the cluster path inside one test process: every
+// shard task is marshalled to JSON, unmarshalled "on the peer",
+// executed by ExecuteShardTask against a completely fresh engine
+// (fresh arena, fresh translation cache — nothing shared with the
+// coordinator), and the result is marshalled back. It is the
+// strongest in-process stand-in for remote execution: any hidden
+// dependency on coordinator state would surface as a divergence.
+type wireRunner struct {
+	prog       *isa.Program
+	cfg        Config // peer-side config (no arena, no runner)
+	localEvery int    // every Nth shard exercises the local fallback instead
+
+	mu sync.Mutex
+	n  int
+}
+
+func (r *wireRunner) RunShard(task *ShardTask, local func() (*ShardResult, error)) (*ShardResult, error) {
+	r.mu.Lock()
+	r.n++
+	useLocal := r.localEvery > 0 && r.n%r.localEvery == 0
+	r.mu.Unlock()
+	if useLocal {
+		return local()
+	}
+	b, err := json.Marshal(task)
+	if err != nil {
+		return nil, err
+	}
+	var remote ShardTask
+	if err := json.Unmarshal(b, &remote); err != nil {
+		return nil, err
+	}
+	cfg := r.cfg
+	cfg.Arena = expr.NewArena()
+	res, err := ExecuteShardTask(r.prog, cfg, &remote)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	var back ShardResult
+	if err := json.Unmarshal(rb, &back); err != nil {
+		return nil, err
+	}
+	return &back, nil
+}
+
+// TestShardRunnerBitIdentical is the distributed mode's core
+// guarantee: dispatching every shard group through the wire codec to
+// a fresh peer engine — or through the local fallback, or a mix —
+// merges into exactly the result the in-process fork-join produces.
+func TestShardRunnerBitIdentical(t *testing.T) {
+	for _, driver := range []string{"RTL8029", "RTL8139"} {
+		t.Run(driver, func(t *testing.T) {
+			info, err := drivers.ByName(driver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Config{Seed: 11, Workers: 2}
+			want := traceFingerprint(exploreDriver(t, driver, base))
+
+			for name, localEvery := range map[string]int{"remote": 0, "mixed": 2} {
+				t.Run(name, func(t *testing.T) {
+					shell := hw.PCIConfig{VendorID: info.VendorID, DeviceID: info.DeviceID,
+						IOBase: 0xC000, IOSize: 0x100, IRQLine: 11}
+					cfg := base
+					cfg.Shell = shell
+					cfg.ShardRunner = &wireRunner{
+						prog:       info.Program,
+						cfg:        Config{Seed: 11, Shell: shell},
+						localEvery: localEvery,
+					}
+					eng := New(info.Program, cfg)
+					res, err := eng.Explore()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := traceFingerprint(res); got != want {
+						t.Fatalf("%s dispatch diverged from in-process run (fingerprints %d vs %d bytes)",
+							name, len(got), len(want))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardRunnerSolverAndTranslationStats pins the summary counters
+// that traceFingerprint does not cover: remote execution must report
+// the same solver workload, and resolving remote collectors through
+// the coordinator's translation cache must reproduce the single-node
+// translated-block count exactly.
+func TestShardRunnerSolverAndTranslationStats(t *testing.T) {
+	info, err := drivers.ByName("RTL8029")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell := hw.PCIConfig{VendorID: info.VendorID, DeviceID: info.DeviceID,
+		IOBase: 0xC000, IOSize: 0x100, IRQLine: 11}
+	direct := exploreDriver(t, "RTL8029", Config{Seed: 3})
+
+	cfg := Config{Seed: 3, Shell: shell}
+	cfg.ShardRunner = &wireRunner{prog: info.Program, cfg: Config{Seed: 3, Shell: shell}}
+	res, err := New(info.Program, cfg).Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolverQueries != direct.SolverQueries ||
+		res.SolverCacheHits != direct.SolverCacheHits ||
+		res.SolverModelHits != direct.SolverModelHits {
+		t.Fatalf("solver stats diverged: remote %d/%d/%d, direct %d/%d/%d",
+			res.SolverQueries, res.SolverCacheHits, res.SolverModelHits,
+			direct.SolverQueries, direct.SolverCacheHits, direct.SolverModelHits)
+	}
+	if res.TranslatedBlocks != direct.TranslatedBlocks {
+		t.Fatalf("translated blocks diverged: remote %d, direct %d",
+			res.TranslatedBlocks, direct.TranslatedBlocks)
+	}
+}
+
+// TestStateGroupRoundTrip checks the state codec in isolation: a
+// group with forks, COW-shared and diverged pages, constraints and
+// frames must re-encode from its decoded form byte-identically.
+func TestStateGroupRoundTrip(t *testing.T) {
+	info, err := drivers.ByName("RTL8029")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(info.Program, Config{Seed: 1})
+	a := e.newState()
+	a.Mem.Write(0x1000, 4, e.ar.C(0xDEADBEEF, 32))
+	a.Regs[2] = e.ar.Add(e.ar.S("x", 32), e.ar.C(7, 32))
+	a.Constrain(e.ar.Ult(e.ar.S("x", 32), e.ar.C(100, 32)))
+	a.Frames = append(a.Frames, frame{callSite: 0x40, target: 0x80, retAddr: 0x44, entrySP: 0xFF00})
+	a.localCount[0x80] = 3
+	b := e.fork(a) // shares a's pages COW
+	b.Mem.Write(0x1002, 1, e.ar.Trunc(e.ar.S("y", 32), 8))
+	b.Constrain(e.ar.Eq(e.ar.S("y", 32), e.ar.C(9, 32)))
+	b.Result = e.ar.C(1, 32)
+	b.Reason = TermCompleted
+
+	g := encodeStateGroup([]*State{a, b})
+	wire, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireStateGroup
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+	ar2 := expr.NewArena()
+	base := make([]byte, len(e.baseRAM))
+	copy(base, e.baseRAM)
+	states, err := decodeStateGroup(&back, base, ar2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(encodeStateGroup(states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(wire) {
+		t.Fatalf("round trip not identical:\n first: %d bytes\nsecond: %d bytes", len(wire), len(re))
+	}
+	// The shared page must stay shared after decode: one page table
+	// entry, referenced by both states.
+	if len(back.Pages) == 0 {
+		t.Fatal("no pages encoded")
+	}
+	if states[0].Mem.pages[0x1000/pageSize] == states[1].Mem.pages[0x1000/pageSize] {
+		t.Fatal("diverged page decoded as shared")
+	}
+}
+
+// TestDecodeStateGroupRejectsMalformed exercises the decode-side
+// validation: torn or corrupted payloads must produce errors, never
+// panics or silently wrong states.
+func TestDecodeStateGroupRejectsMalformed(t *testing.T) {
+	ar := expr.NewArena()
+	base := make([]byte, 4096)
+	for name, g := range map[string]*WireStateGroup{
+		"forward expr reference": {
+			Exprs:  []expr.WireNode{{K: 3, W: 32, A: 2, B: 2}, {K: 0, W: 32, V: 1}},
+			States: []WireState{{Regs: [8]int32{1, 2, 2, 2, 2, 2, 2, 2}}},
+		},
+		"nil register": {
+			States: []WireState{{}},
+		},
+		"narrow register": {
+			Exprs:  []expr.WireNode{{K: 0, W: 8, V: 1}},
+			States: []WireState{{Regs: [8]int32{1, 1, 1, 1, 1, 1, 1, 1}}},
+		},
+		"wide constraint": {
+			Exprs: []expr.WireNode{{K: 0, W: 32, V: 1}},
+			States: []WireState{{
+				Regs:        [8]int32{1, 1, 1, 1, 1, 1, 1, 1},
+				Constraints: []int32{1},
+			}},
+		},
+		"page ref out of range": {
+			Exprs: []expr.WireNode{{K: 0, W: 32, V: 1}},
+			States: []WireState{{
+				Regs:  [8]int32{1, 1, 1, 1, 1, 1, 1, 1},
+				Pages: map[uint32]int32{0: 3},
+			}},
+		},
+		"page offset out of range": {
+			Exprs: []expr.WireNode{{K: 0, W: 8, V: 1}},
+			Pages: []WirePage{{Off: []uint16{9999}, Ref: []int32{1}}},
+		},
+		"bad term reason": {
+			Exprs:  []expr.WireNode{{K: 0, W: 32, V: 1}},
+			States: []WireState{{Regs: [8]int32{1, 1, 1, 1, 1, 1, 1, 1}, Reason: 99}},
+		},
+	} {
+		if _, err := decodeStateGroup(g, base, ar); err == nil {
+			t.Errorf("%s: decode accepted malformed group", name)
+		}
+	}
+}
