@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"revnic/internal/drivers"
+	"revnic/internal/experiments"
+	"revnic/internal/expr"
+	"revnic/internal/solver"
+	"revnic/internal/symexec"
+)
+
+// The ablation grid (-grid): reverse engineer the full four-driver
+// workload under each solver configuration × worker count, repeated
+// -repeats times, and write mean/std wall-clock per cell as JSON.
+// Every cell explores the same deterministic schedule (fixed seed,
+// same searcher), so the grid isolates solver-path cost: the
+// incremental default (assumption-trail sessions + counterexample
+// index) versus the no-incremental ablation versus the portfolio.
+// Each run gets a fresh expression arena, so no interning carries
+// over between cells and timings stay comparable.
+
+type gridCell struct {
+	// Solver names the solver configuration: "incremental" (the
+	// default core backend with push/pop sessions), "no-incremental"
+	// (ablation: one-shot solves only), "portfolio" (backend racing
+	// on hard queries).
+	Solver  string `json:"solver"`
+	Workers int    `json:"workers"`
+	// Wall-clock milliseconds for the whole four-driver workload.
+	MeanMS float64   `json:"mean_ms"`
+	StdMS  float64   `json:"std_ms"`
+	RunsMS []float64 `json:"runs_ms"`
+	// Solver counters summed over the four drivers (identical across
+	// repeats and across solver configurations — determinism check).
+	SolverQueries int64 `json:"solver_queries"`
+	CacheHits     int64 `json:"cache_hits"`
+	ModelHits     int64 `json:"model_hits"`
+	CoveredBlocks int   `json:"covered_blocks"`
+}
+
+type gridReport struct {
+	Bench    string     `json:"bench"`
+	Date     string     `json:"date"`
+	Strategy string     `json:"strategy"`
+	Repeats  int        `json:"repeats"`
+	Drivers  []string   `json:"drivers"`
+	Cells    []gridCell `json:"cells"`
+}
+
+func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out string) error {
+	if repeats < 1 {
+		repeats = 1
+	}
+	type mode struct {
+		name    string
+		backend string
+		noInc   bool
+	}
+	modes := []mode{
+		{name: "incremental"},
+		{name: "no-incremental", noInc: true},
+		{name: "portfolio", backend: solver.BackendPortfolio},
+	}
+	var names []string
+	for _, d := range drivers.All() {
+		names = append(names, d.Name)
+	}
+	report := gridReport{
+		Bench:    "revbench-grid",
+		Date:     time.Now().UTC().Format("2006-01-02"),
+		Strategy: strategy,
+		Repeats:  repeats,
+		Drivers:  names,
+	}
+	for _, workers := range []int{1, 4} {
+		for _, m := range modes {
+			cell := gridCell{Solver: m.name, Workers: workers}
+			for rep := 0; rep < repeats; rep++ {
+				start := time.Now()
+				ctx, err := experiments.NewContextCfg(experiments.ContextConfig{
+					Workers:                  workers,
+					Searcher:                 searcher,
+					Arena:                    expr.NewArena(),
+					SolverBackend:            m.backend,
+					DisableIncrementalSolver: m.noInc,
+				})
+				elapsed := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("grid cell %s/w%d: %w", m.name, workers, err)
+				}
+				cell.RunsMS = append(cell.RunsMS, float64(elapsed.Microseconds())/1000)
+				if rep == repeats-1 {
+					cell.SolverQueries, cell.CacheHits, cell.ModelHits, cell.CoveredBlocks = 0, 0, 0, 0
+					for _, d := range names {
+						e := ctx.Get(d).Exploration
+						cell.SolverQueries += e.SolverQueries
+						cell.CacheHits += e.SolverCacheHits
+						cell.ModelHits += e.SolverModelHits
+						cell.CoveredBlocks += e.Collector.CoveredBlocks()
+					}
+				}
+			}
+			cell.MeanMS, cell.StdMS = meanStd(cell.RunsMS)
+			fmt.Fprintf(os.Stderr, "revbench: grid %-14s workers=%d: %.0f ms ± %.0f (%d queries, %d cache hits, %d model reuses)\n",
+				cell.Solver, cell.Workers, cell.MeanMS, cell.StdMS,
+				cell.SolverQueries, cell.CacheHits, cell.ModelHits)
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "revbench: wrote grid report to %s\n", out)
+	return nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}

@@ -6,6 +6,7 @@
 //	revbench -exp all            # everything
 //	revbench -exp fig2           # one experiment
 //	revbench -list               # enumerate experiment IDs
+//	revbench -grid               # solver-ablation timing grid -> BENCH_8.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"revnic/internal/drivers"
 	"revnic/internal/experiments"
 	"revnic/internal/expr"
+	"revnic/internal/solver"
 	"revnic/internal/symexec"
 )
 
@@ -27,20 +29,42 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids")
 		strategy = flag.String("strategy", "coverage", "path selection strategy for the exploration runs: "+strings.Join(symexec.SearcherNames(), ", "))
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the reverse-engineering context (results are identical for any value)")
+		backend  = flag.String("solver", "", "solver backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
+		race     = flag.Bool("portfolio", false, "race solver backends on hard queries (shorthand for -solver=portfolio)")
+		grid     = flag.Bool("grid", false, "run the solver-ablation timing grid (workers x incremental/no-incremental/portfolio) instead of the experiments")
+		repeats  = flag.Int("repeats", 3, "repetitions per grid cell (with -grid)")
+		gridOut  = flag.String("grid-out", "BENCH_8.json", "grid report output path (with -grid; '-' for stdout)")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.List(), "\n"))
 		return
 	}
+	if *race && *backend == "" {
+		*backend = solver.BackendPortfolio
+	}
+	if !solver.ValidBackend(*backend) {
+		fmt.Fprintf(os.Stderr, "revbench: unknown solver backend %q (have %s)\n",
+			*backend, strings.Join(solver.BackendNames(), ", "))
+		os.Exit(1)
+	}
 	searcher, err := symexec.SearcherByName(*strategy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
 		os.Exit(1)
 	}
+	if *grid {
+		if err := runGrid(*strategy, searcher, *repeats, *gridOut); err != nil {
+			fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Fprintf(os.Stderr, "revbench: reverse engineering all four drivers (%d workers, %s strategy)...\n",
 		*workers, *strategy)
-	ctx, err := experiments.NewContextWith(*workers, searcher)
+	ctx, err := experiments.NewContextCfg(experiments.ContextConfig{
+		Workers: *workers, Searcher: searcher, SolverBackend: *backend,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
 		os.Exit(1)

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"revnic/internal/core"
 	"revnic/internal/drivers"
 	"revnic/internal/expr"
+	"revnic/internal/solver"
 	"revnic/internal/symexec"
 	"revnic/internal/template"
 )
@@ -36,8 +38,16 @@ func main() {
 		strategy   = flag.String("strategy", "coverage", "path selection strategy: "+strings.Join(symexec.SearcherNames(), ", "))
 		noInc      = flag.Bool("no-incremental", false, "disable the solver's incremental SAT sessions (ablation; results are identical)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines exploring phase shards concurrently (results are identical for any value)")
+		backend    = flag.String("solver", "", "solver backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
+		race       = flag.Bool("portfolio", false, "race solver backends on hard queries (shorthand for -solver=portfolio)")
 	)
 	flag.Parse()
+	if *race && *backend == "" {
+		*backend = solver.BackendPortfolio
+	}
+	if !solver.ValidBackend(*backend) {
+		fatal("unknown solver backend %q (have %s)", *backend, strings.Join(solver.BackendNames(), ", "))
+	}
 
 	info, err := drivers.ByName(*driverName)
 	if err != nil {
@@ -56,6 +66,7 @@ func main() {
 		Engine: symexec.Config{
 			Seed: *seed, Searcher: searcher,
 			DisableIncrementalSolver: *noInc, Workers: *workers,
+			SolverBackend: *backend,
 		},
 	})
 	if err != nil {
@@ -80,6 +91,18 @@ func main() {
 		// run, one process); revnicd uses a private expr.Arena per job
 		// instead, so this count stays flat there.
 		fmt.Fprintf(os.Stderr, "revnic: %d interned expression nodes\n", expr.InternedNodes())
+		if races := solver.PortfolioSnapshot(); len(races) > 0 {
+			names := make([]string, 0, len(races))
+			for n := range races {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				c := races[n]
+				fmt.Fprintf(os.Stderr, "revnic: portfolio backend %s: %d wins, %d losses, %d cancels\n",
+					n, c.Wins, c.Losses, c.Cancels)
+			}
+		}
 		for _, wmsg := range rev.Synth.Warnings {
 			fmt.Fprintf(os.Stderr, "revnic: warning: %s\n", wmsg)
 		}

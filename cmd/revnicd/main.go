@@ -10,7 +10,8 @@
 //	        [-data-dir DIR] [-max-job-wall 0] [-per-client 0]
 //	        [-retain-count 256] [-retain-age 0] [-max-body 8388608]
 //	        [-peers URL,URL,...] [-coordinator] [-shard-pool 2]
-//	        [-probe-interval 5s]
+//	        [-probe-interval 5s] [-solver core|smalldomain|portfolio]
+//	        [-portfolio]
 //
 // Jobs run on a bounded pool; each job explores inside its own
 // expression arena, so finished jobs release all their interned
@@ -59,6 +60,7 @@ import (
 
 	"revnic/internal/cluster"
 	"revnic/internal/jobsvc"
+	"revnic/internal/solver"
 )
 
 func main() {
@@ -77,8 +79,18 @@ func main() {
 		coordinator   = flag.Bool("coordinator", false, "fan job shards out to -peers (local fallback guaranteed)")
 		shardPool     = flag.Int("shard-pool", 2, "remote shards served concurrently before 503")
 		probeInterval = flag.Duration("probe-interval", 5*time.Second, "peer health-probe period (0 = no probing)")
+		backend       = flag.String("solver", "", "default solver backend for specs that omit solver_backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
+		race          = flag.Bool("portfolio", false, "race solver backends on hard queries by default (shorthand for -solver=portfolio)")
 	)
 	flag.Parse()
+	if *race && *backend == "" {
+		*backend = solver.BackendPortfolio
+	}
+	if !solver.ValidBackend(*backend) {
+		fmt.Fprintf(os.Stderr, "revnicd: unknown solver backend %q (have %s)\n",
+			*backend, strings.Join(solver.BackendNames(), ", "))
+		os.Exit(1)
+	}
 
 	var peerList []string
 	if *peers != "" {
@@ -103,7 +115,8 @@ func main() {
 			Peers: peerList,
 			Logf:  log.Printf,
 		},
-		ProbeInterval: *probeInterval,
+		ProbeInterval:        *probeInterval,
+		DefaultSolverBackend: *backend,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revnicd: %v\n", err)

@@ -64,6 +64,13 @@ type ContextConfig struct {
 	// selects the process-global default arena. Results are
 	// bit-identical for any arena.
 	Arena *expr.Arena
+	// SolverBackend names the constraint-solver backend for every
+	// engine (symexec.Config.SolverBackend); empty selects the core
+	// default. Results are bit-identical for any backend.
+	SolverBackend string
+	// DisableIncrementalSolver turns off the solvers' shared
+	// incremental SAT sessions (cmd/revbench's ablation grid).
+	DisableIncrementalSolver bool
 }
 
 // NewContextCfg builds the context per the given configuration.
@@ -105,6 +112,8 @@ func NewContextCfg(cc ContextConfig) (*Context, error) {
 				Engine: symexec.Config{
 					Seed: 42, Workers: perEngine,
 					Searcher: cc.Searcher, Arena: cc.Arena,
+					SolverBackend:            cc.SolverBackend,
+					DisableIncrementalSolver: cc.DisableIncrementalSolver,
 				},
 			})
 		}(i, d)

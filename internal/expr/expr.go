@@ -706,6 +706,59 @@ func VarNames(e *Expr) []string {
 	return names
 }
 
+// VarSet returns the union of the variables of the given expressions
+// as a name→width map, sharing one DAG-visit memo across all of them
+// so common subgraphs are walked once.
+func VarSet(es ...*Expr) map[string]uint8 {
+	set := map[string]uint8{}
+	seen := map[uint64]bool{}
+	for _, e := range es {
+		if e != nil {
+			varsMemo(e, set, seen)
+		}
+	}
+	return set
+}
+
+// NameHash returns a well-mixed 64-bit hash of a variable name
+// (FNV-1a with a splitmix64 finalizer). It is the per-element hash
+// underneath VarSetSignature.
+func NameHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// VarSetSignature condenses a set of variable names into an
+// order-insensitive 64-bit signature: two calls agree iff (modulo
+// hash collisions) the name sets are equal, regardless of slice
+// order. The solver's counterexample index buckets models by this
+// signature.
+func VarSetSignature(names []string) uint64 {
+	var sum, x uint64
+	for _, n := range names {
+		h := NameHash(n)
+		sum += h
+		x ^= (h << 11) | (h >> 53)
+	}
+	// Final avalanche so near-identical sets don't cluster.
+	h := sum ^ (x * 0x9e3779b97f4a7c15) ^ uint64(len(names))
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // String renders the expression in a compact LISP-ish syntax for
 // debugging and trace dumps.
 func (e *Expr) String() string {

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 )
 
@@ -229,5 +230,46 @@ func TestEvalMasksToWidth(t *testing.T) {
 	}
 	if Eval(Add(S("x", 8), C(1, 8)), map[string]uint32{"x": 0xFF}) != 0 {
 		t.Error("width-8 add did not wrap")
+	}
+}
+
+func TestVarSetUnion(t *testing.T) {
+	x := S("x", 8)
+	y := S("y", 16)
+	a := Add(x, C(1, 8))
+	b := Eq(Zext(x, 16), y)
+	set := VarSet(a, b, nil)
+	if len(set) != 2 || set["x"] != 8 || set["y"] != 16 {
+		t.Fatalf("VarSet = %v, want x:8 y:16", set)
+	}
+	if len(VarSet()) != 0 {
+		t.Fatal("empty VarSet must be empty")
+	}
+}
+
+func TestVarSetSignatureOrderInsensitive(t *testing.T) {
+	a := VarSetSignature([]string{"hw_0", "hw_1", "dma_2"})
+	b := VarSetSignature([]string{"dma_2", "hw_0", "hw_1"})
+	if a != b {
+		t.Fatalf("signature order-sensitive: %#x vs %#x", a, b)
+	}
+	c := VarSetSignature([]string{"hw_0", "hw_1"})
+	if a == c {
+		t.Fatalf("distinct sets collide: %#x", a)
+	}
+	if VarSetSignature(nil) == a {
+		t.Fatal("empty set collides with non-empty")
+	}
+}
+
+func TestNameHashDistribution(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 2000; i++ {
+		n := "hw_" + strconv.Itoa(i)
+		h := NameHash(n)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("NameHash collision: %q and %q", prev, n)
+		}
+		seen[h] = n
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"revnic/internal/expr"
 	"revnic/internal/hw"
 	"revnic/internal/isa"
+	"revnic/internal/solver"
 	"revnic/internal/symexec"
 	"revnic/internal/template"
 )
@@ -113,6 +114,12 @@ type JobSpec struct {
 	CompleteTarget           int  `json:"complete_target,omitempty"`
 	PollThreshold            int  `json:"poll_threshold,omitempty"`
 	DisableIncrementalSolver bool `json:"disable_incremental_solver,omitempty"`
+	// SolverBackend names the constraint-solver backend ("core",
+	// "smalldomain", "portfolio"); empty selects the service default
+	// (Config.DefaultSolverBackend, normalized into the spec at
+	// submission so journal replays and cluster shard dispatch see the
+	// same backend). Results are bit-identical across backends.
+	SolverBackend string `json:"solver_backend,omitempty"`
 	// DeadlineMS bounds the job's execution wall clock in
 	// milliseconds, measured from the moment the job starts running.
 	// A job past its deadline winds down cooperatively and finishes as
@@ -231,6 +238,13 @@ type Config struct {
 	// dead peer's breaker before any shard is wasted on it and
 	// reclose it when the peer returns. 0 disables probing.
 	ProbeInterval time.Duration
+	// DefaultSolverBackend is the solver backend for specs that leave
+	// solver_backend empty ("core", "smalldomain", "portfolio"; empty
+	// keeps the core default). It is normalized into each spec at
+	// submission, before journaling and cluster dispatch, so replays
+	// and remote shards solve with the same backend the job ran with.
+	// Backend choice never changes results, only solve latency.
+	DefaultSolverBackend string
 }
 
 func (c *Config) defaults() {
@@ -387,6 +401,13 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 // journal enabled, the submission record is fsynced to disk before
 // the job is acknowledged — an accepted job survives a crash.
 func (s *Service) SubmitFrom(client string, spec JobSpec) (Job, error) {
+	// Normalize the service's default backend into the spec before
+	// validation, journaling and dispatch: the journal replay and every
+	// cluster shard then carry the backend explicitly, so a restart
+	// under a different service default re-runs the job unchanged.
+	if spec.SolverBackend == "" {
+		spec.SolverBackend = s.cfg.DefaultSolverBackend
+	}
 	if err := validate(spec); err != nil {
 		return Job{}, err
 	}
@@ -495,6 +516,10 @@ func validate(spec JobSpec) error {
 		if !ok {
 			return fmt.Errorf("jobsvc: unknown target OS %q (have %v)", spec.Target, template.AllOS)
 		}
+	}
+	if !solver.ValidBackend(spec.SolverBackend) {
+		return fmt.Errorf("jobsvc: unknown solver backend %q (have %v)",
+			spec.SolverBackend, solver.BackendNames())
 	}
 	if spec.DeadlineMS < 0 {
 		return fmt.Errorf("jobsvc: negative deadline_ms %d", spec.DeadlineMS)
@@ -914,6 +939,7 @@ func engineConfig(spec JobSpec, ar *expr.Arena) symexec.Config {
 		CompleteTarget:           spec.CompleteTarget,
 		PollThreshold:            spec.PollThreshold,
 		DisableIncrementalSolver: spec.DisableIncrementalSolver,
+		SolverBackend:            spec.SolverBackend,
 	}
 }
 

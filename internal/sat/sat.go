@@ -91,6 +91,13 @@ type Solver struct {
 	interrupt   func() bool
 	interrupted bool
 	polls       int64
+
+	// scopes holds the selector variable of each open assumption
+	// scope (see Push). Clauses added through AddScoped while a scope
+	// is open carry the negation of its selector, and Solve/SolveUnder
+	// assume every open selector true, so popping a scope retires its
+	// clauses without touching the clause database.
+	scopes []int
 }
 
 // DefaultLearntCap bounds the learnt-clause database. Incremental
@@ -119,14 +126,15 @@ func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
 // aborted by the interrupt check rather than decided.
 func (s *Solver) Interrupted() bool { return s.interrupted }
 
-// interruptNow polls the interrupt hook (amortized: one real check
-// every 256 calls).
+// interruptNow polls the interrupt hook (amortized: the very first
+// call is a real check — so a pre-fired interrupt aborts before any
+// search happens — then one real check every 256 calls).
 func (s *Solver) interruptNow() bool {
 	if s.interrupt == nil {
 		return false
 	}
 	s.polls++
-	if s.polls&255 != 0 {
+	if s.polls&255 != 1 {
 		return false
 	}
 	return s.interrupt()
@@ -237,6 +245,53 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	s.clauses = append(s.clauses, c)
 	s.watchClause(c)
 	return true
+}
+
+// Push opens a new assumption scope. Clauses subsequently added with
+// AddScoped belong to this scope: they are active for every Solve and
+// SolveUnder call until the matching Pop, after which they are
+// permanently retired. Scopes nest; Pop retires the most recent.
+//
+// The mechanism is the MiniSat assumption-selector idiom: each scope
+// gets a fresh selector variable sel, scoped clauses carry ¬sel, and
+// queries assume sel. Pop asserts the unit ¬sel, satisfying (hence
+// deactivating) every clause of the scope, including any learnt
+// clauses derived from it — those carry ¬sel literals inherited
+// through conflict analysis, so learning across scopes stays sound.
+func (s *Solver) Push() {
+	s.scopes = append(s.scopes, s.NewVar())
+}
+
+// Pop retires the most recent open scope (see Push). It panics if no
+// scope is open.
+func (s *Solver) Pop() {
+	if len(s.scopes) == 0 {
+		panic("sat: Pop without matching Push")
+	}
+	sel := s.scopes[len(s.scopes)-1]
+	s.scopes = s.scopes[:len(s.scopes)-1]
+	if s.unsat {
+		return
+	}
+	// The positive selector literal only ever appears as an assumption,
+	// never inside a clause, so asserting ¬sel can satisfy clauses but
+	// never conflict.
+	s.AddClause(Neg(sel))
+}
+
+// ScopeDepth reports the number of open assumption scopes.
+func (s *Solver) ScopeDepth() int { return len(s.scopes) }
+
+// AddScoped adds a clause bound to the innermost open scope: it is
+// active until that scope is popped. With no scope open it behaves
+// exactly like AddClause. Returns false if the formula is already
+// unsatisfiable at the top level.
+func (s *Solver) AddScoped(lits ...Lit) bool {
+	if len(s.scopes) == 0 {
+		return s.AddClause(lits...)
+	}
+	sel := s.scopes[len(s.scopes)-1]
+	return s.AddClause(append(append(make([]Lit, 0, len(lits)+1), lits...), Neg(sel))...)
 }
 
 func (s *Solver) watchClause(c *clause) {
@@ -492,8 +547,13 @@ func (s *Solver) pickBranchVar() int {
 
 // Solve determines satisfiability of the accumulated clauses. After a
 // true result, Value reports the satisfying assignment. Solve may be
-// called repeatedly after adding more clauses (incremental use).
+// called repeatedly after adding more clauses (incremental use). With
+// open scopes, satisfiability is decided with all scoped clauses
+// active (equivalent to SolveUnder with no extra assumptions).
 func (s *Solver) Solve() bool {
+	if len(s.scopes) > 0 {
+		return s.SolveUnder()
+	}
 	s.interrupted = false
 	if s.unsat {
 		return false
@@ -555,11 +615,20 @@ func (s *Solver) Solve() bool {
 
 // SolveUnder determines satisfiability under the given assumption
 // literals without permanently asserting them. It is used by the
-// bitvector solver for cached incremental queries.
+// bitvector solver for cached incremental queries. Clauses of open
+// scopes are active: their selectors are assumed ahead of the given
+// assumptions.
 func (s *Solver) SolveUnder(assumptions ...Lit) bool {
 	s.interrupted = false
 	if s.unsat {
 		return false
+	}
+	if len(s.scopes) > 0 {
+		all := make([]Lit, 0, len(s.scopes)+len(assumptions))
+		for _, sel := range s.scopes {
+			all = append(all, Pos(sel))
+		}
+		assumptions = append(all, assumptions...)
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {

@@ -403,3 +403,208 @@ func TestLearntDeletionUnderAssumptions(t *testing.T) {
 		}
 	}
 }
+
+func TestScopedClauses(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	if !s.AddClause(Pos(x)) {
+		t.Fatal("base clause rejected")
+	}
+	if s.ScopeDepth() != 0 {
+		t.Fatalf("ScopeDepth = %d, want 0", s.ScopeDepth())
+	}
+	s.Push()
+	if s.ScopeDepth() != 1 {
+		t.Fatalf("ScopeDepth = %d, want 1", s.ScopeDepth())
+	}
+	s.AddScoped(Neg(x))
+	if s.Solve() {
+		t.Fatal("SAT with contradictory scoped clause active")
+	}
+	if s.Unsat() {
+		t.Fatal("scoped contradiction poisoned the solver globally")
+	}
+	s.Pop()
+	if s.ScopeDepth() != 0 {
+		t.Fatalf("ScopeDepth = %d, want 0 after Pop", s.ScopeDepth())
+	}
+	if !s.Solve() {
+		t.Fatal("UNSAT after popping the contradictory scope")
+	}
+	if !s.Value(x) {
+		t.Fatal("model lost the base clause")
+	}
+}
+
+func TestScopeNesting(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	s.AddClause(Pos(x), Pos(y))
+	s.Push()
+	s.AddScoped(Neg(x))
+	s.Push()
+	s.AddScoped(Neg(y))
+	if s.Solve() {
+		t.Fatal("SAT with both scopes active")
+	}
+	s.Pop() // drop ¬y
+	if !s.Solve() {
+		t.Fatal("UNSAT with only outer scope active")
+	}
+	if s.Value(x) || !s.Value(y) {
+		t.Fatal("model violates active constraints")
+	}
+	s.Pop() // drop ¬x
+	if !s.Solve() {
+		t.Fatal("UNSAT with no scopes active")
+	}
+}
+
+func TestPopWithoutPushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty scope stack did not panic")
+		}
+	}()
+	New().Pop()
+}
+
+func TestAddScopedWithoutScope(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	s.AddScoped(Pos(x))
+	if !s.Solve() || !s.Value(x) {
+		t.Fatal("AddScoped without open scope must behave like AddClause")
+	}
+}
+
+// TestScopedRandom checks push/pop semantics against brute force: a
+// random base formula plus a random scoped layer must answer like the
+// conjunction while the scope is open and like the base alone after
+// Pop — across repeated cycles on one solver instance, so learnt
+// clauses from scoped conflicts must not leak into later queries.
+func TestScopedRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	randClause := func(nVars int) []Lit {
+		c := make([]Lit, 1+r.Intn(3))
+		for j := range c {
+			v := r.Intn(nVars)
+			if r.Intn(2) == 0 {
+				c[j] = Pos(v)
+			} else {
+				c[j] = Neg(v)
+			}
+		}
+		return c
+	}
+	for trial := 0; trial < 120; trial++ {
+		nVars := 4 + r.Intn(7)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var base [][]Lit
+		for i, n := 0, r.Intn(3*nVars); i < n; i++ {
+			c := randClause(nVars)
+			base = append(base, c)
+			s.AddClause(c...)
+		}
+		baseWant := bruteForce(nVars, base)
+		for cycle := 0; cycle < 4; cycle++ {
+			s.Push()
+			scoped := append([][]Lit(nil), base...)
+			for i, n := 0, 1+r.Intn(2*nVars); i < n; i++ {
+				c := randClause(nVars)
+				scoped = append(scoped, c)
+				s.AddScoped(c...)
+			}
+			if got, want := s.Solve(), bruteForce(nVars, scoped); got != want {
+				t.Fatalf("trial %d cycle %d scoped: solver=%v brute=%v", trial, cycle, got, want)
+			}
+			s.Pop()
+			if got := s.Solve(); got != baseWant {
+				t.Fatalf("trial %d cycle %d after pop: solver=%v brute=%v", trial, cycle, got, baseWant)
+			}
+		}
+	}
+}
+
+// TestScopedUnderAssumptions mixes open scopes with SolveUnder
+// assumptions: the scoped layer must stay active and the assumptions
+// must stay transient.
+func TestScopedUnderAssumptions(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 4 + r.Intn(6)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var all [][]Lit
+		for i, n := 0, r.Intn(3*nVars); i < n; i++ {
+			c := make([]Lit, 1+r.Intn(3))
+			for j := range c {
+				v := r.Intn(nVars)
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			all = append(all, c)
+			if r.Intn(2) == 0 {
+				s.AddClause(c...)
+			} else {
+				if s.ScopeDepth() == 0 {
+					s.Push()
+				}
+				s.AddScoped(c...)
+			}
+		}
+		for q := 0; q < 4; q++ {
+			a := Pos(r.Intn(nVars))
+			if r.Intn(2) == 0 {
+				a = a.Not()
+			}
+			want := bruteForce(nVars, append(append([][]Lit(nil), all...), []Lit{a}))
+			if got := s.SolveUnder(a); got != want {
+				t.Fatalf("trial %d q %d: solver=%v brute=%v under %v", trial, q, got, want, a)
+			}
+		}
+	}
+}
+
+// TestScopedLearntDeletion exercises push/pop under a tiny learnt cap:
+// deletion plus scope retirement must not change answers.
+func TestScopedLearntDeletion(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	s := New()
+	s.SetLearntCap(8)
+	nVars := 10
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	var base [][]Lit
+	for i := 0; i < 12; i++ {
+		c := []Lit{Pos(r.Intn(nVars)), Neg(r.Intn(nVars)), Pos(r.Intn(nVars))}
+		base = append(base, c)
+		s.AddClause(c...)
+	}
+	baseWant := bruteForce(nVars, base)
+	for cycle := 0; cycle < 12; cycle++ {
+		s.Push()
+		scoped := append([][]Lit(nil), base...)
+		for i := 0; i < 6; i++ {
+			c := []Lit{Pos(r.Intn(nVars)), Neg(r.Intn(nVars))}
+			scoped = append(scoped, c)
+			s.AddScoped(c...)
+		}
+		if got, want := s.Solve(), bruteForce(nVars, scoped); got != want {
+			t.Fatalf("cycle %d scoped: solver=%v brute=%v", cycle, got, want)
+		}
+		s.Pop()
+		if got := s.Solve(); got != baseWant {
+			t.Fatalf("cycle %d after pop: solver=%v brute=%v", cycle, got, baseWant)
+		}
+	}
+}

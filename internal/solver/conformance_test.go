@@ -1,0 +1,470 @@
+package solver
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"revnic/internal/expr"
+)
+
+// randCons builds a random width-1 constraint over the given 4-bit
+// variables.
+func randCons(r *rand.Rand, vars []*expr.Expr) *expr.Expr {
+	term := func() *expr.Expr {
+		e := vars[r.Intn(len(vars))]
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			c := expr.C(uint32(r.Intn(16)), 4)
+			switch r.Intn(5) {
+			case 0:
+				e = expr.Add(e, c)
+			case 1:
+				e = expr.Sub(e, c)
+			case 2:
+				e = expr.And(e, vars[r.Intn(len(vars))])
+			case 3:
+				e = expr.Xor(e, c)
+			case 4:
+				e = expr.Mul(e, c)
+			}
+		}
+		return e
+	}
+	lhs, rhs := term(), term()
+	switch r.Intn(3) {
+	case 0:
+		return expr.Eq(lhs, rhs)
+	case 1:
+		return expr.Ult(lhs, rhs)
+	default:
+		return expr.Not(expr.Eq(lhs, rhs))
+	}
+}
+
+// bruteSat enumerates every assignment of the 4-bit variables.
+func bruteSat(names []string, cons []*expr.Expr) bool {
+	total := 4 * len(names)
+	for n := 0; n < 1<<total; n++ {
+		env := map[string]uint32{}
+		rest := n
+		for _, name := range names {
+			env[name] = uint32(rest & 15)
+			rest >>= 4
+		}
+		ev := expr.NewEvaluator(env)
+		ok := true
+		for _, c := range cons {
+			if ev.Eval(c) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// BackendConformanceTest is the shared conformance harness: any
+// Backend implementation must agree with brute-force ground truth on
+// scoped queries, produce verifiable models, keep push/pop balanced,
+// and honor the interrupt hook.
+func BackendConformanceTest(t *testing.T, factory BackendFactory) {
+	t.Helper()
+	names := []string{"cfa", "cfb", "cfc"}
+	vars := make([]*expr.Expr, len(names))
+	for i, n := range names {
+		vars[i] = expr.S(n, 4)
+	}
+
+	t.Run("agreement", func(t *testing.T) {
+		r := rand.New(rand.NewSource(17))
+		for trial := 0; trial < 40; trial++ {
+			b := factory(BackendOpts{})
+			all := []*expr.Expr{}
+			for i, n := 0, r.Intn(3); i < n; i++ {
+				c := randCons(r, vars)
+				all = append(all, c)
+				b.Assert(c)
+			}
+			base := len(all)
+			for cycle := 0; cycle < 3; cycle++ {
+				all = all[:base]
+				b.Push()
+				for i, n := 0, r.Intn(2); i < n; i++ {
+					c := randCons(r, vars)
+					all = append(all, c)
+					b.Assert(c)
+				}
+				cond := randCons(r, vars)
+				want := bruteSat(names, append(append([]*expr.Expr{}, all...), cond))
+				v := b.SolveUnder(cond)
+				if v == VUnknown {
+					t.Fatalf("trial %d cycle %d: VUnknown on an in-domain query", trial, cycle)
+				}
+				if got := v == VSat; got != want {
+					t.Fatalf("trial %d cycle %d: verdict %v, brute force %v", trial, cycle, v, want)
+				}
+				if v == VSat {
+					m := b.Model()
+					ev := expr.NewEvaluator(m)
+					for _, c := range append(append([]*expr.Expr{}, all...), cond) {
+						if ev.Eval(c) == 0 {
+							t.Fatalf("trial %d cycle %d: model %v violates %v", trial, cycle, m, c)
+						}
+					}
+				}
+				if racer, ok := b.(Racer); ok {
+					if rv := racer.SolveRaced(cond); rv != VUnknown && (rv == VSat) != want {
+						t.Fatalf("trial %d cycle %d: raced verdict %v, brute force %v", trial, cycle, rv, want)
+					}
+				}
+				b.Pop()
+			}
+			// After all pops: base constraints only.
+			want := bruteSat(names, all[:base])
+			if v := b.SolveUnder(nil); (v == VSat) != want {
+				t.Fatalf("trial %d: after pops verdict %v, brute force %v", trial, v, want)
+			}
+		}
+	})
+
+	t.Run("pushpop-balance", func(t *testing.T) {
+		b := factory(BackendOpts{})
+		b.Assert(expr.Eq(vars[0], expr.C(3, 4)))
+		for depth := 0; depth < 5; depth++ {
+			b.Push()
+			b.Assert(expr.Not(expr.Eq(vars[0], expr.C(uint32(depth+4), 4))))
+		}
+		if v := b.SolveUnder(nil); v != VSat {
+			t.Fatalf("verdict %v at depth 5, want sat", v)
+		}
+		b.Push()
+		b.Assert(expr.Not(expr.Eq(vars[0], expr.C(3, 4))))
+		if v := b.SolveUnder(nil); v != VUnsat {
+			t.Fatalf("verdict %v with contradictory scope, want unsat", v)
+		}
+		for depth := 0; depth < 6; depth++ {
+			b.Pop()
+		}
+		if v := b.SolveUnder(nil); v != VSat {
+			t.Fatalf("verdict %v after unwinding all scopes, want sat", v)
+		}
+	})
+
+	t.Run("pop-unbalanced-panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Pop with no open scope did not panic")
+			}
+		}()
+		factory(BackendOpts{}).Pop()
+	})
+
+	t.Run("interrupt-honored", func(t *testing.T) {
+		// A 32-bit factoring query: far outside the small-domain
+		// enumerator's domain and thousands of search iterations for
+		// the SAT core, so every backend either answers VUnknown
+		// immediately (out of domain) or hits the interrupt poll.
+		x, y := expr.S("cfix", 32), expr.S("cfiy", 32)
+		hard := expr.Eq(expr.Mul(x, y), expr.C(0xDEADBEEF, 32))
+		b := factory(BackendOpts{Interrupt: func() bool { return true }})
+		b.Assert(hard)
+		if v := b.SolveUnder(nil); v != VUnknown {
+			t.Fatalf("verdict %v under always-firing interrupt, want unknown", v)
+		}
+		// Fresh backend for the raced check: the interrupt is
+		// cooperative (polled), so the guarantee is "aborts at the
+		// next poll" — on a fresh backend the very first poll is real
+		// and fires before any search.
+		b2 := factory(BackendOpts{Interrupt: func() bool { return true }})
+		if racer, ok := b2.(Racer); ok {
+			b2.Assert(hard)
+			if v := racer.SolveRaced(expr.Eq(x, y)); v != VUnknown {
+				t.Fatalf("raced verdict %v under always-firing interrupt, want unknown", v)
+			}
+		}
+	})
+}
+
+func TestBackendConformance(t *testing.T) {
+	for _, name := range []string{BackendCore, BackendSmallDomain, BackendPortfolio} {
+		f, ok := backendFactory(name)
+		if !ok {
+			t.Fatalf("backend %q not registered", name)
+		}
+		t.Run(name, func(t *testing.T) { BackendConformanceTest(t, f) })
+	}
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := BackendNames()
+	want := map[string]bool{BackendCore: true, BackendSmallDomain: true, BackendPortfolio: true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("BackendNames() = %v is missing %v", names, want)
+	}
+	if !ValidBackend("") || !ValidBackend(BackendPortfolio) || ValidBackend("z3") {
+		t.Fatal("ValidBackend misclassifies names")
+	}
+}
+
+// TestPortfolioMatchesDefaultSolver pins the determinism guarantee
+// the engine wiring relies on: a portfolio solver and a default
+// (core) solver answer identical query sequences with identical
+// answers AND identical observable cache behavior — verdict-cache
+// hits, model hits, cache size — because hard queries are
+// verdict-only in both modes. This is what keeps JobResults
+// byte-identical with -portfolio on or off.
+func TestPortfolioMatchesDefaultSolver(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	names := []string{"pfa", "pfb", "pfc"}
+	vars := make([]*expr.Expr, len(names))
+	for i, n := range names {
+		vars[i] = expr.S(n, 4)
+	}
+	// HardNodes=4 forces a healthy mix of raced and easy queries.
+	def := NewWith(Config{HardNodes: 4})
+	pf := NewWith(Config{Backend: BackendPortfolio, HardNodes: 4})
+	var pc []*expr.Expr
+	for q := 0; q < 150; q++ {
+		if len(pc) > 0 && r.Intn(4) == 0 {
+			pc = pc[:r.Intn(len(pc))]
+		}
+		cond := randCons(r, vars)
+		a := def.MayBeTrue(pc, cond)
+		b := pf.MayBeTrue(pc, cond)
+		if a != b {
+			t.Fatalf("query %d: default=%v portfolio=%v", q, a, b)
+		}
+		if a && r.Intn(2) == 0 {
+			pc = append(pc, cond)
+		}
+		if r.Intn(5) == 0 {
+			ma, oka := def.Model(pc)
+			mb, okb := pf.Model(pc)
+			if oka != okb {
+				t.Fatalf("query %d: Model ok mismatch %v vs %v", q, oka, okb)
+			}
+			_ = ma
+			_ = mb
+		}
+	}
+	dq, dh := def.Stats()
+	pq, ph := pf.Stats()
+	if dq != pq || dh != ph {
+		t.Fatalf("stats diverge: default q=%d h=%d, portfolio q=%d h=%d", dq, dh, pq, ph)
+	}
+	if def.ModelHits() != pf.ModelHits() {
+		t.Fatalf("model hits diverge: %d vs %d", def.ModelHits(), pf.ModelHits())
+	}
+	if def.CacheSize() != pf.CacheSize() {
+		t.Fatalf("cache size diverges: %d vs %d", def.CacheSize(), pf.CacheSize())
+	}
+}
+
+// unknownBackend always answers VUnknown — a stand-in for a backend
+// that was interrupted (or out of domain) in every race.
+type unknownBackend struct{}
+
+func (unknownBackend) Assert(*expr.Expr)             {}
+func (unknownBackend) Push()                         {}
+func (unknownBackend) Pop()                          {}
+func (unknownBackend) SolveUnder(*expr.Expr) Verdict { return VUnknown }
+func (unknownBackend) Model() map[string]uint32      { return nil }
+func (unknownBackend) SetInterrupt(func() bool)      {}
+
+// flakyBackend answers VUnknown for its first n solves (simulating a
+// backend cancelled mid-race) and delegates afterwards.
+type flakyBackend struct {
+	Backend
+	failures int
+}
+
+func (f *flakyBackend) SolveUnder(cond *expr.Expr) Verdict {
+	if f.failures > 0 {
+		f.failures--
+		return VUnknown
+	}
+	return f.Backend.SolveUnder(cond)
+}
+
+// TestPortfolioAbortedNeverCached pins the never-cache-aborted rule
+// at the portfolio layer: a race in which every backend fails to
+// answer (interrupted losers, no winner) must leave the query and
+// model caches untouched, and the same query must be answerable —
+// correctly — once a backend recovers.
+func TestPortfolioAbortedNeverCached(t *testing.T) {
+	RegisterBackend("test-flaky-portfolio", func(o BackendOpts) Backend {
+		return &portfolio{
+			children: []Backend{
+				&flakyBackend{Backend: newCoreBackend(o), failures: 1},
+				unknownBackend{},
+			},
+			names:     []string{"flaky-core", "always-unknown"},
+			interrupt: o.Interrupt,
+		}
+	})
+	// HardNodes=1 makes every query hard, so every solve races.
+	s := NewWith(Config{Backend: "test-flaky-portfolio", HardNodes: 1})
+	x := expr.S("pnc", 8)
+	pc := []*expr.Expr{expr.Ult(x, expr.C(100, 8))}
+	cond := expr.Ult(x, expr.C(50, 8))
+	if s.MayBeTrue(pc, cond) {
+		t.Fatal("aborted race must answer conservatively (false)")
+	}
+	if n := s.CacheSize(); n != 0 {
+		t.Fatalf("aborted race populated the verdict cache (%d entries)", n)
+	}
+	if s.ModelHits() != 0 {
+		t.Fatal("aborted race produced a model hit")
+	}
+	// The backend recovered: the very same query must now be decided
+	// correctly — the aborted false was not cached.
+	if !s.MayBeTrue(pc, cond) {
+		t.Fatal("query answered false after recovery: aborted verdict was cached")
+	}
+	_, hits := s.Stats()
+	if hits != 0 {
+		t.Fatal("post-recovery answer came from the cache, not a solve")
+	}
+	if n := s.CacheSize(); n != 1 {
+		t.Fatalf("decided query not cached (%d entries)", n)
+	}
+}
+
+// TestPortfolioInterruptAborts exercises the real race-abort path: a
+// genuinely hard factoring query under an always-firing global
+// interrupt must answer VUnknown (conservative false) and cache
+// nothing.
+func TestPortfolioInterruptAborts(t *testing.T) {
+	var abort atomic.Bool
+	abort.Store(true)
+	s := NewWith(Config{
+		Backend:   BackendPortfolio,
+		HardNodes: 3,
+		Interrupt: func() bool { return abort.Load() },
+	})
+	x, y := expr.S("pix", 32), expr.S("piy", 32)
+	cond := expr.Eq(expr.Mul(x, y), expr.C(0xDEADBEEF, 32))
+	if s.MayBeTrue(nil, cond) {
+		t.Fatal("interrupted race answered true")
+	}
+	if n := s.CacheSize(); n != 0 {
+		t.Fatalf("interrupted race populated the cache (%d entries)", n)
+	}
+}
+
+// TestPortfolioRaceCounters checks the ops counters: a race with a
+// definitive winner must record one win, and the loser a loss or
+// cancel.
+func TestPortfolioRaceCounters(t *testing.T) {
+	ResetPortfolioCounters()
+	f, _ := backendFactory(BackendPortfolio)
+	b := f(BackendOpts{})
+	x := expr.S("rcx", 4)
+	b.Assert(expr.Ult(x, expr.C(9, 4)))
+	racer := b.(Racer)
+	if v := racer.SolveRaced(expr.Eq(x, expr.C(3, 4))); v != VSat {
+		t.Fatalf("race verdict %v, want sat", v)
+	}
+	snap := PortfolioSnapshot()
+	wins := int64(0)
+	for _, c := range snap {
+		wins += c.Wins
+	}
+	if wins != 1 {
+		t.Fatalf("race recorded %d wins, want 1 (snapshot %v)", wins, snap)
+	}
+	other := int64(0)
+	for _, c := range snap {
+		other += c.Losses + c.Cancels
+	}
+	if other != 1 {
+		t.Fatalf("race recorded %d losses+cancels, want 1 (snapshot %v)", other, snap)
+	}
+}
+
+// TestSessionSharesPrefixAcrossSiblings pins the push/pop payoff:
+// alternating between two sibling constraint prefixes (same parent
+// path, different last constraint) must keep one backend session
+// alive instead of rebuilding per flip — the pre-push/pop design
+// rebuilt on every prefix mismatch.
+func TestSessionSharesPrefixAcrossSiblings(t *testing.T) {
+	s := New()
+	x, y := expr.S("ssa", 8), expr.S("ssb", 8)
+	parent := []*expr.Expr{expr.Ult(x, expr.C(200, 8)), expr.Ult(y, expr.C(200, 8))}
+	left := append(append([]*expr.Expr{}, parent...), expr.Ult(x, expr.C(100, 8)))
+	right := append(append([]*expr.Expr{}, parent...), expr.Not(expr.Ult(x, expr.C(100, 8))))
+	for i := 0; i < 6; i++ {
+		pc := left
+		if i%2 == 1 {
+			pc = right
+		}
+		// Vary the condition so every query misses the caches and
+		// actually reaches the session.
+		cond := expr.Eq(expr.Add(y, expr.C(uint32(i), 8)), expr.C(7, 8))
+		if !s.MayBeTrue(pc, cond) {
+			t.Fatalf("query %d: expected sat", i)
+		}
+	}
+	ext, rebuilt := s.Sessions()
+	if rebuilt != 1 {
+		t.Fatalf("sibling flips rebuilt the session %d times, want 1", rebuilt)
+	}
+	if ext != 5 {
+		t.Fatalf("extended = %d, want 5", ext)
+	}
+}
+
+// TestUnsatSubsumption pins the index's UNSAT side: once a constraint
+// set is proven UNSAT, any superset query is answered by subsumption
+// without solving.
+func TestUnsatSubsumption(t *testing.T) {
+	s := New()
+	x, y := expr.S("usa", 8), expr.S("usb", 8)
+	a := expr.Ult(x, expr.C(5, 8))
+	b := expr.Not(expr.Ult(x, expr.C(10, 8)))
+	if s.Satisfiable([]*expr.Expr{a, b}) {
+		t.Fatal("x<5 ∧ x≥10 must be unsat")
+	}
+	before := s.ModelHits()
+	extra := expr.Eq(y, expr.C(1, 8))
+	if s.Satisfiable([]*expr.Expr{a, extra, b}) {
+		t.Fatal("superset of an unsat set must be unsat")
+	}
+	if s.ModelHits() == before {
+		t.Fatal("superset query did not hit the UNSAT index")
+	}
+}
+
+// TestIndexOutlivesRecencyList pins the "job-wide" claim: a model
+// stays findable through its variable-set bucket even after the
+// global recency list has cycled past it — the old 4-entry ring
+// forgot it.
+func TestIndexOutlivesRecencyList(t *testing.T) {
+	s := New() // recency list holds DefaultRecentModels = 4
+	x := expr.S("iwx", 8)
+	if !s.Satisfiable([]*expr.Expr{expr.Ult(x, expr.C(10, 8))}) {
+		t.Fatal("sat expected")
+	}
+	// Push 8 models for other variable sets through the recency list.
+	for i := 0; i < 8; i++ {
+		v := expr.S("iwo"+string(rune('a'+i)), 8)
+		if !s.Satisfiable([]*expr.Expr{expr.Eq(v, expr.C(uint32(i+1), 8))}) {
+			t.Fatal("sat expected")
+		}
+	}
+	before := s.ModelHits()
+	// Weaker query over x's variable set: the bucket still holds the
+	// witness.
+	if !s.Satisfiable([]*expr.Expr{expr.Ult(x, expr.C(50, 8))}) {
+		t.Fatal("sat expected")
+	}
+	if s.ModelHits() == before {
+		t.Fatal("bucketed model was lost: index did not outlive the recency list")
+	}
+}

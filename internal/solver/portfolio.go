@@ -1,0 +1,196 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"revnic/internal/expr"
+)
+
+// Easy/hard routing defaults (Config.HardVars / Config.HardNodes): a
+// cache-missing query is "hard" — worth racing backends on — when its
+// distinct-variable count or total DAG node count crosses a
+// threshold. The decision is a pure function of the sliced query, so
+// the routing (and therefore every cache side effect) is bit-identical
+// run-to-run whether or not a race then happens.
+const (
+	DefaultHardVars  = 6
+	DefaultHardNodes = 1500
+)
+
+// portfolio races its child backends on hard queries. Child 0 — the
+// core — is the primary: easy queries (SolveUnder) and model reads go
+// to it alone, so everything observable outside a race is exactly
+// what the core backend alone would produce. SolveRaced fans the
+// query out, takes the first definitive verdict, and cancels the
+// losers through their interrupt hooks. SAT/UNSAT verdicts are
+// objective, so whichever child answers first answers the same and
+// raced verdicts stay deterministic; raced models are NOT (the winner
+// varies run-to-run), which is why the front end never reads Model
+// after SolveRaced and never feeds raced queries into the model
+// caches.
+type portfolio struct {
+	children  []Backend
+	names     []string
+	interrupt func() bool
+}
+
+func newPortfolioBackend(o BackendOpts) Backend {
+	return &portfolio{
+		children: []Backend{
+			newCoreBackend(o),
+			newSmallDomainBackend(o),
+		},
+		names:     []string{BackendCore, BackendSmallDomain},
+		interrupt: o.Interrupt,
+	}
+}
+
+func (p *portfolio) Assert(c *expr.Expr) {
+	for _, b := range p.children {
+		b.Assert(c)
+	}
+}
+
+func (p *portfolio) Push() {
+	for _, b := range p.children {
+		b.Push()
+	}
+}
+
+func (p *portfolio) Pop() {
+	for _, b := range p.children {
+		b.Pop()
+	}
+}
+
+func (p *portfolio) SetInterrupt(f func() bool) {
+	p.interrupt = f
+	for _, b := range p.children {
+		b.SetInterrupt(f)
+	}
+}
+
+// SolveUnder is the easy route: primary only.
+func (p *portfolio) SolveUnder(cond *expr.Expr) Verdict {
+	return p.children[0].SolveUnder(cond)
+}
+
+// Model reads the primary's model; valid only after a VSat verdict
+// from SolveUnder (never after SolveRaced — raced models are
+// nondeterministic and the front end does not ask for them).
+func (p *portfolio) Model() map[string]uint32 { return p.children[0].Model() }
+
+// SolveRaced implements Racer: every child solves the query
+// concurrently under a combined interrupt (race-done flag OR the
+// caller's hook); the first definitive verdict wins and flips the
+// flag, aborting the losers within one poll interval. The call
+// returns only after every child has finished, so children are never
+// mid-solve when the next query arrives. If no child answers
+// definitively (all interrupted or out of domain), the verdict is
+// VUnknown and the caller treats it like any aborted query: answer
+// conservatively, cache nothing.
+func (p *portfolio) SolveRaced(cond *expr.Expr) Verdict {
+	global := p.interrupt
+	var done atomic.Bool
+	combined := func() bool {
+		return done.Load() || (global != nil && global())
+	}
+	for _, b := range p.children {
+		b.SetInterrupt(combined)
+	}
+	type answer struct {
+		idx int
+		v   Verdict
+	}
+	ch := make(chan answer, len(p.children))
+	for i, b := range p.children {
+		go func(i int, b Backend) {
+			ch <- answer{i, b.SolveUnder(cond)}
+		}(i, b)
+	}
+	verdict := VUnknown
+	winner := -1
+	var losers, cancels []int
+	for range p.children {
+		a := <-ch
+		switch {
+		case a.v != VUnknown && winner < 0:
+			winner = a.idx
+			verdict = a.v
+			done.Store(true)
+		case a.v != VUnknown:
+			losers = append(losers, a.idx)
+		default:
+			// VUnknown from a loser: cancelled by the race flag, the
+			// caller's interrupt, or out of the child's domain — all
+			// "did not answer", counted as cancelled.
+			cancels = append(cancels, a.idx)
+		}
+	}
+	for _, b := range p.children {
+		b.SetInterrupt(global)
+	}
+	recordRace(p.names, winner, losers, cancels)
+	return verdict
+}
+
+// BackendCounters is one backend's cumulative portfolio-race tallies.
+type BackendCounters struct {
+	// Wins: races this backend answered first.
+	Wins int64
+	// Losses: races it answered definitively, but late.
+	Losses int64
+	// Cancels: races it did not answer (cancelled mid-solve or out of
+	// its domain).
+	Cancels int64
+}
+
+// Race counters are process-global by design: per-backend win rates
+// are an operational signal (surfaced on revnicd /metrics), not part
+// of any job's result — JobResult stays bit-identical with the
+// portfolio on or off.
+var raceStats = struct {
+	sync.Mutex
+	m map[string]*BackendCounters
+}{m: map[string]*BackendCounters{}}
+
+func recordRace(names []string, winner int, losers, cancels []int) {
+	raceStats.Lock()
+	defer raceStats.Unlock()
+	bump := func(idx int) *BackendCounters {
+		c := raceStats.m[names[idx]]
+		if c == nil {
+			c = &BackendCounters{}
+			raceStats.m[names[idx]] = c
+		}
+		return c
+	}
+	if winner >= 0 {
+		bump(winner).Wins++
+	}
+	for _, i := range losers {
+		bump(i).Losses++
+	}
+	for _, i := range cancels {
+		bump(i).Cancels++
+	}
+}
+
+// PortfolioSnapshot returns the cumulative per-backend race counters.
+func PortfolioSnapshot() map[string]BackendCounters {
+	raceStats.Lock()
+	defer raceStats.Unlock()
+	out := make(map[string]BackendCounters, len(raceStats.m))
+	for n, c := range raceStats.m {
+		out[n] = *c
+	}
+	return out
+}
+
+// ResetPortfolioCounters clears the race counters (tests).
+func ResetPortfolioCounters() {
+	raceStats.Lock()
+	defer raceStats.Unlock()
+	raceStats.m = map[string]*BackendCounters{}
+}

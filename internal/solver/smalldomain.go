@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"sort"
+
+	"revnic/internal/expr"
+)
+
+// DefaultMaxDomainBits bounds the small-domain enumerator: a query
+// whose distinct symbolic variables total at most this many bits is
+// decided by exhaustive enumeration (≤ 2^16 evaluations), anything
+// wider answers VUnknown.
+const DefaultMaxDomainBits = 16
+
+// smallDomain is the second in-tree backend, proving the Backend seam
+// is real: an exhaustive evaluator for narrow sliced queries. It
+// keeps no solver state at all — just the asserted constraint stack —
+// so Assert/Push/Pop are O(1), and it decides a query by enumerating
+// every assignment of the query's variables in a fixed order
+// (variables sorted by name, values counting up from zero), which
+// makes its verdicts and models fully deterministic.
+//
+// On its own it is mostly a conformance vehicle; its practical role
+// is inside the portfolio, where it wins races on queries with few
+// variable bits but large expression DAGs — exactly where
+// bit-blasting pays its worst fixed costs.
+type smallDomain struct {
+	stack     []*expr.Expr
+	marks     []int
+	interrupt func() bool
+	maxBits   int
+	model     map[string]uint32
+}
+
+func newSmallDomainBackend(o BackendOpts) Backend {
+	max := o.MaxDomainBits
+	if max <= 0 {
+		max = DefaultMaxDomainBits
+	}
+	return &smallDomain{interrupt: o.Interrupt, maxBits: max}
+}
+
+func (d *smallDomain) Assert(c *expr.Expr) { d.stack = append(d.stack, c) }
+
+func (d *smallDomain) Push() { d.marks = append(d.marks, len(d.stack)) }
+
+func (d *smallDomain) Pop() {
+	if len(d.marks) == 0 {
+		panic("solver: smalldomain Pop without matching Push")
+	}
+	n := d.marks[len(d.marks)-1]
+	d.marks = d.marks[:len(d.marks)-1]
+	d.stack = d.stack[:n]
+}
+
+func (d *smallDomain) SetInterrupt(f func() bool) { d.interrupt = f }
+
+func (d *smallDomain) Model() map[string]uint32 { return copyModel(d.model) }
+
+func (d *smallDomain) SolveUnder(cond *expr.Expr) Verdict {
+	cons := d.stack
+	if cond != nil && !cond.IsTrue() {
+		if cond.IsFalse() {
+			return VUnsat
+		}
+		cons = append(append(make([]*expr.Expr, 0, len(d.stack)+1), d.stack...), cond)
+	}
+	if len(cons) == 0 {
+		d.model = map[string]uint32{}
+		return VSat
+	}
+	widths := expr.VarSet(cons...)
+	total := 0
+	for _, w := range widths {
+		total += int(w)
+	}
+	if total > d.maxBits {
+		return VUnknown
+	}
+	names := make([]string, 0, len(widths))
+	for n := range widths {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	env := make(map[string]uint32, len(names))
+	for n := uint64(0); n < 1<<total; n++ {
+		if n&255 == 0 && d.interrupt != nil && d.interrupt() {
+			return VUnknown
+		}
+		// Deal the counter's bits out to the variables in name order,
+		// LSB chunk first: assignment order is a pure function of the
+		// query, so the first satisfying model is deterministic.
+		rest := n
+		for _, name := range names {
+			w := widths[name]
+			env[name] = uint32(rest & (1<<w - 1))
+			rest >>= w
+		}
+		ev := expr.NewEvaluator(env)
+		ok := true
+		for _, c := range cons {
+			if ev.Eval(c) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			d.model = copyModel(env)
+			return VSat
+		}
+	}
+	return VUnsat
+}

@@ -1,6 +1,17 @@
 // Package solver decides satisfiability of conjunctions of symbolic
-// bitvector constraints (package expr) by bit-blasting them to CNF and
-// invoking the CDCL SAT core (package sat).
+// bitvector constraints (package expr). It is layered:
+//
+//   - a backend-agnostic front end (this file) owning everything
+//     query-shaped: fingerprint-keyed verdict/model caches, the
+//     per-variable-set counterexample index, constraint-independence
+//     slicing, easy/hard routing, and incremental sessions;
+//   - the Backend seam (backend.go): a minimal Assert / Push / Pop /
+//     SolveUnder / Model / SetInterrupt contract any decision
+//     procedure can implement;
+//   - backends: the native core (bit-blasting to CNF over the CDCL
+//     SAT core, blast.go + package sat), an exhaustive small-domain
+//     evaluator (smalldomain.go), and a portfolio that races them on
+//     hard queries (portfolio.go).
 //
 // It fills the role STP fills for KLEE in the original RevNIC: the
 // symbolic execution engine asks, at every branch that depends on
@@ -13,26 +24,29 @@
 //   - the sat/unsat cache and the model cache key on an
 //     order-insensitive uint64 hash of the constraint IDs, so a cache
 //     probe allocates nothing;
-//   - a small ring of recently discovered models is evaluated against
-//     each new query before any CNF is built (KLEE's counterexample
-//     cache): a model that satisfies the query proves SAT for the
-//     price of an evaluation;
+//   - the counterexample index (cache.go) answers subsumed queries
+//     job-wide: weaker queries by re-evaluating indexed models,
+//     stronger queries by UNSAT-set subsumption;
 //   - branch-feasibility queries (MayBeTrue) run incrementally: the
-//     solver keeps one SAT session per constraint prefix, asserts new
-//     path constraints as they appear, and decides each condition
-//     under an assumption literal (sat.SolveUnder), so the two queries
-//     a branch issues — cond and ¬cond — share one CNF translation,
-//     and consecutive branches on the same path reuse the whole
-//     prefix.
+//     solver keeps one backend session whose assertion stack mirrors
+//     the sliced constraint prefix through Push/Pop scopes, so
+//     sibling states after a fork share the asserted prefix instead
+//     of rebuilding it, and each condition is decided under an
+//     assumption (SolveUnder).
+//
+// Determinism contract: query answers and every cache side effect are
+// bit-identical run-to-run for the default and portfolio backends.
+// Raced verdicts are objective (SAT/UNSAT, whoever answers first);
+// raced models would not be, so hard queries are verdict-only — their
+// models are never read and never cached, in every mode, which is
+// what keeps portfolio-on and portfolio-off runs byte-identical.
 package solver
 
 import (
-	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"revnic/internal/expr"
-	"revnic/internal/sat"
 )
 
 // Result is the outcome of a satisfiability query.
@@ -51,9 +65,9 @@ const (
 // happened.
 const DefaultCacheLimit = 1 << 16
 
-// DefaultRecentModels is the default size of the counterexample ring:
-// how many recently discovered models are tried against each new
-// query before bit-blasting.
+// DefaultRecentModels is the default counterexample-index capacity:
+// models kept per variable-set bucket, and the size of the global
+// recency list probed as a fallback.
 const DefaultRecentModels = 4
 
 // Config parameterizes a solver. The zero value selects the defaults
@@ -65,10 +79,17 @@ type Config struct {
 	// job-scoped solver must pass the job's arena so its expressions
 	// die with the job.
 	Arena *expr.Arena
+	// Backend selects the decision backend by registry name
+	// (BackendCore, BackendSmallDomain, BackendPortfolio, or anything
+	// registered via RegisterBackend). Empty selects the core. NewWith
+	// panics on an unknown name — callers validate user input with
+	// ValidBackend first.
+	Backend string
 	// CacheLimit bounds the query/model caches; 0 selects
 	// DefaultCacheLimit.
 	CacheLimit int
-	// RecentModels sizes the counterexample ring. 0 selects
+	// RecentModels sizes the counterexample index (models kept per
+	// variable-set bucket and in the recency list). 0 selects
 	// DefaultRecentModels; negative disables model reuse across
 	// queries entirely. The size affects performance only, never
 	// query answers.
@@ -77,42 +98,53 @@ type Config struct {
 	// creates (sat.Solver.SetLearntCap): 0 keeps the SAT default,
 	// negative disables learnt-clause deletion.
 	LearntCap int
+	// HardVars and HardNodes tune the easy/hard routing heuristic: a
+	// cache-missing query is hard when distinct vars > HardVars or
+	// total DAG nodes > HardNodes. 0 selects the defaults; negative
+	// means "never hard" (disables racing even under the portfolio
+	// backend). Routing is a pure function of the query, so it never
+	// affects determinism — only which queries get raced and
+	// verdict-only caching.
+	HardVars  int
+	HardNodes int
 	// DisableIncremental starts the solver with incremental branch
 	// queries off (ablation).
 	DisableIncremental bool
-	// Interrupt, when non-nil, is polled during SAT search (forwarded
-	// to every sat.Solver instance via SetInterrupt): returning true
-	// aborts the solve. Aborted queries answer conservatively (UNSAT /
-	// no model) and are never cached, so an interrupt can wind a job
-	// down early but can never poison answers of later queries. A hook
-	// that never returns true leaves all answers unchanged.
+	// Interrupt, when non-nil, is polled during solving (forwarded to
+	// every backend via SetInterrupt): returning true aborts the
+	// solve. Aborted queries answer conservatively (UNSAT / no model)
+	// and are never cached, so an interrupt can wind a job down early
+	// but can never poison answers of later queries. A hook that
+	// never returns true leaves all answers unchanged.
 	Interrupt func() bool
 }
 
-// Solver answers bitvector queries with memoization, model reuse and
-// incremental branch queries. The zero value is not usable; call New
-// or NewWith.
+// Solver answers bitvector queries with memoization, counterexample
+// reuse and incremental branch queries. The zero value is not usable;
+// call New or NewWith.
 //
 // A Solver is safe for concurrent use: the caches are mutex-guarded
 // and the statistics counters are atomic, so parallel exploration
-// workers may share one instance. One-shot queries each bit-blast on
-// a private SAT instance and run in parallel; incremental branch
-// queries serialize on the shared session.
+// workers may share one instance. One-shot queries each run on a
+// private backend instance and proceed in parallel; incremental
+// branch queries serialize on the shared session.
 type Solver struct {
-	ar         *expr.Arena
-	learntCap  int
-	interrupt  func() bool
+	ar        *expr.Arena
+	backend   string
+	learntCap int
+	hardVars  int
+	hardNodes int
+	interrupt func() bool
+
 	mu         sync.Mutex
 	cache      map[uint64]bool
 	models     map[uint64]map[string]uint32
-	recent     []map[string]uint32
-	recentPos  int
-	varsCache  map[uint64][]string
+	cx         *cxIndex
 	cacheLimit int
 
 	incremental atomic.Bool
 	incMu       sync.Mutex
-	inc         *incSession
+	inc         *session
 
 	queries   atomic.Int64
 	hits      atomic.Int64
@@ -122,24 +154,43 @@ type Solver struct {
 	rebuilt   atomic.Int64
 }
 
-// incSession is the incremental SAT context for one constraint
-// prefix: b holds the CNF of every constraint in ids, asserted in
-// order. A query whose (sliced, live) path constraints extend ids
-// reuses the session; anything else rebuilds it.
-type incSession struct {
-	b   *blaster
-	ids []uint64
+// session is the incremental backend context for one constraint
+// prefix: the backend's assertion stack holds one Push scope per
+// constraint in ids, asserted in order. A query synchronizes the
+// stack with its own prefix by popping back to the longest common
+// prefix and pushing the new suffix — sibling states after a fork
+// share everything up to the fork point instead of rebuilding.
+type session struct {
+	b Backend
+	// racer is b's racing extension, if it has one (portfolio).
+	racer Racer
+	ids   []uint64
+	// pops counts scopes retired since the session was built; each
+	// pop leaves a dead selector variable behind in a SAT-backed
+	// session, so past a threshold the session is rebuilt fresh. The
+	// trigger is count-based and therefore deterministic.
+	pops int
 }
 
+// sessionPopGC is the pop count after which a session is rebuilt.
+const sessionPopGC = 4096
+
 // New returns a solver with the default configuration: default arena,
-// cache bounded at DefaultCacheLimit entries, a DefaultRecentModels
-// counterexample ring, and incremental branch queries enabled.
+// core backend, cache bounded at DefaultCacheLimit entries, a
+// DefaultRecentModels-sized counterexample index, and incremental
+// branch queries enabled.
 func New() *Solver { return NewWith(Config{}) }
 
 // NewWith returns a solver configured by cfg.
 func NewWith(cfg Config) *Solver {
 	if cfg.Arena == nil {
 		cfg.Arena = expr.Default()
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = BackendCore
+	}
+	if _, ok := backendFactory(cfg.Backend); !ok {
+		panic("solver: unknown backend " + cfg.Backend)
 	}
 	if cfg.CacheLimit <= 0 {
 		cfg.CacheLimit = DefaultCacheLimit
@@ -150,23 +201,68 @@ func NewWith(cfg Config) *Solver {
 	} else if ring < 0 {
 		ring = 0
 	}
+	hv, hn := cfg.HardVars, cfg.HardNodes
+	if hv == 0 {
+		hv = DefaultHardVars
+	}
+	if hn == 0 {
+		hn = DefaultHardNodes
+	}
 	s := &Solver{
 		ar:         cfg.Arena,
+		backend:    cfg.Backend,
 		learntCap:  cfg.LearntCap,
+		hardVars:   hv,
+		hardNodes:  hn,
 		interrupt:  cfg.Interrupt,
 		cache:      map[uint64]bool{},
 		models:     map[uint64]map[string]uint32{},
-		recent:     make([]map[string]uint32, ring),
-		varsCache:  map[uint64][]string{},
+		cx:         newCxIndex(ring),
 		cacheLimit: cfg.CacheLimit,
 	}
 	s.incremental.Store(!cfg.DisableIncremental)
 	return s
 }
 
+// Backend reports the configured backend name.
+func (s *Solver) Backend() string { return s.backend }
+
+// newBackend builds a fresh instance of the configured backend.
+func (s *Solver) newBackend() Backend {
+	f, _ := backendFactory(s.backend)
+	return f(BackendOpts{
+		LearntCap: s.learntCap,
+		Interrupt: s.interrupt,
+		HardVars:  s.hardVars,
+		HardNodes: s.hardNodes,
+	})
+}
+
+// newOneShot builds the backend used for one-shot (non-session)
+// queries. Under the portfolio this is the primary core alone:
+// one-shots exist to produce models (Model, Concretize, Values), and
+// raced models are nondeterministic, so one-shots are never raced.
+func (s *Solver) newOneShot() Backend {
+	name := s.backend
+	if name == BackendPortfolio {
+		name = BackendCore
+	}
+	f, _ := backendFactory(name)
+	return f(BackendOpts{LearntCap: s.learntCap, Interrupt: s.interrupt})
+}
+
+// isHard applies the routing heuristic to a query's stats.
+func (s *Solver) isHard(nvars, nodes int) bool {
+	if s.hardVars < 0 && s.hardNodes < 0 {
+		return false
+	}
+	return (s.hardVars > 0 && nvars > s.hardVars) ||
+		(s.hardNodes > 0 && nodes > s.hardNodes)
+}
+
 // SetIncremental toggles incremental branch queries (MayBeTrue's
-// shared SAT session). Answers are identical either way; the switch
-// exists for the ablation benchmarks.
+// shared backend session). Answers are identical either way; the
+// switch exists for the ablation benchmarks.
 func (s *Solver) SetIncremental(on bool) { s.incremental.Store(on) }
 
 // Incremental reports whether incremental branch queries are enabled.
@@ -179,14 +275,15 @@ func (s *Solver) Stats() (queries, cacheHits int64) {
 	return s.queries.Load(), s.hits.Load()
 }
 
-// ModelHits returns how many queries were answered by re-evaluating a
-// cached model instead of solving.
+// ModelHits returns how many queries were answered by the
+// counterexample machinery instead of solving: exact model-cache
+// hits, indexed-model re-evaluation, and UNSAT-set subsumption.
 func (s *Solver) ModelHits() int64 { return s.modelHits.Load() }
 
 // Sessions reports the incremental solver's session reuse: extended
-// counts queries that kept the running SAT session (possibly
-// asserting new suffix constraints), rebuilt counts queries that had
-// to start a fresh session.
+// counts queries served by the running backend session (synchronized
+// via push/pop, possibly asserting new suffix constraints), rebuilt
+// counts queries that had to start a fresh session.
 func (s *Solver) Sessions() (extended, rebuilt int64) {
 	return s.extended.Load(), s.rebuilt.Load()
 }
@@ -217,142 +314,10 @@ func (s *Solver) SetCacheLimit(n int) {
 	}
 }
 
-// flushLocked drops one cache epoch: verdicts, models and the
-// counterexample ring go together so they can never disagree.
-func (s *Solver) flushLocked() {
-	s.cache = map[uint64]bool{}
-	s.models = map[uint64]map[string]uint32{}
-	s.recent = make([]map[string]uint32, len(s.recent))
-	s.recentPos = 0
-	s.evictions.Add(1)
-}
-
-// RingSize reports the counterexample ring capacity.
-func (s *Solver) RingSize() int { return len(s.recent) }
-
-// cacheGet looks up a memoized query verdict.
-func (s *Solver) cacheGet(fp uint64) (bool, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.cache[fp]
-	return r, ok
-}
-
-// cachePut memoizes a query verdict, flushing the epoch first if the
-// cache is full.
-func (s *Solver) cachePut(fp uint64, r bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.cache) >= s.cacheLimit {
-		s.flushLocked()
-	}
-	s.cache[fp] = r
-}
-
-// modelGet looks up a cached model for the exact constraint set.
-func (s *Solver) modelGet(fp uint64) (map[string]uint32, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.models[fp]
-	return m, ok
-}
-
-// storeModel caches a freshly solved witness under the query
-// fingerprint and pushes it onto the counterexample ring. The map is
-// owned by the solver afterwards: callers receive copies.
-func (s *Solver) storeModel(fp uint64, m map[string]uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.models) >= s.cacheLimit {
-		s.flushLocked()
-	}
-	s.models[fp] = m
-	if len(s.recent) > 0 {
-		s.recent[s.recentPos%len(s.recent)] = m
-		s.recentPos++
-	}
-}
-
-// rememberModel caches a reused witness under a new fingerprint
-// without touching the counterexample ring — the model is already in
-// the ring, and re-pushing it would evict distinct witnesses until
-// the ring held nothing but duplicates.
-func (s *Solver) rememberModel(fp uint64, m map[string]uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.models) >= s.cacheLimit {
-		s.flushLocked()
-	}
-	s.models[fp] = m
-}
-
-// tryRecent evaluates the constraints under the recently discovered
-// models; a model satisfying all of them proves SAT without touching
-// the SAT solver. Returns the witnessing model on success.
-func (s *Solver) tryRecent(constraints []*expr.Expr) (map[string]uint32, bool) {
-	// Snapshot the ring into a stack buffer: this runs on every query
-	// that misses the verdict cache, and a heap copy per probe would
-	// undo the zero-allocation property of the fingerprint path.
-	// Oversized configured rings (rare) fall back to one allocation.
-	var buf [4 * DefaultRecentModels]map[string]uint32
-	ring := buf[:0]
-	s.mu.Lock()
-	ring = append(ring, s.recent...)
-	s.mu.Unlock()
-next:
-	for _, m := range ring {
-		if m == nil {
-			continue
-		}
-		ev := expr.NewEvaluator(m)
-		for _, c := range constraints {
-			if ev.Eval(c) == 0 {
-				continue next
-			}
-		}
-		return m, true
-	}
-	return nil, false
-}
-
-// mix64 is the splitmix64 finalizer, used to spread interned IDs
-// before the order-insensitive combine.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
-}
-
-// fingerprint keys the caches on an order-insensitive hash of the
-// constraints' interned IDs: equal constraint multisets hash equally
-// regardless of order, with no allocation and no tree walk — the
-// payoff of hash-consed expressions at this layer.
-func fingerprint(constraints []*expr.Expr) uint64 {
-	var sum, xor uint64
-	for _, c := range constraints {
-		h := mix64(c.ID())
-		sum += h
-		xor ^= bits.RotateLeft64(h, 17)
-	}
-	return mix64(sum ^ mix64(xor) ^ uint64(len(constraints)))
-}
-
-// liveConstraints strips constant-true constraints and reports
-// whether a constant-false one makes the conjunction trivially UNSAT.
-func liveConstraints(constraints []*expr.Expr) (live []*expr.Expr, unsat bool) {
-	for _, c := range constraints {
-		if c.IsFalse() {
-			return nil, true
-		}
-		if !c.IsTrue() {
-			live = append(live, c)
-		}
-	}
-	return live, false
-}
+// RingSize reports the counterexample index capacity (models kept per
+// variable-set bucket; also the recency-list length). The name is
+// historical — the index replaced a single recency ring.
+func (s *Solver) RingSize() int { return s.cx.cap }
 
 // Satisfiable reports whether the conjunction of the given width-1
 // constraints has a model.
@@ -370,131 +335,54 @@ func (s *Solver) Satisfiable(constraints []*expr.Expr) bool {
 		s.hits.Add(1)
 		return r
 	}
-	if m, ok := s.tryRecent(live); ok {
+	sig, _, _ := queryStats(live)
+	if m, ok := s.trySat(sig, live); ok {
 		s.modelHits.Add(1)
 		s.cachePut(fp, true)
 		s.rememberModel(fp, m)
 		return true
 	}
-	b := s.newBlaster()
-	for _, c := range live {
-		out := b.blast(c)
-		b.s.AddClause(out[0])
-	}
-	r := b.s.Solve()
-	if b.s.Interrupted() {
-		// Aborted: "unknown" answered as UNSAT, never cached.
+	if s.tryUnsat(live) {
+		s.modelHits.Add(1)
+		s.cachePut(fp, false)
 		return false
 	}
-	if r {
-		s.storeModel(fp, b.model())
+	b := s.newOneShot()
+	for _, c := range live {
+		b.Assert(c)
 	}
-	s.cachePut(fp, r)
-	return r
-}
-
-// varsOf returns the sorted variable names of e, memoized per
-// interned expression ID — the repeated walks Slice used to pay on
-// every query collapse to one walk per distinct constraint.
-func (s *Solver) varsOf(e *expr.Expr) []string {
-	id := e.ID()
-	if id == 0 {
-		return expr.VarNames(e)
+	switch b.SolveUnder(nil) {
+	case VSat:
+		s.storeModel(fp, sig, b.Model())
+		s.cachePut(fp, true)
+		return true
+	case VUnsat:
+		s.storeUnsat(live)
+		s.cachePut(fp, false)
+		return false
+	default:
+		// Aborted or out of the backend's domain: "unknown" answered
+		// as UNSAT, never cached.
+		return false
 	}
-	s.mu.Lock()
-	if v, ok := s.varsCache[id]; ok {
-		s.mu.Unlock()
-		return v
-	}
-	s.mu.Unlock()
-	names := expr.VarNames(e)
-	s.mu.Lock()
-	if len(s.varsCache) >= s.cacheLimit {
-		s.varsCache = map[uint64][]string{}
-	}
-	s.varsCache[id] = names
-	s.mu.Unlock()
-	return names
-}
-
-// sliceVars is the constraint-independence fixed point shared by the
-// exported Slice and the solver's cached variant.
-func sliceVars(pc []*expr.Expr, vars [][]string, tvars []string) []*expr.Expr {
-	if len(tvars) == 0 {
-		return nil
-	}
-	want := make(map[string]bool, len(tvars))
-	for _, v := range tvars {
-		want[v] = true
-	}
-	used := make([]bool, len(pc))
-	for changed := true; changed; {
-		changed = false
-		for i := range pc {
-			if used[i] {
-				continue
-			}
-			hit := false
-			for _, v := range vars[i] {
-				if want[v] {
-					hit = true
-					break
-				}
-			}
-			if hit {
-				used[i] = true
-				changed = true
-				for _, v := range vars[i] {
-					want[v] = true
-				}
-			}
-		}
-	}
-	var out []*expr.Expr
-	for i, c := range pc {
-		if used[i] {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-// Slice returns the subset of constraints transitively sharing
-// symbolic variables with target — KLEE's constraint-independence
-// optimization. Because path conditions are built incrementally from
-// feasible extensions, the discarded independent constraints are
-// satisfiable on their own, so SAT(slice ∧ target) ⇔ SAT(pc ∧ target).
-func Slice(pc []*expr.Expr, target *expr.Expr) []*expr.Expr {
-	vars := make([][]string, len(pc))
-	for i, c := range pc {
-		vars[i] = expr.VarNames(c)
-	}
-	return sliceVars(pc, vars, expr.VarNames(target))
-}
-
-// slice is Slice with the per-constraint variable sets served from
-// the ID-keyed cache.
-func (s *Solver) slice(pc []*expr.Expr, target *expr.Expr) []*expr.Expr {
-	tvars := s.varsOf(target)
-	if len(tvars) == 0 {
-		return nil
-	}
-	vars := make([][]string, len(pc))
-	for i, c := range pc {
-		vars[i] = s.varsOf(c)
-	}
-	return sliceVars(pc, vars, tvars)
 }
 
 // MayBeTrue reports whether cond can be true under the path
 // constraints: SAT(pc ∧ cond). The path condition is sliced to the
 // constraints relevant to cond first; with incremental solving
-// enabled the sliced prefix is asserted into a shared SAT session and
-// cond is decided under an assumption literal, so a branch's two
-// queries (cond, ¬cond) and consecutive branches over the same
-// variables share CNF and learnt clauses.
+// enabled the sliced prefix lives on a shared backend session —
+// synchronized by push/pop so sibling states after a fork share the
+// common prefix — and cond is decided under an assumption
+// (SolveUnder), so a branch's two queries (cond, ¬cond) and
+// consecutive branches over the same variables share translation
+// work and learnt clauses.
+//
+// Hard queries (see Config.HardVars/HardNodes) are verdict-only: the
+// portfolio races its backends on them, and because raced models are
+// nondeterministic, hard results never feed the model caches — under
+// any backend, so cache contents stay bit-identical across modes.
 func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
-	rel := s.slice(pc, cond)
+	rel := Slice(pc, cond)
 	if !s.incremental.Load() {
 		return s.Satisfiable(append(rel, cond))
 	}
@@ -515,76 +403,89 @@ func (s *Solver) MayBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
 		s.hits.Add(1)
 		return r
 	}
-	if m, ok := s.tryRecent(full); ok {
+	sig, nvars, nodes := queryStats(full)
+	if m, ok := s.trySat(sig, full); ok {
 		s.modelHits.Add(1)
 		s.cachePut(fp, true)
 		s.rememberModel(fp, m)
 		return true
 	}
-	r, model, aborted := s.solveIncremental(prefix, cond)
-	if aborted {
+	if s.tryUnsat(full) {
+		s.modelHits.Add(1)
+		s.cachePut(fp, false)
 		return false
 	}
-	if r && model != nil {
-		s.storeModel(fp, model)
+	hard := s.isHard(nvars, nodes)
+	var q *expr.Expr
+	if !cond.IsTrue() {
+		q = cond
 	}
-	s.cachePut(fp, r)
-	return r
+	v, model := s.solveSession(prefix, q, hard)
+	switch v {
+	case VSat:
+		if model != nil {
+			s.storeModel(fp, sig, model)
+		}
+		s.cachePut(fp, true)
+		return true
+	case VUnsat:
+		if !hard {
+			s.storeUnsat(full)
+		}
+		s.cachePut(fp, false)
+		return false
+	default:
+		// Aborted: never cached.
+		return false
+	}
 }
 
-// solveIncremental decides SAT(prefix ∧ cond) on the shared session,
-// returning the witnessing model on SAT. The session is kept when the
-// prefix extends the asserted constraint sequence and rebuilt
-// otherwise; concurrent callers serialize here, which is the
-// documented trade-off of sharing a session. aborted reports that the
-// solve was interrupted mid-search: the false verdict is then
-// "unknown" and must not be cached.
-func (s *Solver) solveIncremental(prefix []*expr.Expr, cond *expr.Expr) (r bool, model map[string]uint32, aborted bool) {
+// solveSession decides SAT(prefix ∧ cond) on the shared session. The
+// session's scoped assertion stack is synchronized with the prefix:
+// pop back to the longest common prefix, push and assert the suffix.
+// After a fork, the two children differ only in their last
+// constraint, so the whole shared prefix — its CNF and its learnt
+// clauses — is reused instead of rebuilt (the pre-push/pop design
+// rebuilt on any mismatch). Hard queries go through the racing
+// extension when the backend has one, and their models are never
+// read (see MayBeTrue).
+func (s *Solver) solveSession(prefix []*expr.Expr, cond *expr.Expr, hard bool) (Verdict, map[string]uint32) {
 	s.incMu.Lock()
 	defer s.incMu.Unlock()
 	sess := s.inc
-	if sess == nil || !prefixExtends(sess.ids, prefix) {
-		sess = &incSession{b: s.newBlaster()}
+	if sess == nil || sess.pops >= sessionPopGC {
+		sess = &session{b: s.newBackend()}
+		sess.racer, _ = sess.b.(Racer)
 		s.inc = sess
 		s.rebuilt.Add(1)
 	} else {
 		s.extended.Add(1)
 	}
-	for _, c := range prefix[len(sess.ids):] {
-		out := sess.b.blast(c)
-		sess.b.s.AddClause(out[0])
+	common := 0
+	for common < len(sess.ids) && common < len(prefix) &&
+		sess.ids[common] == prefix[common].ID() {
+		common++
+	}
+	for n := len(sess.ids); n > common; n-- {
+		sess.b.Pop()
+		sess.pops++
+	}
+	sess.ids = sess.ids[:common]
+	for _, c := range prefix[common:] {
+		sess.b.Push()
+		sess.b.Assert(c)
 		sess.ids = append(sess.ids, c.ID())
 	}
-	if sess.b.s.Unsat() {
-		return false, nil, false
-	}
-	var ok bool
-	if cond.IsTrue() {
-		ok = sess.b.s.Solve()
+	var v Verdict
+	if hard && sess.racer != nil {
+		v = sess.racer.SolveRaced(cond)
 	} else {
-		lit := sess.b.blast(cond)[0]
-		ok = sess.b.s.SolveUnder(lit)
+		v = sess.b.SolveUnder(cond)
 	}
-	if !ok {
-		// An interrupted session stays structurally valid (the search
-		// backtracked to level zero); only this answer is tainted.
-		return false, nil, sess.b.s.Interrupted()
+	if v == VSat && !hard {
+		return v, sess.b.Model()
 	}
-	return true, sess.b.model(), false
-}
-
-// prefixExtends reports whether the asserted ID sequence is a prefix
-// of the constraint list.
-func prefixExtends(ids []uint64, prefix []*expr.Expr) bool {
-	if len(ids) > len(prefix) {
-		return false
-	}
-	for i, id := range ids {
-		if prefix[i].ID() != id {
-			return false
-		}
-	}
-	return true
+	return v, nil
 }
 
 // MustBeTrue reports whether cond is implied by the path constraints:
@@ -599,7 +500,9 @@ func (s *Solver) MustBeTrue(pc []*expr.Expr, cond *expr.Expr) bool {
 // variables as zero); a reused cached witness can mention extra
 // variables, which evaluation ignores. Models are cached beside the
 // sat/unsat verdicts: re-asking for the model of a known constraint
-// set costs a fingerprint probe.
+// set costs a fingerprint probe. Model queries always run on the
+// primary backend, never raced, so the returned witness is
+// deterministic.
 func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 	s.queries.Add(1)
 	live, unsat := liveConstraints(constraints)
@@ -618,27 +521,35 @@ func (s *Solver) Model(constraints []*expr.Expr) (map[string]uint32, bool) {
 		s.hits.Add(1)
 		return nil, false
 	}
-	if m, ok := s.tryRecent(live); ok {
+	sig, _, _ := queryStats(live)
+	if m, ok := s.trySat(sig, live); ok {
 		s.modelHits.Add(1)
 		s.cachePut(fp, true)
 		s.rememberModel(fp, m)
 		return copyModel(m), true
 	}
-	b := s.newBlaster()
-	for _, c := range live {
-		out := b.blast(c)
-		b.s.AddClause(out[0])
-	}
-	if !b.s.Solve() {
-		if !b.s.Interrupted() {
-			s.cachePut(fp, false)
-		}
+	if s.tryUnsat(live) {
+		s.modelHits.Add(1)
+		s.cachePut(fp, false)
 		return nil, false
 	}
-	s.cachePut(fp, true)
-	model := b.model()
-	s.storeModel(fp, model)
-	return copyModel(model), true
+	b := s.newOneShot()
+	for _, c := range live {
+		b.Assert(c)
+	}
+	switch b.SolveUnder(nil) {
+	case VSat:
+		model := b.Model()
+		s.cachePut(fp, true)
+		s.storeModel(fp, sig, model)
+		return copyModel(model), true
+	case VUnsat:
+		s.cachePut(fp, false)
+		s.storeUnsat(live)
+		return nil, false
+	default:
+		return nil, false
+	}
 }
 
 func copyModel(m map[string]uint32) map[string]uint32 {
@@ -659,7 +570,7 @@ func (s *Solver) Concretize(pc []*expr.Expr, e *expr.Expr) (uint32, bool) {
 	}
 	// Only the constraints touching e's variables can restrict its
 	// value; independent ones are satisfiable separately.
-	model, ok := s.Model(s.slice(pc, e))
+	model, ok := s.Model(Slice(pc, e))
 	if !ok {
 		return 0, false
 	}
@@ -676,7 +587,7 @@ func (s *Solver) Values(pc []*expr.Expr, e *expr.Expr, max int) []uint32 {
 		return []uint32{v}
 	}
 	var out []uint32
-	cons := s.slice(pc, e)
+	cons := Slice(pc, e)
 	for len(out) < max {
 		model, ok := s.Model(cons)
 		if !ok {
@@ -687,360 +598,4 @@ func (s *Solver) Values(pc []*expr.Expr, e *expr.Expr, max int) []uint32 {
 		cons = append(cons, s.ar.Not(s.ar.Eq(e, s.ar.C(v, e.Width))))
 	}
 	return out
-}
-
-// blaster converts expression DAGs to CNF over a SAT instance. Bit i
-// of a value is lits[i] (LSB first). The memo keys on interned
-// expression IDs, so a blaster living across queries (the incremental
-// session) translates each distinct sub-expression once.
-type blaster struct {
-	s     *sat.Solver
-	memo  map[uint64][]sat.Lit
-	syms  map[string][]sat.Lit
-	true_ sat.Lit
-}
-
-func newBlaster() *blaster {
-	b := &blaster{
-		s:    sat.New(),
-		memo: map[uint64][]sat.Lit{},
-		syms: map[string][]sat.Lit{},
-	}
-	v := b.s.NewVar()
-	b.true_ = sat.Pos(v)
-	b.s.AddClause(b.true_)
-	return b
-}
-
-// newBlaster builds a blaster configured per the solver (learnt-clause
-// cap and interrupt hook forwarded to the SAT instance).
-func (s *Solver) newBlaster() *blaster {
-	b := newBlaster()
-	if s.learntCap != 0 {
-		b.s.SetLearntCap(s.learntCap)
-	}
-	if s.interrupt != nil {
-		b.s.SetInterrupt(s.interrupt)
-	}
-	return b
-}
-
-// model reads the satisfying assignment for every symbol the blaster
-// has translated. Valid only directly after a successful Solve or
-// SolveUnder on b.s.
-func (b *blaster) model() map[string]uint32 {
-	model := make(map[string]uint32, len(b.syms))
-	for name, bits := range b.syms {
-		var v uint32
-		for i, lit := range bits {
-			if b.s.Value(lit.Var()) != lit.Sign() {
-				v |= 1 << i
-			}
-		}
-		model[name] = v
-	}
-	return model
-}
-
-func (b *blaster) constLit(v bool) sat.Lit {
-	if v {
-		return b.true_
-	}
-	return b.true_.Not()
-}
-
-func (b *blaster) isConst(l sat.Lit) (bool, bool) {
-	if l == b.true_ {
-		return true, true
-	}
-	if l == b.true_.Not() {
-		return false, true
-	}
-	return false, false
-}
-
-func (b *blaster) fresh() sat.Lit { return sat.Pos(b.s.NewVar()) }
-
-// gateAnd returns a literal equivalent to x ∧ y.
-func (b *blaster) gateAnd(x, y sat.Lit) sat.Lit {
-	if v, ok := b.isConst(x); ok {
-		if !v {
-			return b.constLit(false)
-		}
-		return y
-	}
-	if v, ok := b.isConst(y); ok {
-		if !v {
-			return b.constLit(false)
-		}
-		return x
-	}
-	if x == y {
-		return x
-	}
-	if x == y.Not() {
-		return b.constLit(false)
-	}
-	out := b.fresh()
-	b.s.AddClause(out.Not(), x)
-	b.s.AddClause(out.Not(), y)
-	b.s.AddClause(out, x.Not(), y.Not())
-	return out
-}
-
-func (b *blaster) gateOr(x, y sat.Lit) sat.Lit {
-	return b.gateAnd(x.Not(), y.Not()).Not()
-}
-
-func (b *blaster) gateXor(x, y sat.Lit) sat.Lit {
-	if v, ok := b.isConst(x); ok {
-		if v {
-			return y.Not()
-		}
-		return y
-	}
-	if v, ok := b.isConst(y); ok {
-		if v {
-			return x.Not()
-		}
-		return x
-	}
-	if x == y {
-		return b.constLit(false)
-	}
-	if x == y.Not() {
-		return b.constLit(true)
-	}
-	out := b.fresh()
-	b.s.AddClause(out.Not(), x, y)
-	b.s.AddClause(out.Not(), x.Not(), y.Not())
-	b.s.AddClause(out, x.Not(), y)
-	b.s.AddClause(out, x, y.Not())
-	return out
-}
-
-// gateMux returns c ? x : y.
-func (b *blaster) gateMux(c, x, y sat.Lit) sat.Lit {
-	if v, ok := b.isConst(c); ok {
-		if v {
-			return x
-		}
-		return y
-	}
-	if x == y {
-		return x
-	}
-	out := b.fresh()
-	b.s.AddClause(c.Not(), x.Not(), out)
-	b.s.AddClause(c.Not(), x, out.Not())
-	b.s.AddClause(c, y.Not(), out)
-	b.s.AddClause(c, y, out.Not())
-	return out
-}
-
-// fullAdder returns (sum, carryOut) for x + y + cin.
-func (b *blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
-	sum = b.gateXor(b.gateXor(x, y), cin)
-	cout = b.gateOr(b.gateAnd(x, y), b.gateAnd(cin, b.gateXor(x, y)))
-	return sum, cout
-}
-
-func (b *blaster) adder(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
-	out := make([]sat.Lit, len(x))
-	c := cin
-	for i := range x {
-		out[i], c = b.fullAdder(x[i], y[i], c)
-	}
-	return out
-}
-
-func (b *blaster) negBits(x []sat.Lit) []sat.Lit {
-	out := make([]sat.Lit, len(x))
-	for i, l := range x {
-		out[i] = l.Not()
-	}
-	return out
-}
-
-// ult returns the borrow chain result of a - b: true iff a < b
-// unsigned.
-func (b *blaster) ult(x, y []sat.Lit) sat.Lit {
-	borrow := b.constLit(false)
-	for i := range x {
-		// borrow' = (~x & y) | ((~x | y) & borrow)
-		nx := x[i].Not()
-		borrow = b.gateOr(b.gateAnd(nx, y[i]), b.gateAnd(b.gateOr(nx, y[i]), borrow))
-	}
-	return borrow
-}
-
-func (b *blaster) shiftConst(x []sat.Lit, k int, kind expr.Kind) []sat.Lit {
-	w := len(x)
-	out := make([]sat.Lit, w)
-	for i := range out {
-		switch kind {
-		case expr.KShl:
-			if i-k >= 0 {
-				out[i] = x[i-k]
-			} else {
-				out[i] = b.constLit(false)
-			}
-		case expr.KLshr:
-			if i+k < w {
-				out[i] = x[i+k]
-			} else {
-				out[i] = b.constLit(false)
-			}
-		case expr.KAshr:
-			if i+k < w {
-				out[i] = x[i+k]
-			} else {
-				out[i] = x[w-1]
-			}
-		}
-	}
-	return out
-}
-
-// blast returns the bit literals of e, LSB first.
-func (b *blaster) blast(e *expr.Expr) []sat.Lit {
-	if bits, ok := b.memo[e.ID()]; ok {
-		return bits
-	}
-	bits := b.blastUncached(e)
-	if len(bits) != int(e.Width) {
-		panic("solver: width mismatch in blasting")
-	}
-	b.memo[e.ID()] = bits
-	return bits
-}
-
-func (b *blaster) blastUncached(e *expr.Expr) []sat.Lit {
-	w := int(e.Width)
-	switch e.Kind {
-	case expr.KConst:
-		out := make([]sat.Lit, w)
-		for i := range out {
-			out[i] = b.constLit(e.Val>>i&1 == 1)
-		}
-		return out
-	case expr.KSym:
-		if bits, ok := b.syms[e.Name]; ok {
-			if len(bits) != w {
-				panic("solver: symbol " + e.Name + " used at two widths")
-			}
-			return bits
-		}
-		bits := make([]sat.Lit, w)
-		for i := range bits {
-			bits[i] = b.fresh()
-		}
-		b.syms[e.Name] = bits
-		return bits
-	case expr.KAdd:
-		return b.adder(b.blast(e.A), b.blast(e.B), b.constLit(false))
-	case expr.KSub:
-		return b.adder(b.blast(e.A), b.negBits(b.blast(e.B)), b.constLit(true))
-	case expr.KMul:
-		x, y := b.blast(e.A), b.blast(e.B)
-		acc := make([]sat.Lit, w)
-		for i := range acc {
-			acc[i] = b.constLit(false)
-		}
-		for i := 0; i < w; i++ {
-			// Partial product: (x << i) masked by y[i].
-			pp := make([]sat.Lit, w)
-			for j := range pp {
-				if j < i {
-					pp[j] = b.constLit(false)
-				} else {
-					pp[j] = b.gateAnd(x[j-i], y[i])
-				}
-			}
-			acc = b.adder(acc, pp, b.constLit(false))
-		}
-		return acc
-	case expr.KAnd, expr.KOr, expr.KXor:
-		x, y := b.blast(e.A), b.blast(e.B)
-		out := make([]sat.Lit, w)
-		for i := range out {
-			switch e.Kind {
-			case expr.KAnd:
-				out[i] = b.gateAnd(x[i], y[i])
-			case expr.KOr:
-				out[i] = b.gateOr(x[i], y[i])
-			case expr.KXor:
-				out[i] = b.gateXor(x[i], y[i])
-			}
-		}
-		return out
-	case expr.KShl, expr.KLshr, expr.KAshr:
-		x := b.blast(e.A)
-		if k, ok := e.B.IsConst(); ok {
-			return b.shiftConst(x, int(k%32), e.Kind)
-		}
-		// Barrel shifter over the low 5 bits of the amount (shifts
-		// are defined mod 32, matching expr.Eval and the VM).
-		amt := b.blast(e.B)
-		cur := x
-		for stage := 0; stage < 5 && 1<<stage < 32; stage++ {
-			if stage >= len(amt) {
-				break
-			}
-			shifted := b.shiftConst(cur, 1<<stage, e.Kind)
-			next := make([]sat.Lit, w)
-			for i := range next {
-				next[i] = b.gateMux(amt[stage], shifted[i], cur[i])
-			}
-			cur = next
-		}
-		return cur
-	case expr.KEq:
-		x, y := b.blast(e.A), b.blast(e.B)
-		acc := b.constLit(true)
-		for i := range x {
-			acc = b.gateAnd(acc, b.gateXor(x[i], y[i]).Not())
-		}
-		return []sat.Lit{acc}
-	case expr.KUlt:
-		return []sat.Lit{b.ult(b.blast(e.A), b.blast(e.B))}
-	case expr.KSlt:
-		// Flip sign bits and compare unsigned.
-		x := append([]sat.Lit{}, b.blast(e.A)...)
-		y := append([]sat.Lit{}, b.blast(e.B)...)
-		x[len(x)-1] = x[len(x)-1].Not()
-		y[len(y)-1] = y[len(y)-1].Not()
-		return []sat.Lit{b.ult(x, y)}
-	case expr.KNot:
-		return b.negBits(b.blast(e.A))
-	case expr.KZext:
-		x := b.blast(e.A)
-		out := make([]sat.Lit, w)
-		for i := range out {
-			if i < len(x) {
-				out[i] = x[i]
-			} else {
-				out[i] = b.constLit(false)
-			}
-		}
-		return out
-	case expr.KTrunc:
-		return b.blast(e.A)[:w:w]
-	case expr.KConcat:
-		lo := b.blast(e.B)
-		hi := b.blast(e.A)
-		out := make([]sat.Lit, 0, w)
-		out = append(out, lo...)
-		out = append(out, hi...)
-		return out
-	case expr.KIte:
-		c := b.blast(e.A)[0]
-		x, y := b.blast(e.B), b.blast(e.C)
-		out := make([]sat.Lit, w)
-		for i := range out {
-			out[i] = b.gateMux(c, x[i], y[i])
-		}
-		return out
-	}
-	panic("solver: cannot blast kind")
 }

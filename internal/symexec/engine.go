@@ -46,6 +46,17 @@ type Config struct {
 	// answers — and therefore exploration results — are identical
 	// either way.
 	DisableIncrementalSolver bool
+	// SolverBackend names the constraint-solver backend every solver
+	// in this engine (root and fork-join children) is built with:
+	// solver.BackendCore (the default, also selected by ""),
+	// solver.BackendSmallDomain, or solver.BackendPortfolio, which
+	// races the others on hard queries. Exploration results are
+	// bit-identical across backends: hard queries are verdict-only
+	// under every backend, so caches, counters, traces and coverage
+	// never depend on which backend answered. Validate names from
+	// user input with solver.ValidBackend before constructing the
+	// engine — an unknown name panics.
+	SolverBackend string
 	// PollThreshold is the per-state repeat count after which the
 	// polling-loop killer discards the staying path.
 	PollThreshold int
@@ -282,6 +293,7 @@ func New(prog *isa.Program, cfg Config) *Engine {
 func newSolver(cfg Config) *solver.Solver {
 	return solver.NewWith(solver.Config{
 		Arena:              cfg.Arena,
+		Backend:            cfg.SolverBackend,
 		DisableIncremental: cfg.DisableIncrementalSolver,
 		Interrupt:          stopFunc(cfg),
 	})
