@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"time"
 
 	"revnic/internal/drivers"
@@ -31,7 +33,18 @@ type gridCell struct {
 	// on hard queries).
 	Solver  string `json:"solver"`
 	Workers int    `json:"workers"`
-	// Wall-clock milliseconds for the whole four-driver workload.
+	// ShardFactor is the scheduling-granularity multiplier the cell
+	// ran with (0 = the engine's auto factor). Like seed it is part of
+	// the deterministic schedule, so cells with different factors have
+	// independent counter baselines.
+	ShardFactor int `json:"shard_factor,omitempty"`
+	// Scenario tags cells outside the plain solver grid; the
+	// coordinator straggler cells use "straggler-static" and
+	// "straggler-steal" (one slow peer, static hash dispatch vs the
+	// capacity-aware work queue).
+	Scenario string `json:"scenario,omitempty"`
+	// Wall-clock milliseconds for the whole four-driver workload (one
+	// coordinator job for the straggler cells).
 	MeanMS float64   `json:"mean_ms"`
 	StdMS  float64   `json:"std_ms"`
 	RunsMS []float64 `json:"runs_ms"`
@@ -41,6 +54,10 @@ type gridCell struct {
 	CacheHits     int64 `json:"cache_hits"`
 	ModelHits     int64 `json:"model_hits"`
 	CoveredBlocks int   `json:"covered_blocks"`
+	// SpeedupX, on the straggler-steal cell, is the static cell's mean
+	// divided by this cell's mean: how much the work queue recovers
+	// from one slow peer.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
 }
 
 type gridReport struct {
@@ -52,7 +69,7 @@ type gridReport struct {
 	Cells    []gridCell `json:"cells"`
 }
 
-func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out string) error {
+func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out, csvPath string, withCluster bool) error {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -77,40 +94,72 @@ func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out
 		Repeats:  repeats,
 		Drivers:  names,
 	}
-	for _, workers := range []int{1, 4} {
-		for _, m := range modes {
-			cell := gridCell{Solver: m.name, Workers: workers}
-			for rep := 0; rep < repeats; rep++ {
-				start := time.Now()
-				ctx, err := experiments.NewContextCfg(experiments.ContextConfig{
-					Workers:                  workers,
-					Searcher:                 searcher,
-					Arena:                    expr.NewArena(),
-					SolverBackend:            m.backend,
-					DisableIncrementalSolver: m.noInc,
-				})
-				elapsed := time.Since(start)
-				if err != nil {
-					return fmt.Errorf("grid cell %s/w%d: %w", m.name, workers, err)
-				}
-				cell.RunsMS = append(cell.RunsMS, float64(elapsed.Microseconds())/1000)
-				if rep == repeats-1 {
-					cell.SolverQueries, cell.CacheHits, cell.ModelHits, cell.CoveredBlocks = 0, 0, 0, 0
-					for _, d := range names {
-						e := ctx.Get(d).Exploration
-						cell.SolverQueries += e.SolverQueries
-						cell.CacheHits += e.SolverCacheHits
-						cell.ModelHits += e.SolverModelHits
-						cell.CoveredBlocks += e.Collector.CoveredBlocks()
-					}
+	runCell := func(cell gridCell, m mode) (gridCell, error) {
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			ctx, err := experiments.NewContextCfg(experiments.ContextConfig{
+				Workers:                  cell.Workers,
+				Searcher:                 searcher,
+				Arena:                    expr.NewArena(),
+				SolverBackend:            m.backend,
+				DisableIncrementalSolver: m.noInc,
+				ShardFactor:              cell.ShardFactor,
+			})
+			elapsed := time.Since(start)
+			if err != nil {
+				return cell, fmt.Errorf("grid cell %s/w%d/f%d: %w", m.name, cell.Workers, cell.ShardFactor, err)
+			}
+			cell.RunsMS = append(cell.RunsMS, float64(elapsed.Microseconds())/1000)
+			if rep == repeats-1 {
+				cell.SolverQueries, cell.CacheHits, cell.ModelHits, cell.CoveredBlocks = 0, 0, 0, 0
+				for _, d := range names {
+					e := ctx.Get(d).Exploration
+					cell.SolverQueries += e.SolverQueries
+					cell.CacheHits += e.SolverCacheHits
+					cell.ModelHits += e.SolverModelHits
+					cell.CoveredBlocks += e.Collector.CoveredBlocks()
 				}
 			}
-			cell.MeanMS, cell.StdMS = meanStd(cell.RunsMS)
-			fmt.Fprintf(os.Stderr, "revbench: grid %-14s workers=%d: %.0f ms ± %.0f (%d queries, %d cache hits, %d model reuses)\n",
-				cell.Solver, cell.Workers, cell.MeanMS, cell.StdMS,
-				cell.SolverQueries, cell.CacheHits, cell.ModelHits)
+		}
+		cell.MeanMS, cell.StdMS = meanStd(cell.RunsMS)
+		fmt.Fprintf(os.Stderr, "revbench: grid %-14s workers=%d factor=%d: %.0f ms ± %.0f (%d queries, %d cache hits, %d model reuses)\n",
+			cell.Solver, cell.Workers, cell.ShardFactor, cell.MeanMS, cell.StdMS,
+			cell.SolverQueries, cell.CacheHits, cell.ModelHits)
+		return cell, nil
+	}
+	for _, workers := range []int{1, 4} {
+		for _, m := range modes {
+			cell, err := runCell(gridCell{Solver: m.name, Workers: workers}, m)
+			if err != nil {
+				return err
+			}
 			report.Cells = append(report.Cells, cell)
 		}
+	}
+	// The scheduling-granularity axis: the default solver at full
+	// parallelism, across explicit shard factors. Factor 1 is the
+	// coarse pre-factor schedule; each factor is its own deterministic
+	// schedule, so counters differ across factors but not across
+	// repeats.
+	for _, sf := range []int{1, 2, 4} {
+		cell, err := runCell(gridCell{Solver: "incremental", Workers: 4, ShardFactor: sf}, modes[0])
+		if err != nil {
+			return err
+		}
+		report.Cells = append(report.Cells, cell)
+	}
+	if withCluster {
+		cells, err := runStragglerScenario(repeats)
+		if err != nil {
+			return err
+		}
+		report.Cells = append(report.Cells, cells...)
+	}
+	if csvPath != "" {
+		if err := writeGridCSV(csvPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "revbench: wrote per-run CSV to %s\n", csvPath)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -126,6 +175,34 @@ func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out
 	}
 	fmt.Fprintf(os.Stderr, "revbench: wrote grid report to %s\n", out)
 	return nil
+}
+
+// writeGridCSV exports every individual run of every cell as one CSV
+// row, for spreadsheet analysis beyond the mean/std the JSON carries.
+func writeGridCSV(path string, report gridReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"scenario", "solver", "workers", "shard_factor", "rep", "ms"}); err != nil {
+		return err
+	}
+	for _, c := range report.Cells {
+		for rep, ms := range c.RunsMS {
+			rec := []string{
+				c.Scenario, c.Solver,
+				strconv.Itoa(c.Workers), strconv.Itoa(c.ShardFactor),
+				strconv.Itoa(rep), strconv.FormatFloat(ms, 'f', 3, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
 }
 
 func meanStd(xs []float64) (mean, std float64) {

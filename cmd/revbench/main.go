@@ -31,9 +31,12 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the reverse-engineering context (results are identical for any value)")
 		backend  = flag.String("solver", "", "solver backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
 		race     = flag.Bool("portfolio", false, "race solver backends on hard queries (shorthand for -solver=portfolio)")
-		grid     = flag.Bool("grid", false, "run the solver-ablation timing grid (workers x incremental/no-incremental/portfolio) instead of the experiments")
+		grid     = flag.Bool("grid", false, "run the solver/scheduling timing grid (workers x solver modes x shard factors) instead of the experiments")
 		repeats  = flag.Int("repeats", 3, "repetitions per grid cell (with -grid)")
-		gridOut  = flag.String("grid-out", "BENCH_8.json", "grid report output path (with -grid; '-' for stdout)")
+		gridOut  = flag.String("grid-out", "BENCH_9.json", "grid report output path (with -grid; '-' for stdout)")
+		gridCSV  = flag.String("csv", "", "also export every individual grid run as CSV to this path (with -grid)")
+		gridClu  = flag.Bool("grid-cluster", false, "include the coordinator straggler scenario (static vs work-stealing dispatch with one slow peer) in the grid")
+		shardFac = flag.Int("shard-factor", 0, "shard-group granularity multiplier for the experiment runs: 0 auto-sizes (results are identical for a fixed value)")
 	)
 	flag.Parse()
 	if *list {
@@ -54,7 +57,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *grid {
-		if err := runGrid(*strategy, searcher, *repeats, *gridOut); err != nil {
+		if err := runGrid(*strategy, searcher, *repeats, *gridOut, *gridCSV, *gridClu); err != nil {
 			fmt.Fprintf(os.Stderr, "revbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -64,6 +67,7 @@ func main() {
 		*workers, *strategy)
 	ctx, err := experiments.NewContextCfg(experiments.ContextConfig{
 		Workers: *workers, Searcher: searcher, SolverBackend: *backend,
+		ShardFactor: *shardFac,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "revbench: %v\n", err)

@@ -38,6 +38,7 @@ func main() {
 		strategy   = flag.String("strategy", "coverage", "path selection strategy: "+strings.Join(symexec.SearcherNames(), ", "))
 		noInc      = flag.Bool("no-incremental", false, "disable the solver's incremental SAT sessions (ablation; results are identical)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines exploring phase shards concurrently (results are identical for any value)")
+		shardFac   = flag.Int("shard-factor", 0, "shard-group granularity multiplier: 0 auto-sizes, 1 reproduces the coarse schedule (part of the deterministic schedule, like -seed)")
 		backend    = flag.String("solver", "", "solver backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
 		race       = flag.Bool("portfolio", false, "race solver backends on hard queries (shorthand for -solver=portfolio)")
 	)
@@ -66,6 +67,7 @@ func main() {
 		Engine: symexec.Config{
 			Seed: *seed, Searcher: searcher,
 			DisableIncrementalSolver: *noInc, Workers: *workers,
+			ShardFactor:   *shardFac,
 			SolverBackend: *backend,
 		},
 	})

@@ -78,6 +78,9 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated base URLs of peer revnicd instances")
 		coordinator   = flag.Bool("coordinator", false, "fan job shards out to -peers (local fallback guaranteed)")
 		shardPool     = flag.Int("shard-pool", 2, "remote shards served concurrently before 503")
+		noSteal       = flag.Bool("no-steal", false, "disable work-stealing re-dispatch of straggler shards (results are identical)")
+		staticDisp    = flag.Bool("static-dispatch", false, "dispatch each shard to its hash-selected peer instead of the capacity-aware work queue (results are identical)")
+		stealAfter    = flag.Duration("steal-after", 0, "minimum in-flight time before a shard counts as a straggler (0 = default 750ms)")
 		probeInterval = flag.Duration("probe-interval", 5*time.Second, "peer health-probe period (0 = no probing)")
 		backend       = flag.String("solver", "", "default solver backend for specs that omit solver_backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
 		race          = flag.Bool("portfolio", false, "race solver backends on hard queries by default (shorthand for -solver=portfolio)")
@@ -101,19 +104,22 @@ func main() {
 		}
 	}
 	svc, err := jobsvc.Open(jobsvc.Config{
-		Pool:         *pool,
-		QueueDepth:   *queue,
-		MaxJobWall:   *maxJobWall,
-		PerClientCap: *perClient,
-		RetainCount:  *retainCount,
-		RetainAge:    *retainAge,
-		MaxBodyBytes: *maxBody,
-		DataDir:      *dataDir,
-		Coordinator:  *coordinator,
-		ShardPool:    *shardPool,
+		Pool:           *pool,
+		QueueDepth:     *queue,
+		MaxJobWall:     *maxJobWall,
+		PerClientCap:   *perClient,
+		RetainCount:    *retainCount,
+		RetainAge:      *retainAge,
+		MaxBodyBytes:   *maxBody,
+		DataDir:        *dataDir,
+		Coordinator:    *coordinator,
+		ShardPool:      *shardPool,
+		StaticDispatch: *staticDisp,
 		Cluster: cluster.Config{
-			Peers: peerList,
-			Logf:  log.Printf,
+			Peers:           peerList,
+			Logf:            log.Printf,
+			DisableStealing: *noSteal,
+			StealAfterMin:   *stealAfter,
 		},
 		ProbeInterval:        *probeInterval,
 		DefaultSolverBackend: *backend,

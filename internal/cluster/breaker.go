@@ -165,6 +165,18 @@ func (b *Breaker) Record(success bool) {
 	}
 }
 
+// Forgive releases a claimed half-open trial slot without recording
+// an outcome, for attempts whose failure says nothing about the peer
+// (an attempt cancelled because its item completed elsewhere). A
+// breaker in any other state is untouched.
+func (b *Breaker) Forgive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // State returns the breaker's current position, surfacing the
 // open → half-open transition that Allow would take.
 func (b *Breaker) State() BreakerState {

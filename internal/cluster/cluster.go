@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -31,6 +33,35 @@ type Config struct {
 	HedgeDelay time.Duration
 	// Seed feeds the deterministic jitter and peer selection.
 	Seed int64
+	// PeerSlots is how many queue items one peer executes
+	// concurrently in RunQueue (its pull width). Default 2.
+	PeerSlots int
+	// LocalSlots is how many queue items the local fallback executes
+	// concurrently in RunQueue. One slot pulls alongside the peers as
+	// a regular capacity unit; the extra slots only drain items whose
+	// remote attempts are exhausted, so a healthy cluster is not
+	// starved by an eager coordinator. With no peers configured every
+	// slot pulls, preserving local parallelism. Default 2.
+	LocalSlots int
+	// DisableStealing turns off straggler re-dispatch in RunQueue:
+	// items still pull-balance across peers, but an item stuck on a
+	// slow peer is never duplicated onto a faster one.
+	DisableStealing bool
+	// DisableWeighting makes pickPeer ignore the EWMA tracker and
+	// scan the hash-seeded peer ring exactly as earlier versions did.
+	DisableWeighting bool
+	// StealInterval is how often RunQueue re-examines in-flight items
+	// for stragglers (and wakes workers waiting out a backoff).
+	// Default 25ms.
+	StealInterval time.Duration
+	// StealAfterMin floors the straggler threshold: an attempt is
+	// never stolen before being in flight this long. Default 750ms.
+	StealAfterMin time.Duration
+	// StealMultiple scales the EWMA-derived straggler threshold: an
+	// attempt is stealable once it has been in flight longer than
+	// StealMultiple × the fastest sampled peer's EWMA latency
+	// (floored by StealAfterMin, capped by AttemptTimeout). Default 3.
+	StealMultiple float64
 	// Breaker tunes the per-peer circuit breakers.
 	Breaker BreakerConfig
 	// Logf, when set, receives one line per notable event (retry,
@@ -51,6 +82,21 @@ func (c Config) withDefaults() Config {
 	if c.BackoffCap <= 0 {
 		c.BackoffCap = 5 * time.Second
 	}
+	if c.PeerSlots <= 0 {
+		c.PeerSlots = 2
+	}
+	if c.LocalSlots <= 0 {
+		c.LocalSlots = 2
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = 25 * time.Millisecond
+	}
+	if c.StealAfterMin <= 0 {
+		c.StealAfterMin = 750 * time.Millisecond
+	}
+	if c.StealMultiple <= 0 {
+		c.StealMultiple = 3
+	}
 	return c
 }
 
@@ -64,6 +110,7 @@ type Dispatcher struct {
 	mu       sync.Mutex
 	breakers map[string]*Breaker
 
+	tracker *tracker
 	metrics *metrics
 }
 
@@ -73,6 +120,7 @@ func NewDispatcher(cfg Config) *Dispatcher {
 	return &Dispatcher{
 		cfg:      cfg.withDefaults(),
 		breakers: make(map[string]*Breaker),
+		tracker:  newTracker(),
 		metrics:  newMetrics(),
 	}
 }
@@ -162,13 +210,33 @@ func (d *Dispatcher) Do(ctx context.Context, key string, payload []byte, accept 
 	return d.fallback(key, local, reason)
 }
 
-// pickPeer scans the peer ring from a deterministic start for the
-// first peer whose breaker admits a request, skipping the excluded
-// peer (a hedge never doubles up on the primary).
+// pickPeer chooses the weighted-least-loaded admissible peer: the
+// candidate ring is ordered by EWMA-latency × inflight score (lowest
+// first), ties broken by the deterministic hash-seeded ring position,
+// and the first peer whose breaker admits the request wins. With no
+// samples yet every score is zero, so selection degenerates to the
+// original pure-hash ring scan — which is also what DisableWeighting
+// forces. The excluded peer is skipped (a hedge never doubles up on
+// the primary). Breakers are only consulted for peers actually
+// considered, in order, so a half-open trial slot is never claimed by
+// a peer that loses the selection.
 func (d *Dispatcher) pickPeer(start, attempt int, exclude string) (string, bool) {
 	n := len(d.cfg.Peers)
-	for i := 0; i < n; i++ {
-		p := d.cfg.Peers[(start+attempt+i)%n]
+	order := make([]int, n)
+	for i := range order {
+		order[i] = (start + attempt + i) % n
+	}
+	if !d.cfg.DisableWeighting {
+		scores := make([]float64, n)
+		for _, idx := range order {
+			scores[idx] = d.tracker.score(d.cfg.Peers[idx])
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return scores[order[a]] < scores[order[b]]
+		})
+	}
+	for _, idx := range order {
+		p := d.cfg.Peers[idx]
 		if p == exclude {
 			continue
 		}
@@ -228,17 +296,35 @@ func (d *Dispatcher) attemptHedged(ctx context.Context, key, primary string, sta
 	return last
 }
 
+// errShardWon is the cancellation cause RunQueue attaches when an
+// item completes elsewhere (first-completion-wins): the losing
+// attempt's failure is an artifact of the race, so it must not poison
+// the peer's breaker, failure counters or latency estimate.
+var errShardWon = errors.New("cluster: item completed elsewhere")
+
 // tryPeer makes one bounded attempt against one peer and classifies
 // the outcome: success, overload (503 — retryable, not a breaker
 // failure), or failure (transport error, unexpected status, or a body
-// the caller's accept rejects).
+// the caller's accept rejects). Successful attempts feed the peer's
+// EWMA latency estimate.
 func (d *Dispatcher) tryPeer(ctx context.Context, peer string, payload []byte, accept func([]byte) error) attemptResult {
 	d.metrics.add(peer, func(s *peerStats) { s.attempts++ })
+	d.tracker.start(peer)
+	startT := time.Now()
+	success := false
+	defer func() { d.tracker.finish(peer, time.Since(startT), success) }()
 	actx, cancel := context.WithTimeout(ctx, d.cfg.AttemptTimeout)
 	defer cancel()
 	resp, err := d.cfg.Transport.Send(actx, peer, payload)
 	br := d.breaker(peer)
 	fail := func(err error) attemptResult {
+		if errors.Is(context.Cause(ctx), errShardWon) {
+			// Cancelled because the item already finished elsewhere —
+			// not evidence about this peer's health. Release the
+			// half-open trial slot pickPeer may have claimed.
+			br.Forgive()
+			return attemptResult{peer: peer, err: err}
+		}
 		br.Record(false)
 		d.metrics.add(peer, func(s *peerStats) { s.failures++ })
 		return attemptResult{peer: peer, err: err}
@@ -264,6 +350,7 @@ func (d *Dispatcher) tryPeer(ctx context.Context, peer string, payload []byte, a
 		return fail(fmt.Errorf("%s: rejected response: %w", peer, err))
 	}
 	br.Record(true)
+	success = true
 	d.metrics.add(peer, func(s *peerStats) { s.successes++ })
 	return attemptResult{peer: peer, body: resp.Body}
 }

@@ -41,6 +41,7 @@ type FaultTransport struct {
 	scripts map[string][]Fault
 	dead    map[string]bool
 	sends   map[string]int
+	slow    map[string]time.Duration
 }
 
 // NewFaultTransport builds a fault transport around the given
@@ -51,7 +52,19 @@ func NewFaultTransport(handler func(peer string, body []byte) (*Response, error)
 		scripts: make(map[string][]Fault),
 		dead:    make(map[string]bool),
 		sends:   make(map[string]int),
+		slow:    make(map[string]time.Duration),
 	}
+}
+
+// SetLatency gives a peer a persistent per-request delay — unlike a
+// scripted Fault.Latency, which one Send consumes, this applies to
+// every Send until changed. It models a chronically slow node (the
+// straggler scenario of the scheduling bench); scripted faults stack
+// on top.
+func (f *FaultTransport) SetLatency(peer string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slow[peer] = d
 }
 
 // Script appends faults to a peer's queue; each Send to that peer
@@ -91,8 +104,14 @@ func (f *FaultTransport) Send(ctx context.Context, peer string, body []byte) (*R
 		fault, f.scripts[peer] = q[0], q[1:]
 		hasFault = true
 	}
+	slow := f.slow[peer]
 	f.mu.Unlock()
 
+	if slow > 0 {
+		if err := sleepCtx(ctx, slow); err != nil {
+			return nil, err
+		}
+	}
 	if hasFault && fault.Latency > 0 {
 		if err := sleepCtx(ctx, fault.Latency); err != nil {
 			return nil, err

@@ -20,6 +20,14 @@ type metrics struct {
 	mu        sync.Mutex
 	peers     map[string]*peerStats
 	fallbacks int64
+
+	// Work-queue observations (RunQueue).
+	steals       int64   // straggler re-dispatches onto another peer
+	localPulls   int64   // items the local node pulled as a capacity unit
+	shardWallSum float64 // winning-attempt wall seconds, summed
+	shardWallN   int64
+	queueWaitSum float64 // enqueue→first-claim seconds, summed
+	queueWaitN   int64
 }
 
 func newMetrics() *metrics {
@@ -44,6 +52,13 @@ func (m *metrics) add(name string, f func(*peerStats)) {
 	m.mu.Unlock()
 }
 
+// bump mutates the queue-level counters under the lock.
+func (m *metrics) bump(f func(*metrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+}
+
 // PeerSnapshot is one peer's counters at a point in time.
 type PeerSnapshot struct {
 	Peer      string
@@ -54,12 +69,24 @@ type PeerSnapshot struct {
 	Failures  int64
 	Overloads int64
 	Breaker   string
+	// EwmaMS is the peer's EWMA latency estimate in milliseconds
+	// (0 until the first successful attempt); Inflight is the number
+	// of attempts currently running on it.
+	EwmaMS   float64
+	Inflight int64
 }
 
 // Snapshot is a point-in-time view of a dispatcher's activity.
 type Snapshot struct {
 	Peers     []PeerSnapshot
 	Fallbacks int64
+	// Work-queue activity (RunQueue).
+	Steals         int64
+	LocalPulls     int64
+	ShardWallSum   float64 // seconds
+	ShardWallCount int64
+	QueueWaitSum   float64 // seconds
+	QueueWaitCount int64
 }
 
 // Snapshot returns the dispatcher's counters and breaker states,
@@ -101,10 +128,17 @@ func (d *Dispatcher) Snapshot() Snapshot {
 			Breaker:   br.State().String(),
 		}
 		d.metrics.mu.Unlock()
+		ps.EwmaMS, ps.Inflight = d.tracker.snapshot(n)
 		snap.Peers = append(snap.Peers, ps)
 	}
 	d.metrics.mu.Lock()
 	snap.Fallbacks = d.metrics.fallbacks
+	snap.Steals = d.metrics.steals
+	snap.LocalPulls = d.metrics.localPulls
+	snap.ShardWallSum = d.metrics.shardWallSum
+	snap.ShardWallCount = d.metrics.shardWallN
+	snap.QueueWaitSum = d.metrics.queueWaitSum
+	snap.QueueWaitCount = d.metrics.queueWaitN
 	d.metrics.mu.Unlock()
 	return snap
 }

@@ -71,6 +71,11 @@ type ContextConfig struct {
 	// DisableIncrementalSolver turns off the solvers' shared
 	// incremental SAT sessions (cmd/revbench's ablation grid).
 	DisableIncrementalSolver bool
+	// ShardFactor is each engine's shard-group granularity multiplier
+	// (symexec.Config.ShardFactor); 0 auto-sizes. Part of the
+	// deterministic schedule: results are bit-identical for a fixed
+	// factor regardless of Workers.
+	ShardFactor int
 }
 
 // NewContextCfg builds the context per the given configuration.
@@ -112,6 +117,7 @@ func NewContextCfg(cc ContextConfig) (*Context, error) {
 				Engine: symexec.Config{
 					Seed: 42, Workers: perEngine,
 					Searcher: cc.Searcher, Arena: cc.Arena,
+					ShardFactor:              cc.ShardFactor,
 					SolverBackend:            cc.SolverBackend,
 					DisableIncrementalSolver: cc.DisableIncrementalSolver,
 				},

@@ -109,6 +109,100 @@ func (r *shardRunner) RunShard(task *symexec.ShardTask, local func() (*symexec.S
 	return &res, nil
 }
 
+// RunShardQueue is the batch form the engine prefers: a whole phase's
+// shard tasks enter the dispatcher's capacity-aware work queue at
+// once, where idle peers pull them, dispatch is weighted by observed
+// latency, and straggler shards are re-dispatched first-completion-
+// wins. Journal-replayed shards are pre-filled and never re-enter the
+// queue; each settling shard is journaled from the queue's OnDone
+// callback, preserving crash-replay behavior. Scheduling only decides
+// where and when a shard runs — the returned results are in task
+// order and the caller's seed-order merge is untouched.
+func (r *shardRunner) RunShardQueue(tasks []*symexec.ShardTask, local func(*symexec.ShardTask) (*symexec.ShardResult, error)) ([]*symexec.ShardResult, error) {
+	results := make([]*symexec.ShardResult, len(tasks))
+	var deadlineMS int64
+	if dl, ok := r.ctx.Deadline(); ok {
+		deadlineMS = time.Until(dl).Milliseconds()
+		if deadlineMS < 1 {
+			deadlineMS = 1
+		}
+	}
+	items := make([]cluster.QueueItem, 0, len(tasks))
+	idxs := make([]int, 0, len(tasks)) // queue position → task index
+	for i, task := range tasks {
+		key := shardKey(task)
+		if raw, ok := r.j.shardCache[key]; ok {
+			var res symexec.ShardResult
+			if err := json.Unmarshal(raw, &res); err == nil {
+				r.s.m.shardsReplayed.Add(1)
+				results[i] = &res
+				continue
+			}
+			// An unreadable cached result is re-executed, never trusted.
+		}
+		payload, err := json.Marshal(shardEnvelope{Spec: r.j.Spec, Task: task, DeadlineMS: deadlineMS})
+		if err != nil {
+			return nil, err
+		}
+		r.s.journalAppend(journalRecord{
+			T: recShardDispatched, ID: r.j.ID, TS: time.Now(), Key: key,
+		}, false)
+		task := task
+		items = append(items, cluster.QueueItem{
+			Key:     r.j.ID + "/" + key,
+			Payload: payload,
+			Accept:  acceptShardResult,
+			Local: func() ([]byte, error) {
+				res, err := local(task)
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(res)
+			},
+			OnDone: func(body []byte) {
+				// Journal the completed shard compactly, exactly as the
+				// per-shard path does, so a coordinator crash mid-phase
+				// replays with the settled shards already collected.
+				var res symexec.ShardResult
+				if err := json.Unmarshal(body, &res); err != nil {
+					return
+				}
+				if compact, err := json.Marshal(&res); err == nil {
+					r.s.journalAppend(journalRecord{
+						T: recShardDone, ID: r.j.ID, TS: time.Now(), Key: key, Result: compact,
+					}, false)
+				}
+			},
+		})
+		idxs = append(idxs, i)
+	}
+	if len(items) == 0 {
+		return results, nil
+	}
+	bodies, err := r.s.dispatcher.RunQueue(r.ctx, items)
+	if err != nil {
+		return nil, err
+	}
+	for qi, body := range bodies {
+		var res symexec.ShardResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			return nil, fmt.Errorf("jobsvc: shard %s: decode result: %w", items[qi].Key, err)
+		}
+		results[idxs[qi]] = &res
+	}
+	return results, nil
+}
+
+// staticRunner exposes only the per-shard RunShard method, hiding the
+// batch queue interface: the engine then falls back to hash-selected
+// per-shard dispatch — the pre-queue scheduler, kept for A/B
+// benchmarking (Config.StaticDispatch).
+type staticRunner struct{ r *shardRunner }
+
+func (s staticRunner) RunShard(task *symexec.ShardTask, local func() (*symexec.ShardResult, error)) (*symexec.ShardResult, error) {
+	return s.r.RunShard(task, local)
+}
+
 // acceptShardResult validates a peer's response body before the
 // dispatcher trusts it: a torn or truncated body fails the unmarshal
 // and is retried like any other peer failure, and a structurally
@@ -152,7 +246,12 @@ func (s *Service) executeSpec(j *job, deadline time.Time) (res *JobResult, err e
 			case <-ctx.Done():
 			}
 		}()
-		runner = &shardRunner{s: s, j: j, ctx: ctx}
+		sr := &shardRunner{s: s, j: j, ctx: ctx}
+		if s.cfg.StaticDispatch {
+			runner = staticRunner{sr}
+		} else {
+			runner = sr
+		}
 	}
 	return runSpecHook(j.Spec, j.stop, deadline, runner)
 }

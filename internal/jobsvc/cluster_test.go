@@ -159,8 +159,11 @@ func TestCoordinatorAllPeersDownFallsBack(t *testing.T) {
 	}
 	sameResult(t, done.Result, want, "all-peers-down")
 	snap, _ := coord.ClusterSnapshot()
-	if snap.Fallbacks == 0 {
-		t.Fatal("no local fallbacks recorded though every peer was dead")
+	// The work queue records local execution either as a fallback
+	// (remote attempts exhausted) or a local pull (the local capacity
+	// slot claimed the shard first); either way it must be observable.
+	if snap.Fallbacks+snap.LocalPulls == 0 {
+		t.Fatal("no local executions recorded though every peer was dead")
 	}
 	// The ops runbook watches these through /metrics; make sure the
 	// exposition carries them.
@@ -370,5 +373,114 @@ func TestPipelinePanicBecomesJobFailure(t *testing.T) {
 	}
 	if kd.Status != StatusSucceeded {
 		t.Fatalf("job after panic: %s (%s)", kd.Status, kd.Error)
+	}
+}
+
+// TestCoordinatorStealingBitIdentical pins the scheduling/merging
+// separation under the work queue: one chronically slow peer forces
+// straggler re-dispatch (first-completion-wins), and the result must
+// still match a single-node run of the identical spec — including an
+// explicit shard factor, which is part of the schedule and must agree
+// across modes. The snapshot must show at least one steal, proving
+// the rescue path (not just peer-side timeouts) produced the result.
+func TestCoordinatorStealingBitIdentical(t *testing.T) {
+	spec := clusterSpec()
+	spec.ShardFactor = 2
+	want, err := runSpec(spec, nil, time.Time{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast := New(Config{Pool: 1, ShardPool: 8})
+	tsFast := httptest.NewServer(fast.Handler())
+	defer tsFast.Close()
+	slow := New(Config{Pool: 1, ShardPool: 8})
+	tsSlow := httptest.NewServer(slow.Handler())
+	defer tsSlow.Close()
+
+	ft := forwardingFaults()
+	// Chronic transport latency, not a scripted one-shot: every request
+	// to the slow peer crosses a 600ms link, so any shard it claims
+	// becomes a straggler well past the 100ms steal threshold below.
+	ft.SetLatency(tsSlow.URL, 600*time.Millisecond)
+
+	cfg := coordinatorConfig([]string{tsFast.URL, tsSlow.URL}, ft)
+	cfg.Cluster.StealAfterMin = 100 * time.Millisecond
+	cfg.Cluster.StealInterval = 5 * time.Millisecond
+	// The slow peer still succeeds, so the breaker must stay out of the
+	// way — this test is about stealing, not failure accrual.
+	cfg.Cluster.Breaker = cluster.BreakerConfig{Window: 8, MinSamples: 100}
+	coord := New(cfg)
+	defer drainWithin(t, coord, 60*time.Second)
+
+	j, err := coord.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	done, err := coord.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusSucceeded {
+		t.Fatalf("coordinator job with straggler: %s (%s)", done.Status, done.Error)
+	}
+	sameResult(t, done.Result, want, "straggler+steal")
+	if done.Result.ShardsEffective < 1 {
+		t.Errorf("coordinator result lost ShardsEffective (= %d)", done.Result.ShardsEffective)
+	}
+	snap, ok := coord.ClusterSnapshot()
+	if !ok {
+		t.Fatal("coordinator has no cluster snapshot")
+	}
+	if snap.Steals == 0 {
+		t.Errorf("no steals recorded against a 600ms straggler (snapshot: %+v)", snap)
+	}
+}
+
+// TestCoordinatorStealOffBitIdentical: disabling stealing changes only
+// the schedule's placement, never its content — a healthy cluster with
+// DisableStealing produces the same result as single-node.
+func TestCoordinatorStealOffBitIdentical(t *testing.T) {
+	spec := clusterSpec()
+	spec.ShardFactor = 2
+	want, err := runSpec(spec, nil, time.Time{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peer1 := New(Config{Pool: 1, ShardPool: 8})
+	ts1 := httptest.NewServer(peer1.Handler())
+	defer ts1.Close()
+	peer2 := New(Config{Pool: 1, ShardPool: 8})
+	ts2 := httptest.NewServer(peer2.Handler())
+	defer ts2.Close()
+
+	cfg := coordinatorConfig([]string{ts1.URL, ts2.URL}, forwardingFaults())
+	cfg.Cluster.DisableStealing = true
+	coord := New(cfg)
+	defer drainWithin(t, coord, 60*time.Second)
+
+	j, err := coord.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	done, err := coord.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusSucceeded {
+		t.Fatalf("coordinator job with stealing off: %s (%s)", done.Status, done.Error)
+	}
+	sameResult(t, done.Result, want, "steal-off")
+	snap, ok := coord.ClusterSnapshot()
+	if !ok {
+		t.Fatal("coordinator has no cluster snapshot")
+	}
+	if snap.Steals != 0 {
+		t.Errorf("DisableStealing recorded %d steals", snap.Steals)
 	}
 }

@@ -55,7 +55,9 @@ type metrics struct {
 	shardsRejected      atomic.Int64
 	shardsReplayed      atomic.Int64
 	replayedResumed     atomic.Int64
+	shardCollapses      atomic.Int64
 	durationSeconds     lockedFloat
+	shardsEffective     lockedFloat
 }
 
 // lockedFloat is a mutex-guarded float accumulator (duration sums are
@@ -269,6 +271,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("revnicd_shards_rejected_total", "Remote shard tasks refused with 503 (capacity).", s.m.shardsRejected.Load())
 	counter("revnicd_shards_replayed_total", "Shard results reused from the journal after a coordinator restart.", s.m.shardsReplayed.Load())
 	counter("revnicd_journal_resumed_total", "Journaled coordinator jobs requeued with collected shards pre-seeded.", s.m.replayedResumed.Load())
+	counter("revnicd_shard_collapses_total", "Phases configured to fan out that drained serially (lost parallelism).", s.m.shardCollapses.Load())
+	effSum, effN := s.m.shardsEffective.read()
+	fmt.Fprintf(w, "# HELP revnicd_shards_effective Narrowest fan-out width achieved, summed over completed jobs that fanned out.\n# TYPE revnicd_shards_effective summary\n")
+	fmt.Fprintf(w, "revnicd_shards_effective_sum %g\n", effSum)
+	fmt.Fprintf(w, "revnicd_shards_effective_count %d\n", effN)
 
 	if races := solver.PortfolioSnapshot(); len(races) > 0 {
 		backends := make([]string, 0, len(races))
@@ -318,6 +325,22 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				v = 2
 			}
 			fmt.Fprintf(w, "revnicd_cluster_breaker_state{peer=%q} %d\n", p.Peer, v)
+		}
+		counter("revnicd_cluster_steals_total", "Straggler shards re-dispatched onto another peer by the work queue.", snap.Steals)
+		counter("revnicd_cluster_local_pulls_total", "Shards the local capacity slot pulled from the work queue.", snap.LocalPulls)
+		fmt.Fprintf(w, "# HELP revnicd_shard_wall_seconds Wall time of winning shard attempts.\n# TYPE revnicd_shard_wall_seconds summary\n")
+		fmt.Fprintf(w, "revnicd_shard_wall_seconds_sum %g\n", snap.ShardWallSum)
+		fmt.Fprintf(w, "revnicd_shard_wall_seconds_count %d\n", snap.ShardWallCount)
+		fmt.Fprintf(w, "# HELP revnicd_shard_queue_wait_seconds Time shards spent enqueued before their first claim.\n# TYPE revnicd_shard_queue_wait_seconds summary\n")
+		fmt.Fprintf(w, "revnicd_shard_queue_wait_seconds_sum %g\n", snap.QueueWaitSum)
+		fmt.Fprintf(w, "revnicd_shard_queue_wait_seconds_count %d\n", snap.QueueWaitCount)
+		fmt.Fprintf(w, "# HELP revnicd_cluster_peer_ewma_ms Per-peer EWMA latency estimate of successful shard attempts, milliseconds.\n# TYPE revnicd_cluster_peer_ewma_ms gauge\n")
+		for _, p := range snap.Peers {
+			fmt.Fprintf(w, "revnicd_cluster_peer_ewma_ms{peer=%q} %g\n", p.Peer, p.EwmaMS)
+		}
+		fmt.Fprintf(w, "# HELP revnicd_cluster_peer_inflight Shard attempts currently in flight, per peer.\n# TYPE revnicd_cluster_peer_inflight gauge\n")
+		for _, p := range snap.Peers {
+			fmt.Fprintf(w, "revnicd_cluster_peer_inflight{peer=%q} %d\n", p.Peer, p.Inflight)
 		}
 	}
 }

@@ -107,6 +107,13 @@ type JobSpec struct {
 	// cmd/revnic's flags do; results are identical for any Workers.
 	Workers int `json:"workers,omitempty"`
 	Shards  int `json:"shards,omitempty"`
+	// ShardFactor multiplies Shards into finer shard groups for
+	// capacity-aware scheduling (symexec.Config.ShardFactor): 0 selects
+	// the engine's auto factor, 1 reproduces the coarse pre-factor
+	// schedule. Like Shards it is part of the deterministic schedule —
+	// results are bit-identical for a fixed factor regardless of
+	// workers, peers or stealing.
+	ShardFactor int `json:"shard_factor,omitempty"`
 	// Exploration budgets (symexec.Config fields; 0 = default).
 	MaxStates                int  `json:"max_states,omitempty"`
 	PhaseBudget              int  `json:"phase_budget,omitempty"`
@@ -147,6 +154,12 @@ type JobResult struct {
 	SolverCacheHits   int64   `json:"solver_cache_hits"`
 	SolverModelHits   int64   `json:"solver_model_hits"`
 	Funcs             int     `json:"funcs"`
+	// ShardsEffective is the narrowest fan-out width any phase actually
+	// achieved (0 when no phase fanned out); ShardCollapses counts
+	// phases that were configured to fan out but drained serially —
+	// together they surface silent parallelism collapse.
+	ShardsEffective int   `json:"shards_effective,omitempty"`
+	ShardCollapses  int64 `json:"shard_collapses,omitempty"`
 	// ArenaNodes is how many canonical expression nodes the job's
 	// arena held at completion — all reclaimed with the job.
 	ArenaNodes int `json:"arena_nodes"`
@@ -229,6 +242,12 @@ type Config struct {
 	// retries, hedging, breakers). A nil Cluster.Transport selects
 	// HTTP against the peers' POST /shards endpoints.
 	Cluster cluster.Config
+	// StaticDispatch disables the coordinator work queue: each shard
+	// is dispatched to its hash-selected peer individually, as before
+	// the capacity-aware scheduler. The merged result is identical
+	// either way; this exists for A/B benchmarking (revbench's
+	// straggler scenario) and as an escape hatch.
+	StaticDispatch bool
 	// ShardPool bounds how many remote shards (POST /shards) this
 	// node serves concurrently; excess requests get 503 with
 	// Retry-After, which the coordinator's dispatcher treats as
@@ -524,6 +543,9 @@ func validate(spec JobSpec) error {
 	if spec.DeadlineMS < 0 {
 		return fmt.Errorf("jobsvc: negative deadline_ms %d", spec.DeadlineMS)
 	}
+	if spec.ShardFactor < 0 || spec.ShardFactor > 64 {
+		return fmt.Errorf("jobsvc: shard_factor %d out of range [0, 64]", spec.ShardFactor)
+	}
 	return nil
 }
 
@@ -698,6 +720,10 @@ func (s *Service) run(j *job) {
 		s.m.solverQueries.Add(res.SolverQueries)
 		s.m.executedBlocks.Add(res.ExecutedBlocks)
 		s.m.arenaNodesReclaimed.Add(int64(res.ArenaNodes))
+		s.m.shardCollapses.Add(res.ShardCollapses)
+		if res.ShardsEffective > 0 {
+			s.m.shardsEffective.add(float64(res.ShardsEffective))
+		}
 	}
 	s.mu.Lock()
 	j.Status = status
@@ -933,6 +959,7 @@ func engineConfig(spec JobSpec, ar *expr.Arena) symexec.Config {
 		Seed:                     spec.Seed,
 		Workers:                  spec.Workers,
 		Shards:                   spec.Shards,
+		ShardFactor:              spec.ShardFactor,
 		MaxStates:                spec.MaxStates,
 		PhaseBudget:              spec.PhaseBudget,
 		StagnationBudget:         spec.StagnationBudget,
@@ -985,6 +1012,8 @@ func runSpec(spec JobSpec, stop <-chan struct{}, deadline time.Time, runner syme
 		SolverCacheHits:   exp.SolverCacheHits,
 		SolverModelHits:   exp.SolverModelHits,
 		Funcs:             len(rev.Synth.Funcs),
+		ShardsEffective:   exp.ShardsEffective,
+		ShardCollapses:    exp.ShardCollapses,
 		ArenaNodes:        ar.InternedNodes(),
 		Code:              code,
 		Stopped:           stoppedString(exp.Stopped),

@@ -76,10 +76,11 @@ func (b phaseBudgets) split(n int) phaseBudgets {
 // same seed order, so the outcome is bit-identical either way.
 func (e *Engine) exploreShards(live []*State, name, successName string, bdg phaseBudgets, success successFn) ([]*State, error) {
 	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
-	n := e.cfg.Shards
+	n := e.cfg.fanoutTarget()
 	if n > len(live) {
 		n = len(live)
 	}
+	e.noteFanout(n)
 	groups := make([][]*State, n)
 	for i, s := range live {
 		groups[i%n] = append(groups[i%n], s)
@@ -187,29 +188,48 @@ func (e *Engine) exploreShardsVia(runner ShardRunner, groups [][]*State, name, s
 			Group:   encodeStateGroup(groups[i]),
 		}
 	}
-	results := make([]*ShardResult, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := range tasks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("symexec: shard %d runner panic: %v", i, r)
-				}
-			}()
-			results[i], errs[i] = runner.RunShard(tasks[i], func() (*ShardResult, error) {
-				return e.executeShardLocal(tasks[i])
-			})
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	var results []*ShardResult
+	if qr, ok := runner.(ShardQueueRunner); ok {
+		// Batch dispatch: the runner owns the whole phase's shard set
+		// at once, so it can pull-schedule, weight by peer capacity and
+		// re-dispatch stragglers — none of which changes the results,
+		// which merge below in task order regardless of where or how
+		// often each shard executed.
+		var err error
+		results, err = qr.RunShardQueue(tasks, e.executeShardLocal)
 		if err != nil {
-			return nil, fmt.Errorf("symexec: shard %d (%s): %w", i, name, err)
+			return nil, fmt.Errorf("symexec: shard queue (%s): %w", name, err)
 		}
-		if results[i] == nil {
+		if len(results) != n {
+			return nil, fmt.Errorf("symexec: shard queue (%s): %d results for %d tasks", name, len(results), n)
+		}
+	} else {
+		results = make([]*ShardResult, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := range tasks {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errs[i] = fmt.Errorf("symexec: shard %d runner panic: %v", i, r)
+					}
+				}()
+				results[i], errs[i] = runner.RunShard(tasks[i], func() (*ShardResult, error) {
+					return e.executeShardLocal(tasks[i])
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("symexec: shard %d (%s): %w", i, name, err)
+			}
+		}
+	}
+	for i, r := range results {
+		if r == nil {
 			return nil, fmt.Errorf("symexec: shard %d (%s): runner returned no result", i, name)
 		}
 	}
@@ -224,6 +244,15 @@ func (e *Engine) exploreShardsVia(runner ShardRunner, groups [][]*State, name, s
 	}
 	e.stateID += (n + 1) * jobIDSpan
 	return completed, nil
+}
+
+// noteFanout records one fan-out event's achieved width for the
+// shards_effective stat: the narrowest width over the run is the
+// bottleneck a capacity planner cares about.
+func (e *Engine) noteFanout(n int) {
+	if e.shardsEff == 0 || n < e.shardsEff {
+		e.shardsEff = n
+	}
 }
 
 // shardOutcome is everything one explored shard feeds into the join,

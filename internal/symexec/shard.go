@@ -87,6 +87,22 @@ type ShardRunner interface {
 	RunShard(task *ShardTask, local func() (*ShardResult, error)) (*ShardResult, error)
 }
 
+// ShardQueueRunner is the batch form of ShardRunner: the engine hands
+// over a whole phase's shard tasks at once, so the runner can
+// pull-schedule them across peers, weight dispatch by observed
+// capacity, and re-dispatch stragglers. The runner must return one
+// result per task, in task order; local executes a task on the
+// coordinator engine and is safe to call concurrently (each call
+// builds a fresh worker child over the shared cache and arena).
+// Execution is idempotent, so running a task twice — on two peers, or
+// remotely and locally — and keeping whichever finishes first yields
+// the same merged result. Runners that also implement this interface
+// are preferred over per-task RunShard dispatch.
+type ShardQueueRunner interface {
+	ShardRunner
+	RunShardQueue(tasks []*ShardTask, local func(*ShardTask) (*ShardResult, error)) ([]*ShardResult, error)
+}
+
 // ExecuteShardTask executes one shard task against a fresh engine —
 // the peer-node entry point behind POST /shards. prog and cfg must
 // describe the same job the coordinator runs (same image, seed,
