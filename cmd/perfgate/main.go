@@ -3,7 +3,9 @@
 // baseline (BENCH_9.json) and fails when any matching cell's mean
 // wall-clock regressed beyond the threshold.
 //
-// Cells match on (solver, workers, shard_factor, scenario); cells
+// Cells match on (solver, searcher, workers, shard_factor, scenario) —
+// an absent searcher means "coverage", so baselines written before the
+// searcher axis existed still match fresh coverage cells; cells
 // present in only one report are skipped with a note, so a reduced CI
 // grid (fewer repeats, no cluster scenario) gates only what it
 // actually measured. Timing noise is expected — the default 25%
@@ -25,6 +27,7 @@ import (
 
 type cell struct {
 	Solver      string  `json:"solver"`
+	Searcher    string  `json:"searcher,omitempty"`
 	Workers     int     `json:"workers"`
 	ShardFactor int     `json:"shard_factor,omitempty"`
 	Scenario    string  `json:"scenario,omitempty"`
@@ -37,7 +40,14 @@ type report struct {
 }
 
 func key(c cell) string {
-	return fmt.Sprintf("%s/w%d/f%d/%s", c.Solver, c.Workers, c.ShardFactor, c.Scenario)
+	// Reports written before the searcher axis existed omit the field;
+	// they all ran the coverage-guided default, so normalize rather than
+	// orphan every historical baseline cell.
+	s := c.Searcher
+	if s == "" {
+		s = "coverage"
+	}
+	return fmt.Sprintf("%s/%s/w%d/f%d/%s", c.Solver, s, c.Workers, c.ShardFactor, c.Scenario)
 }
 
 func load(path string) (report, error) {

@@ -33,6 +33,12 @@ type gridCell struct {
 	// on hard queries).
 	Solver  string `json:"solver"`
 	Workers int    `json:"workers"`
+	// Searcher names the path-selection strategy the cell ran with.
+	// Empty means the grid's -strategy flag (historically always
+	// "coverage"); the searcher-axis cells pin "dfs" and "bfs"
+	// explicitly. Different searchers explore different schedules, so
+	// these cells have independent counter baselines.
+	Searcher string `json:"searcher,omitempty"`
 	// ShardFactor is the scheduling-granularity multiplier the cell
 	// ran with (0 = the engine's auto factor). Like seed it is part of
 	// the deterministic schedule, so cells with different factors have
@@ -95,11 +101,19 @@ func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out
 		Drivers:  names,
 	}
 	runCell := func(cell gridCell, m mode) (gridCell, error) {
+		cellSearcher := searcher
+		if cell.Searcher != "" {
+			var err error
+			cellSearcher, err = symexec.SearcherByName(cell.Searcher)
+			if err != nil {
+				return cell, fmt.Errorf("grid cell %s: %w", cell.Searcher, err)
+			}
+		}
 		for rep := 0; rep < repeats; rep++ {
 			start := time.Now()
 			ctx, err := experiments.NewContextCfg(experiments.ContextConfig{
 				Workers:                  cell.Workers,
-				Searcher:                 searcher,
+				Searcher:                 cellSearcher,
 				Arena:                    expr.NewArena(),
 				SolverBackend:            m.backend,
 				DisableIncrementalSolver: m.noInc,
@@ -122,8 +136,12 @@ func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out
 			}
 		}
 		cell.MeanMS, cell.StdMS = meanStd(cell.RunsMS)
-		fmt.Fprintf(os.Stderr, "revbench: grid %-14s workers=%d factor=%d: %.0f ms ± %.0f (%d queries, %d cache hits, %d model reuses)\n",
-			cell.Solver, cell.Workers, cell.ShardFactor, cell.MeanMS, cell.StdMS,
+		label := cell.Searcher
+		if label == "" {
+			label = strategy
+		}
+		fmt.Fprintf(os.Stderr, "revbench: grid %-14s workers=%d factor=%d searcher=%s: %.0f ms ± %.0f (%d queries, %d cache hits, %d model reuses)\n",
+			cell.Solver, cell.Workers, cell.ShardFactor, label, cell.MeanMS, cell.StdMS,
 			cell.SolverQueries, cell.CacheHits, cell.ModelHits)
 		return cell, nil
 	}
@@ -143,6 +161,21 @@ func runGrid(strategy string, searcher symexec.SearcherFactory, repeats int, out
 	// repeats.
 	for _, sf := range []int{1, 2, 4} {
 		cell, err := runCell(gridCell{Solver: "incremental", Workers: 4, ShardFactor: sf}, modes[0])
+		if err != nil {
+			return err
+		}
+		report.Cells = append(report.Cells, cell)
+	}
+	// The searcher axis: the default solver at full parallelism under
+	// each non-default path-selection strategy. The plain cells above
+	// already cover the -strategy searcher (coverage by default), so
+	// this adds the DFS and BFS ablations the paper's exploration
+	// section compares against.
+	for _, name := range []string{"dfs", "bfs"} {
+		if name == strategy {
+			continue
+		}
+		cell, err := runCell(gridCell{Solver: "incremental", Workers: 4, Searcher: name}, modes[0])
 		if err != nil {
 			return err
 		}
@@ -186,13 +219,17 @@ func writeGridCSV(path string, report gridReport) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"scenario", "solver", "workers", "shard_factor", "rep", "ms"}); err != nil {
+	if err := w.Write([]string{"scenario", "solver", "searcher", "workers", "shard_factor", "rep", "ms"}); err != nil {
 		return err
 	}
 	for _, c := range report.Cells {
+		searcher := c.Searcher
+		if searcher == "" {
+			searcher = report.Strategy
+		}
 		for rep, ms := range c.RunsMS {
 			rec := []string{
-				c.Scenario, c.Solver,
+				c.Scenario, c.Solver, searcher,
 				strconv.Itoa(c.Workers), strconv.Itoa(c.ShardFactor),
 				strconv.Itoa(rep), strconv.FormatFloat(ms, 'f', 3, 64),
 			}

@@ -25,12 +25,13 @@ import (
 	"revnic/internal/expr"
 	"revnic/internal/solver"
 	"revnic/internal/symexec"
+	"revnic/internal/synth"
 	"revnic/internal/template"
 )
 
 func main() {
 	var (
-		driverName = flag.String("driver", "RTL8029", "driver to reverse engineer (RTL8029, RTL8139, AMD PCNet, SMSC 91C111)")
+		driverName = flag.String("driver", "RTL8029", "driver to reverse engineer (RTL8029, RTL8139, AMD PCNet, SMSC 91C111, SBLK100)")
 		target     = flag.String("target", "", "instantiate a template for this OS (windows, linux, ucos-ii, kitos)")
 		out        = flag.String("o", "", "write generated code to this file (default stdout)")
 		report     = flag.Bool("report", false, "print coverage and classification report")
@@ -41,6 +42,7 @@ func main() {
 		shardFac   = flag.Int("shard-factor", 0, "shard-group granularity multiplier: 0 auto-sizes, 1 reproduces the coarse schedule (part of the deterministic schedule, like -seed)")
 		backend    = flag.String("solver", "", "solver backend: "+strings.Join(solver.BackendNames(), ", ")+" (default core; results are identical)")
 		race       = flag.Bool("portfolio", false, "race solver backends on hard queries (shorthand for -solver=portfolio)")
+		style      = flag.String("style", "", "code-emission style: "+strings.Join(synth.StyleNames(), ", ")+" (default goto; only the emitted-code shape changes)")
 	)
 	flag.Parse()
 	if *race && *backend == "" {
@@ -48,6 +50,9 @@ func main() {
 	}
 	if !solver.ValidBackend(*backend) {
 		fatal("unknown solver backend %q (have %s)", *backend, strings.Join(solver.BackendNames(), ", "))
+	}
+	if !synth.ValidStyle(*style) {
+		fatal("unknown emission style %q (have %s)", *style, strings.Join(synth.StyleNames(), ", "))
 	}
 
 	info, err := drivers.ByName(*driverName)
@@ -64,6 +69,7 @@ func main() {
 	rev, err := core.ReverseEngineer(info.Program, core.Options{
 		Shell:      core.ShellConfig(info),
 		DriverName: info.Name,
+		Style:      *style,
 		Engine: symexec.Config{
 			Seed: *seed, Searcher: searcher,
 			DisableIncrementalSolver: *noInc, Workers: *workers,
@@ -126,7 +132,7 @@ func main() {
 
 func driverList() string {
 	var names []string
-	for _, d := range drivers.All() {
+	for _, d := range drivers.Corpus() {
 		names = append(names, d.Name)
 	}
 	return strings.Join(names, "\n  ")

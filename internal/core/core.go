@@ -34,6 +34,11 @@ type Options struct {
 	Engine symexec.Config
 	// DriverName labels generated artifacts.
 	DriverName string
+	// Style selects the synthesis code-emission style
+	// (synth.StyleGoto when empty). The style changes only the shape
+	// of the emitted C; the recovered graph — and therefore the
+	// executable synthetic driver — is identical.
+	Style string
 }
 
 // Reversed is the complete result of reverse engineering one binary
@@ -62,7 +67,7 @@ func ReverseEngineer(prog *isa.Program, opt Options) (*Reversed, error) {
 		return nil, fmt.Errorf("core: exploration: %w", err)
 	}
 	g := cfg.Build(res.Collector)
-	out := synth.Generate(g, synth.Options{DriverName: opt.DriverName})
+	out := synth.Generate(g, synth.Options{DriverName: opt.DriverName, Style: opt.Style})
 	return &Reversed{
 		Name:        opt.DriverName,
 		Exploration: res,

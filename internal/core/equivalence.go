@@ -48,9 +48,9 @@ type FeatureReport struct {
 	FirstDivergence string
 }
 
-// newDevice builds the device model matching a driver. mem supplies
+// NewDevice builds the device model matching a driver. mem supplies
 // DMA access for bus-master chips.
-func newDevice(name string, line *hw.IRQLine, mem hw.MemBus, mac [6]byte) (nic.Model, error) {
+func NewDevice(name string, line *hw.IRQLine, mem hw.MemBus, mac [6]byte) (nic.Model, error) {
 	switch name {
 	case "RTL8029":
 		return nic.NewRTL8029(line, mac), nil
@@ -60,6 +60,8 @@ func newDevice(name string, line *hw.IRQLine, mem hw.MemBus, mac [6]byte) (nic.M
 		return nic.NewPCNet(line, mem, mac), nil
 	case "SMSC 91C111":
 		return nic.NewSMC91C111(line, mac), nil
+	case "SBLK100":
+		return nic.NewSBLK100(line, mac), nil
 	}
 	return nil, fmt.Errorf("core: no device model for %q", name)
 }
@@ -112,54 +114,31 @@ func makeEqOps(mac [6]byte) eqOps {
 // runOriginal exercises the original binary driver on its device,
 // recording the I/O trace.
 func runOriginal(info *drivers.Info, ops eqOps) ([]IOEvent, nic.Model, *guestos.OS, error) {
-	bus := hw.NewBus()
-	m := vm.New(bus)
-	cfgp := ShellConfig(info)
-	dev, err := newDevice(info.Name, &bus.Line, m, ops.mac)
+	rig, err := NewOriginalRig(info, ops.mac)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bus.Attach(dev.(hw.Device), cfgp)
-	if err := m.LoadImage(info.Program); err != nil {
-		return nil, nil, nil, err
-	}
-	os := guestos.New(m, cfgp)
-	var tr []IOEvent
-	m.AddIOTap(func(port, write bool, addr uint32, size int, v uint32) {
-		tr = append(tr, IOEvent{port, write, addr, size, v})
-	})
-	if err := os.LoadDriver(info.Program.Base); err != nil {
-		return nil, nil, nil, err
-	}
-	_, err = driveWorkload(originalSide{os}, dev, ops)
-	return tr, dev, os, err
+	_, err = driveWorkload(rig.Side, rig.Dev, ops)
+	return rig.Trace(), rig.Dev, rig.OS, err
 }
 
 // runSynthesized exercises the synthesized driver on a fresh device
 // of the same type, recording its I/O trace.
 func runSynthesized(rev *Reversed, info *drivers.Info, osKind template.OS, ops eqOps) ([]IOEvent, nic.Status, nic.Model, *template.Runtime, error) {
-	bus := hw.NewBus()
-	cfgp := ShellConfig(info)
-	d, rt := rev.NewSyntheticDriver(osKind, bus, cfgp)
-	dev, err := newDevice(info.Name, &bus.Line, d, ops.mac)
+	rig, err := NewSynthRig(rev, info, osKind, ops.mac)
 	if err != nil {
 		return nil, nic.Status{}, nil, nil, err
 	}
-	bus.Attach(dev.(hw.Device), cfgp)
-	var tr []IOEvent
-	d.IOTap = func(port, write bool, addr uint32, size int, v uint32) {
-		tr = append(tr, IOEvent{port, write, addr, size, v})
-	}
-	snap, err := driveWorkload(synthSide{d, rt}, dev, ops)
-	return tr, snap, dev, rt, err
+	snap, err := driveWorkload(rig.Side, rig.Dev, ops)
+	return rig.Trace(), snap, rig.Dev, rig.RT, err
 }
 
-// side abstracts "a driver with an OS around it" so the identical
-// workload can drive both implementations.
-type side interface {
+// Side abstracts "a driver with an OS around it" so an identical
+// workload can drive the original binary and the synthesized code.
+type Side interface {
 	Initialize() error
 	Send(frame []byte) (uint32, error)
-	Pump() error
+	Pump(max int) (int, error)
 	Query(oid, n uint32) (uint32, []byte, error)
 	Set(oid uint32, in []byte) (uint32, error)
 	FireTimer() error
@@ -172,9 +151,8 @@ func (o originalSide) Initialize() error { return o.os.Initialize() }
 func (o originalSide) Send(f []byte) (uint32, error) {
 	return o.os.Send(f)
 }
-func (o originalSide) Pump() error {
-	_, err := o.os.PumpInterrupts(16)
-	return err
+func (o originalSide) Pump(max int) (int, error) {
+	return o.os.PumpInterrupts(max)
 }
 func (o originalSide) Query(oid, n uint32) (uint32, []byte, error) { return o.os.Query(oid, n) }
 func (o originalSide) Set(oid uint32, in []byte) (uint32, error)   { return o.os.Set(oid, in) }
@@ -191,19 +169,79 @@ func (s synthSide) Send(f []byte) (uint32, error) {
 	s.rt.Lock()
 	return s.d.Send(f)
 }
-func (s synthSide) Pump() error {
-	_, err := s.d.PumpInterrupts(16)
-	return err
+func (s synthSide) Pump(max int) (int, error) {
+	return s.d.PumpInterrupts(max)
 }
 func (s synthSide) Query(oid, n uint32) (uint32, []byte, error) { return s.d.Query(oid, n) }
 func (s synthSide) Set(oid uint32, in []byte) (uint32, error)   { return s.d.Set(oid, in) }
 func (s synthSide) FireTimer() error                            { return s.d.FireTimer() }
 func (s synthSide) Halt() error                                 { return s.d.Halt() }
 
+// Rig is one executable driver instance — the original binary under
+// the guest OS, or the synthesized driver under the template runtime
+// — bound to a fresh device model, with every hardware access it
+// performs recorded. The differential fuzzer builds one rig per side
+// per schedule; the equivalence checker builds one pair per driver.
+type Rig struct {
+	Side Side
+	Dev  nic.Model
+	// OS is set on original-side rigs.
+	OS *guestos.OS
+	// RT is set on synthesized-side rigs.
+	RT    *template.Runtime
+	trace *[]IOEvent
+}
+
+// Trace returns the hardware accesses recorded so far.
+func (r *Rig) Trace() []IOEvent { return *r.trace }
+
+// NewOriginalRig loads the original binary driver into a fresh VM
+// attached to a fresh device model.
+func NewOriginalRig(info *drivers.Info, mac [6]byte) (*Rig, error) {
+	bus := hw.NewBus()
+	m := vm.New(bus)
+	cfgp := ShellConfig(info)
+	dev, err := NewDevice(info.Name, &bus.Line, m, mac)
+	if err != nil {
+		return nil, err
+	}
+	bus.Attach(dev.(hw.Device), cfgp)
+	if err := m.LoadImage(info.Program); err != nil {
+		return nil, err
+	}
+	os := guestos.New(m, cfgp)
+	tr := &[]IOEvent{}
+	m.AddIOTap(func(port, write bool, addr uint32, size int, v uint32) {
+		*tr = append(*tr, IOEvent{port, write, addr, size, v})
+	})
+	if err := os.LoadDriver(info.Program.Base); err != nil {
+		return nil, err
+	}
+	return &Rig{Side: originalSide{os}, Dev: dev, OS: os, trace: tr}, nil
+}
+
+// NewSynthRig instantiates the synthesized driver from a reversed
+// graph against a fresh device model of the same type.
+func NewSynthRig(rev *Reversed, info *drivers.Info, osKind template.OS, mac [6]byte) (*Rig, error) {
+	bus := hw.NewBus()
+	cfgp := ShellConfig(info)
+	d, rt := rev.NewSyntheticDriver(osKind, bus, cfgp)
+	dev, err := NewDevice(info.Name, &bus.Line, d, mac)
+	if err != nil {
+		return nil, err
+	}
+	bus.Attach(dev.(hw.Device), cfgp)
+	tr := &[]IOEvent{}
+	d.IOTap = func(port, write bool, addr uint32, size int, v uint32) {
+		*tr = append(*tr, IOEvent{port, write, addr, size, v})
+	}
+	return &Rig{Side: synthSide{d, rt}, Dev: dev, RT: rt, trace: tr}, nil
+}
+
 // driveWorkload applies the equivalence workload to one side. The
 // returned status is snapshotted after the feature sets but before
 // Halt (which legitimately clears receiver state on some chips).
-func driveWorkload(s side, dev nic.Model, ops eqOps) (nic.Status, error) {
+func driveWorkload(s Side, dev nic.Model, ops eqOps) (nic.Status, error) {
 	var snap nic.Status
 	if err := s.Initialize(); err != nil {
 		return snap, fmt.Errorf("initialize: %w", err)
@@ -221,7 +259,7 @@ func driveWorkload(s side, dev nic.Model, ops eqOps) (nic.Status, error) {
 		if _, err := s.Send(f); err != nil {
 			return snap, fmt.Errorf("send %d: %w", i, err)
 		}
-		if err := s.Pump(); err != nil {
+		if _, err := s.Pump(16); err != nil {
 			return snap, fmt.Errorf("pump after send %d: %w", i, err)
 		}
 	}
@@ -229,7 +267,7 @@ func driveWorkload(s side, dev nic.Model, ops eqOps) (nic.Status, error) {
 		if !dev.InjectRX(f) {
 			return snap, fmt.Errorf("device dropped inbound frame %d", i)
 		}
-		if err := s.Pump(); err != nil {
+		if _, err := s.Pump(16); err != nil {
 			return snap, fmt.Errorf("pump after rx %d: %w", i, err)
 		}
 	}
@@ -247,6 +285,26 @@ func driveWorkload(s side, dev nic.Model, ops eqOps) (nic.Status, error) {
 		return snap, fmt.Errorf("halt: %w", err)
 	}
 	return snap, nil
+}
+
+// CompareTraces compares two hardware I/O traces op by op, then by
+// length. It returns ("", true) when they are identical, and a
+// description of the first mismatch otherwise — the oracle shared by
+// the equivalence checker and the differential fuzzer.
+func CompareTraces(orig, synth []IOEvent) (string, bool) {
+	n := len(orig)
+	if len(synth) < n {
+		n = len(synth)
+	}
+	for i := 0; i < n; i++ {
+		if orig[i] != synth[i] {
+			return fmt.Sprintf("op %d: orig %+v vs synth %+v", i, orig[i], synth[i]), false
+		}
+	}
+	if len(orig) != len(synth) {
+		return fmt.Sprintf("length: orig %d vs synth %d", len(orig), len(synth)), false
+	}
+	return "", true
 }
 
 // CheckEquivalence runs the §5.2 methodology for one driver: exercise
@@ -271,22 +329,7 @@ func CheckEquivalence(info *drivers.Info, rev *Reversed, osKind template.OS) (*F
 		OrigOps:  len(origTrace),
 		SynthOps: len(synthTrace),
 	}
-	rep.IOTraceEqual = true
-	n := len(origTrace)
-	if len(synthTrace) < n {
-		n = len(synthTrace)
-	}
-	for i := 0; i < n; i++ {
-		if origTrace[i] != synthTrace[i] {
-			rep.IOTraceEqual = false
-			rep.FirstDivergence = fmt.Sprintf("op %d: orig %+v vs synth %+v", i, origTrace[i], synthTrace[i])
-			break
-		}
-	}
-	if rep.IOTraceEqual && len(origTrace) != len(synthTrace) {
-		rep.IOTraceEqual = false
-		rep.FirstDivergence = fmt.Sprintf("length: orig %d vs synth %d", len(origTrace), len(synthTrace))
-	}
+	rep.FirstDivergence, rep.IOTraceEqual = CompareTraces(origTrace, synthTrace)
 
 	// Functional results on the synthesized side. snap was taken
 	// mid-workload (after the feature sets, before halt); the final
@@ -342,7 +385,7 @@ func runFeatureProbe(rev *Reversed, info *drivers.Info, mac [6]byte) (*FeatureRe
 	bus := hw.NewBus()
 	cfgp := ShellConfig(info)
 	d, _ := rev.NewSyntheticDriver(template.Windows, bus, cfgp)
-	dev, err := newDevice(info.Name, &bus.Line, d, mac)
+	dev, err := NewDevice(info.Name, &bus.Line, d, mac)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +411,7 @@ func runLEDProbe(rev *Reversed, info *drivers.Info, mac [6]byte) (*FeatureReport
 	bus := hw.NewBus()
 	cfgp := ShellConfig(info)
 	d, _ := rev.NewSyntheticDriver(template.Windows, bus, cfgp)
-	dev, err := newDevice(info.Name, &bus.Line, d, mac)
+	dev, err := NewDevice(info.Name, &bus.Line, d, mac)
 	if err != nil {
 		return nil, err
 	}

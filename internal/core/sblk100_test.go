@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"revnic/internal/template"
+)
+
+// TestSBLK100Equivalence runs the full pipeline on the corpus-growth
+// block controller: symbolic exploration of the original binary, CFG
+// recovery, synthesis, and the §5.2 trace-equivalence check. The
+// NIC-specific feature rows (multicast, promiscuous, duplex) are
+// intentionally not asserted — a block device has none of them.
+func TestSBLK100Equivalence(t *testing.T) {
+	info, rev := reverse(t, "SBLK100")
+	if cov := rev.Coverage(); cov < 0.80 {
+		t.Errorf("coverage %.1f%% < 80%%", cov*100)
+	}
+	rep, err := CheckEquivalence(info, rev, template.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IOTraceEqual {
+		t.Errorf("I/O traces diverge: %s (orig %d ops, synth %d ops)",
+			rep.FirstDivergence, rep.OrigOps, rep.SynthOps)
+	}
+	if rep.OrigOps < 20 {
+		t.Errorf("suspiciously few I/O ops: %d", rep.OrigOps)
+	}
+	if !rep.InitShutdown {
+		t.Error("init/shutdown not reproduced")
+	}
+	if !rep.SendReceive {
+		t.Error("send/receive not reproduced")
+	}
+	if !rep.GetSetMAC {
+		t.Error("serial (station address) not reproduced")
+	}
+}

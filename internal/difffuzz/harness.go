@@ -1,0 +1,444 @@
+package difffuzz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"revnic/internal/cfg"
+	"revnic/internal/core"
+	"revnic/internal/drivers"
+	"revnic/internal/isa"
+	"revnic/internal/symexec"
+	"revnic/internal/synthdrv"
+	"revnic/internal/template"
+)
+
+// PlantKinds lists the supported synthetic-bug kinds for -plant /
+// FuzzSpec.Plant. An empty kind means "no bug".
+var PlantKinds = []string{"send-port"}
+
+// ValidPlant reports whether kind is a known planted-bug kind.
+func ValidPlant(kind string) bool {
+	if kind == "" {
+		return true
+	}
+	for _, k := range PlantKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Harness holds one reverse-engineered driver ready for differential
+// execution: the original binary image and the recovered graph the
+// synthesized driver interprets. Exploration runs once per harness
+// (with a fixed engine seed, so the recovered graph is canonical);
+// every schedule then executes on fresh rigs, so schedules are fully
+// independent and order does not matter.
+type Harness struct {
+	Info *drivers.Info
+	Rev  *core.Reversed
+	OS   template.OS
+	mac  [6]byte
+}
+
+// NewHarness reverse engineers the named corpus driver and, if plant
+// is non-empty, injects a synthetic synthesis bug of that kind into
+// the recovered graph (the original binary is untouched — the fuzzer
+// must find the discrepancy).
+func NewHarness(device string, osKind template.OS, plant string) (*Harness, error) {
+	info, err := drivers.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := core.ReverseEngineer(info.Program, core.Options{
+		Shell:      core.ShellConfig(info),
+		DriverName: info.Name,
+		// Fixed engine seed: the fuzz seed randomizes schedules, not
+		// the recovered graph, which must be canonical.
+		Engine: symexec.Config{Seed: 7},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("difffuzz: reverse %s: %w", device, err)
+	}
+	if plant != "" {
+		if err := PlantBug(rev.Graph, plant); err != nil {
+			return nil, err
+		}
+	}
+	return &Harness{
+		Info: info,
+		Rev:  rev,
+		OS:   osKind,
+		mac:  [6]byte{0x02, 0x5E, 0x44, 0x33, 0x22, 0x11},
+	}, nil
+}
+
+// PlantBug injects a known synthesis defect into a recovered graph,
+// used to validate that the fuzzer actually catches divergences.
+//
+//	send-port: the first port write in the send-role function is
+//	shifted to an adjacent register — the classic off-by-one a buggy
+//	lifter produces, invisible to any check that does not execute
+//	the code.
+func PlantBug(g *cfg.Graph, kind string) error {
+	switch kind {
+	case "send-port":
+		var send *cfg.Function
+		for _, f := range g.SortedFuncs() {
+			if f.Role == "send" {
+				send = f
+				break
+			}
+		}
+		if send == nil {
+			return errors.New("difffuzz: plant send-port: no send-role function recovered")
+		}
+		for _, b := range send.SortedBlocks() {
+			for i, ins := range b.Instrs {
+				switch ins.Op {
+				case isa.OUT8, isa.OUT16, isa.OUT32:
+					// Blocks are shared with g.Blocks, so the
+					// interpreter-backed synthesized driver sees the
+					// mutation; the original binary does not.
+					b.Instrs[i].Imm ^= 1
+					return nil
+				}
+			}
+		}
+		return errors.New("difffuzz: plant send-port: send function performs no port writes")
+	}
+	return fmt.Errorf("difffuzz: unknown plant kind %q", kind)
+}
+
+// Outcome is the result of running one schedule differentially. It is
+// JSON-serializable so cluster shards can return batches of outcomes
+// to the coordinator.
+type Outcome struct {
+	ScheduleID uint64 `json:"schedule_id"`
+	Steps      int    `json:"steps"`
+	// CovKeys are the hardware-access edge-coverage keys the original
+	// side hit; the coordinator merges them into the global map.
+	CovKeys []uint64 `json:"cov_keys,omitempty"`
+	// Unexplored means the synthesized driver hit a branch the
+	// exploration never reached. That is an incompleteness warning
+	// (§4.1), not a divergence: the synthesized code matched the
+	// original on everything it executed.
+	Unexplored bool `json:"unexplored,omitempty"`
+	// Err records a harness-level failure (including a recovered
+	// panic in either driver) — reported, never fatal to the run.
+	Err string `json:"err,omitempty"`
+	// Divergence is non-nil when observable behavior differed.
+	Divergence *Divergence `json:"divergence,omitempty"`
+}
+
+// Divergence describes one observable behavioral difference between
+// the original and the synthesized driver.
+type Divergence struct {
+	Device string `json:"device"`
+	// Kind classifies the difference:
+	//
+	//	trace     — hardware I/O traces differ op-for-op
+	//	length    — one side performed extra hardware ops
+	//	status    — an operation returned different NDIS status
+	//	query-out — a query returned different bytes
+	//	op-error  — one side failed an operation the other completed
+	//	rx-accept — the device accepted a frame for one side only
+	//	tx-data   — transmitted frames differ
+	Kind string `json:"kind"`
+	// Step is the index of the schedule step that exposed the
+	// difference; -1 means initialization, len(Steps) means halt.
+	Step   int    `json:"step"`
+	StepOp string `json:"step_op,omitempty"`
+	Detail string `json:"detail"`
+	// Schedule reproduces the divergence from a fresh harness.
+	Schedule Schedule `json:"schedule"`
+	// Minimized is the shortest reproducer found by ddmin, when
+	// minimization ran.
+	Minimized *Schedule `json:"minimized,omitempty"`
+	// MinimizeTrials counts schedule executions minimization spent.
+	MinimizeTrials int `json:"minimize_trials,omitempty"`
+}
+
+func (d *Divergence) String() string {
+	s := fmt.Sprintf("%s: %s at step %d (%s): %s", d.Device, d.Kind, d.Step, d.StepOp, d.Detail)
+	if d.Minimized != nil {
+		s += fmt.Sprintf(" [minimized to %d steps in %d trials]", len(d.Minimized.Steps), d.MinimizeTrials)
+	}
+	return s
+}
+
+// RunSchedule executes one schedule on a fresh original rig and a
+// fresh synthesized rig, comparing observable behavior step by step.
+// A panic in either driver is recovered into Outcome.Err — one bad
+// schedule must never take down a fuzzing run or a job runner.
+func (h *Harness) RunSchedule(s Schedule) (out Outcome) {
+	out = Outcome{ScheduleID: s.ID, Steps: len(s.Steps)}
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			out.Err = fmt.Sprintf("panic executing %s: %v\n%s", s, r, buf)
+		}
+	}()
+
+	orig, err := core.NewOriginalRig(h.Info, h.mac)
+	if err != nil {
+		out.Err = fmt.Sprintf("original rig: %v", err)
+		return out
+	}
+	synth, err := core.NewSynthRig(h.Rev, h.Info, h.OS, h.mac)
+	if err != nil {
+		out.Err = fmt.Sprintf("synth rig: %v", err)
+		return out
+	}
+
+	ex := &execution{h: h, orig: orig, synth: synth, out: &out}
+
+	if ex.both(-1, "init", func(s core.Side) (uint32, []byte, error) {
+		return 0, nil, s.Initialize()
+	}) {
+		for i, st := range s.Steps {
+			if !ex.step(i, st) {
+				break
+			}
+		}
+		if ex.out.Divergence == nil && !ex.out.Unexplored && ex.out.Err == "" {
+			ex.both(len(s.Steps), "halt", func(s core.Side) (uint32, []byte, error) {
+				return 0, nil, s.Halt()
+			})
+			ex.compareStatus(len(s.Steps))
+		}
+	}
+	// Final full-trace comparison catches trailing extra ops.
+	if ex.out.Divergence == nil && ex.out.Err == "" && !ex.out.Unexplored {
+		if detail, ok := core.CompareTraces(orig.Trace(), synth.Trace()); !ok {
+			ex.diverge(len(s.Steps), "halt", "length", detail)
+		}
+	}
+	out.CovKeys = coverageKeys(orig.Trace())
+	if out.Divergence != nil {
+		out.Divergence.Schedule = s
+	}
+	return out
+}
+
+// execution carries the per-schedule comparison state.
+type execution struct {
+	h      *Harness
+	orig   *core.Rig
+	synth  *core.Rig
+	out    *Outcome
+	cursor int // ops of the traces already compared
+}
+
+func (ex *execution) diverge(step int, op, kind, detail string) {
+	if ex.out.Divergence == nil {
+		ex.out.Divergence = &Divergence{
+			Device: ex.h.Info.Name, Kind: kind, Step: step, StepOp: op, Detail: detail,
+		}
+	}
+}
+
+// both applies one operation to the two sides and compares status,
+// output bytes, errors, and the hardware traces the op produced.
+// It returns false when the schedule should stop (divergence found,
+// unexplored code hit, or matching failures on both sides).
+func (ex *execution) both(step int, op string, f func(core.Side) (uint32, []byte, error)) bool {
+	oSt, oOut, oErr := f(ex.orig.Side)
+	sSt, sOut, sErr := f(ex.synth.Side)
+
+	var unexp *synthdrv.ErrUnexplored
+	if errors.As(sErr, &unexp) {
+		// Prefix check first: an unexplored hit after the traces
+		// already diverged is still a divergence.
+		if !ex.comparePrefix(step, op) {
+			return false
+		}
+		ex.out.Unexplored = true
+		return false
+	}
+	if (oErr == nil) != (sErr == nil) {
+		ex.diverge(step, op, "op-error",
+			fmt.Sprintf("orig err=%v, synth err=%v", oErr, sErr))
+		return false
+	}
+	if oErr != nil {
+		// Both sides failed identically (e.g. a stuck interrupt
+		// line): stop the schedule, no divergence.
+		return false
+	}
+	if oSt != sSt {
+		ex.diverge(step, op, "status",
+			fmt.Sprintf("orig status %#x, synth status %#x", oSt, sSt))
+		return false
+	}
+	if !bytes.Equal(oOut, sOut) {
+		ex.diverge(step, op, "query-out",
+			fmt.Sprintf("orig % x, synth % x", oOut, sOut))
+		return false
+	}
+	return ex.comparePrefix(step, op)
+}
+
+// comparePrefix diffs the not-yet-compared region of the two traces.
+// The synthesized trace may legitimately be shorter mid-schedule only
+// when the driver stopped at unexplored code, which both() handles
+// before calling here; a value mismatch in the common prefix is
+// always a real divergence.
+func (ex *execution) comparePrefix(step int, op string) bool {
+	ot, st := ex.orig.Trace(), ex.synth.Trace()
+	n := len(ot)
+	if len(st) < n {
+		n = len(st)
+	}
+	for i := ex.cursor; i < n; i++ {
+		if ot[i] != st[i] {
+			ex.diverge(step, op, "trace",
+				fmt.Sprintf("op %d: orig %+v vs synth %+v", i, ot[i], st[i]))
+			return false
+		}
+	}
+	ex.cursor = n
+	return true
+}
+
+func (ex *execution) compareStatus(step int) {
+	if ex.out.Divergence != nil {
+		return
+	}
+	o, s := ex.orig.Dev.StatusReport(), ex.synth.Dev.StatusReport()
+	if o != s {
+		ex.diverge(step, "halt", "status",
+			fmt.Sprintf("device status orig %+v, synth %+v", o, s))
+	}
+}
+
+// step applies one schedule step to both sides.
+func (ex *execution) step(i int, st Step) bool {
+	switch st.Op {
+	case "send":
+		frame := ex.h.buildFrame(st)
+		if !ex.both(i, "send", func(s core.Side) (uint32, []byte, error) {
+			stat, err := s.Send(frame)
+			return stat, nil, err
+		}) {
+			return false
+		}
+		if !ex.pump(i, "send") {
+			return false
+		}
+		// Transmitted payloads must match byte for byte.
+		oTx, sTx := ex.orig.Dev.TxFrames(), ex.synth.Dev.TxFrames()
+		if len(oTx) != len(sTx) {
+			ex.diverge(i, "send", "tx-data",
+				fmt.Sprintf("orig transmitted %d frames, synth %d", len(oTx), len(sTx)))
+			return false
+		}
+		for j := range oTx {
+			if !bytes.Equal(oTx[j], sTx[j]) {
+				ex.diverge(i, "send", "tx-data",
+					fmt.Sprintf("tx frame %d differs: orig %d bytes, synth %d bytes", j, len(oTx[j]), len(sTx[j])))
+				return false
+			}
+		}
+		return true
+	case "recv":
+		frame := ex.h.buildFrame(st)
+		oAcc := ex.orig.Dev.InjectRX(frame)
+		sAcc := ex.synth.Dev.InjectRX(frame)
+		if oAcc != sAcc {
+			ex.diverge(i, "recv", "rx-accept",
+				fmt.Sprintf("orig accepted=%v, synth accepted=%v (len %d)", oAcc, sAcc, len(frame)))
+			return false
+		}
+		if !oAcc {
+			return true // both dropped; nothing to pump
+		}
+		return ex.pump(i, "recv")
+	case "query":
+		return ex.both(i, "query", func(s core.Side) (uint32, []byte, error) {
+			return s.Query(st.OID, st.Val)
+		})
+	case "set":
+		var in [4]byte
+		binary.LittleEndian.PutUint32(in[:], st.Val)
+		return ex.both(i, "set", func(s core.Side) (uint32, []byte, error) {
+			stat, err := s.Set(st.OID, in[:])
+			return stat, nil, err
+		})
+	case "timer":
+		return ex.both(i, "timer", func(s core.Side) (uint32, []byte, error) {
+			return 0, nil, s.FireTimer()
+		})
+	case "pump":
+		return ex.pump(i, "pump")
+	default:
+		ex.out.Err = fmt.Sprintf("unknown step op %q", st.Op)
+		return false
+	}
+}
+
+func (ex *execution) pump(i int, op string) bool {
+	return ex.both(i, op, func(s core.Side) (uint32, []byte, error) {
+		n, err := s.Pump(16)
+		return uint32(n), nil, err
+	})
+}
+
+// buildFrame constructs the deterministic frame for a send/recv step.
+func (h *Harness) buildFrame(st Step) []byte {
+	f := make([]byte, st.Size)
+	dst := h.mac
+	if st.Bcast {
+		dst = [6]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	}
+	copy(f, dst[:])
+	if st.Size > 6 {
+		copy(f[6:], h.mac[:])
+	}
+	if st.Size > 13 {
+		f[12], f[13] = 0x08, 0x00
+	}
+	for i := 14; i < st.Size; i++ {
+		f[i] = st.Fill + byte(i*7)
+	}
+	return f
+}
+
+// coverageKeys reduces a hardware trace to edge-coverage keys: each
+// consecutive pair of accesses hashes (port-space, direction, address,
+// width) of both ops — values are deliberately excluded so payload
+// bytes don't explode the key space. New keys mean the schedule made
+// the driver touch hardware in a new pattern.
+func coverageKeys(tr []core.IOEvent) []uint64 {
+	seen := map[uint64]bool{}
+	keys := make([]uint64, 0, len(tr))
+	prev := uint64(0)
+	for _, ev := range tr {
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			h ^= v
+			h *= 1099511628211
+		}
+		if ev.Port {
+			mix(1)
+		}
+		if ev.Write {
+			mix(2)
+		}
+		mix(uint64(ev.Addr))
+		mix(uint64(ev.Size))
+		mix(prev)
+		prev = h
+		if !seen[h] {
+			seen[h] = true
+			keys = append(keys, h)
+		}
+	}
+	return keys
+}

@@ -1,0 +1,75 @@
+package difffuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SeedFile is the on-disk schedule format (examples/fuzz/*.json): a
+// device name, a template OS, and a list of hand-written schedules.
+// The same format is emitted for minimized reproducers, so any
+// divergence report can be replayed with `revfuzz -replay`.
+type SeedFile struct {
+	Device    string     `json:"device"`
+	OS        string     `json:"os,omitempty"`
+	Schedules []Schedule `json:"schedules"`
+}
+
+// LoadSeedFile parses one schedule file.
+func LoadSeedFile(path string) (*SeedFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sf SeedFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("difffuzz: %s: %w", path, err)
+	}
+	if sf.Device == "" {
+		return nil, fmt.Errorf("difffuzz: %s: missing device", path)
+	}
+	for i, s := range sf.Schedules {
+		if len(s.Steps) == 0 {
+			return nil, fmt.Errorf("difffuzz: %s: schedule %d has no steps", path, i)
+		}
+		for j, st := range s.Steps {
+			if !validOp(st.Op) {
+				return nil, fmt.Errorf("difffuzz: %s: schedule %d step %d: unknown op %q", path, i, j, st.Op)
+			}
+		}
+	}
+	return &sf, nil
+}
+
+func validOp(op string) bool {
+	for _, o := range stepOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadSeedDir collects the schedules for one device from every .json
+// file in dir, in sorted filename order (determinism again).
+func LoadSeedDir(dir, device string) ([]Schedule, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []Schedule
+	for _, p := range paths {
+		sf, err := LoadSeedFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if sf.Device == device {
+			out = append(out, sf.Schedules...)
+		}
+	}
+	return out, nil
+}

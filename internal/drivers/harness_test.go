@@ -45,6 +45,8 @@ func buildRig(t *testing.T, name string) *rig {
 		dev = nic.NewPCNet(&bus.Line, m, testMAC)
 	case "SMSC 91C111":
 		dev = nic.NewSMC91C111(&bus.Line, testMAC)
+	case "SBLK100":
+		dev = nic.NewSBLK100(&bus.Line, testMAC)
 	default:
 		t.Fatalf("no device for %q", name)
 	}

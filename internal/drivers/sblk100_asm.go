@@ -1,0 +1,327 @@
+package drivers
+
+// sblk100Src is the "proprietary" SBLK100 block-controller driver —
+// the corpus entry beyond the four NICs. The register protocol is
+// ATA-flavoured (command/status, LBA register file, sector count, a
+// 16-bit data window with an internal auto-incrementing pointer):
+// outbound payloads are streamed as WRITE_BEGIN / data / WRITE_COMMIT
+// blocks addressed by a software-managed LBA counter, and inbound
+// records are drained READ_NEXT / data / READ_DONE from the ISR. The
+// driver still registers through the miniport table so the identical
+// OS-side harness exercises it.
+//
+// Adapter context layout:
+//
+//	+0x00 I/O base   +0x04 IRQ    +0x08 running   +0x0C filter
+//	+0x10 serial (6 bytes, doubles as the station address)
+//	+0x18 RX staging buffer pointer
+//	+0x1C TX block counter (the next LBA)  +0x20 RX counter
+const sblk100Src = apiEqus + `
+.org 0x10000
+
+; ---- SBLK100 register offsets ----
+.equ R_STATUS,  0x00
+.equ R_CMD,     0x01
+.equ R_SECCNT,  0x02
+.equ R_LBA0,    0x04
+.equ R_LBA1,    0x05
+.equ R_LBA2,    0x06
+.equ R_LBA3,    0x07
+.equ R_DATA,    0x08
+.equ R_IST,     0x0A
+.equ R_IMR,     0x0B
+.equ R_CTL,     0x0C
+.equ R_SCRATCH, 0x0D
+
+.equ ST_READY,   0x01
+.equ CMD_IDENT,  0x10
+.equ CMD_RDNEXT, 0x20
+.equ CMD_RDDONE, 0x21
+.equ CMD_WRBEG,  0x30
+.equ CMD_WRCOM,  0x31
+.equ INT_WRDONE, 0x01
+.equ INT_RDRDY,  0x02
+.equ INT_ERR,    0x04
+
+; ================= DriverEntry =================
+.func DriverEntry
+	movi r1, chars
+	movi r2, mp_initialize
+	st32 [r1+0], r2
+	movi r2, mp_send
+	st32 [r1+4], r2
+	movi r2, mp_isr
+	st32 [r1+8], r2
+	movi r2, mp_query
+	st32 [r1+12], r2
+	movi r2, mp_set
+	st32 [r1+16], r2
+	movi r2, mp_halt
+	st32 [r1+20], r2
+	push r1
+	call NdisMRegisterMiniport
+	movi r0, #STATUS_SUCCESS
+	ret
+
+; ================= MiniportInitialize =================
+.func mp_initialize
+	movi r1, #0x28
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	mov  r4, r0
+	movi r1, #PCI_CFG_IOBASE
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x00], r0
+	movi r1, #PCI_CFG_IRQ
+	push r1
+	call NdisReadPciSlotInformation
+	st32 [r4+0x04], r0
+	; Probe: the scratch register must read back what we wrote.
+	ld32 r1, [r4+0x00]
+	movi r2, #0xA5
+	out8 (r1+R_SCRATCH), r2
+	in8  r3, (r1+R_SCRATCH)
+	beq  r3, r2, init_ready
+	movi r1, #0xDEAD0041
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_ready:
+	; The controller must report READY.
+	in8  r3, (r1+R_STATUS)
+	and  r3, r3, #ST_READY
+	bne  r3, #0, init_ident
+	movi r1, #0xDEAD0042
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_ident:
+	; IDENTIFY: serial in bytes 0..5, "SBLK" magic at byte 8.
+	movi r2, #CMD_IDENT
+	out8 (r1+R_CMD), r2
+	movi r3, #0
+ident_loop:
+	in16 r2, (r1+R_DATA)
+	add  r5, r4, r3
+	st16 [r5+0x10], r2
+	add  r3, r3, #2
+	movi r5, #6
+	bltu r3, r5, ident_loop
+	in16 r2, (r1+R_DATA)   ; skip padding bytes 6..7
+	in16 r2, (r1+R_DATA)   ; magic bytes 8..9: "SB"
+	movi r5, #0x4253
+	beq  r2, r5, init_buf
+	movi r1, #0xDEAD0043
+	push r1
+	call NdisWriteErrorLogEntry
+	jmp  init_fail
+init_buf:
+	; Staging buffer for inbound records.
+	movi r1, #1536
+	push r1
+	call NdisAllocateMemory
+	beq  r0, #0, init_fail
+	st32 [r4+0x18], r0
+	; Unmask every interrupt source, then start the controller.
+	ld32 r1, [r4+0x00]
+	movi r2, #7            ; INT_WRDONE|INT_RDRDY|INT_ERR
+	out8 (r1+R_IMR), r2
+	movi r2, #1
+	out8 (r1+R_CTL), r2
+	st32 [r4+0x08], r2
+	mov  r0, r4
+	ret
+init_fail:
+	movi r0, #0
+	ret
+
+; ================= MiniportSend =================
+; mp_send(ctx, buf, len): open a write block, stream the 2-byte
+; length header plus the payload through the data port, address the
+; block with the running LBA counter, and commit. Completion is
+; signalled by the WRITE_DONE interrupt.
+.func mp_send
+	ld32 r4, [sp+4]
+	ld32 r5, [sp+8]
+	ld32 r6, [sp+12]
+	movi r1, #14
+	bltu r6, r1, send_bad
+	movi r1, #1514
+	bgeu r1, r6, send_ok
+send_bad:
+	movi r1, #0xDEAD0044
+	push r1
+	call NdisWriteErrorLogEntry
+	movi r0, #STATUS_FAILURE
+	ret 12
+send_ok:
+	ld32 r1, [r4+0x00]
+	movi r2, #CMD_WRBEG
+	out8 (r1+R_CMD), r2
+	out16 (r1+R_DATA), r6  ; length header
+	movi r3, #0
+send_copy:
+	bgeu r3, r6, send_copied
+	add  r2, r5, r3
+	ld16 r2, [r2+0]
+	out16 (r1+R_DATA), r2
+	add  r3, r3, #2
+	jmp  send_copy
+send_copied:
+	; Address the block: LBA = running block counter, byte by byte.
+	ld32 r2, [r4+0x1C]
+	out8 (r1+R_LBA0), r2
+	shr  r2, r2, #8
+	out8 (r1+R_LBA1), r2
+	shr  r2, r2, #8
+	out8 (r1+R_LBA2), r2
+	shr  r2, r2, #8
+	out8 (r1+R_LBA3), r2
+	; Sector count: ceil(len / 512).
+	add  r2, r6, #511
+	shr  r2, r2, #9
+	out8 (r1+R_SECCNT), r2
+	movi r2, #CMD_WRCOM
+	out8 (r1+R_CMD), r2
+	ld32 r2, [r4+0x1C]
+	add  r2, r2, #1
+	st32 [r4+0x1C], r2
+	movi r0, #STATUS_SUCCESS
+	ret 12
+
+; ================= MiniportISR =================
+.func mp_isr
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	in8  r2, (r1+R_IST)
+	beq  r2, #0, isr_done
+	and  r3, r2, #INT_WRDONE
+	beq  r3, #0, isr_no_wr
+	movi r3, #INT_WRDONE
+	out8 (r1+R_IST), r3
+	movi r3, #STATUS_SUCCESS
+	push r3
+	call NdisMSendComplete
+isr_no_wr:
+	and  r3, r2, #INT_ERR
+	beq  r3, #0, isr_no_err
+	movi r3, #INT_ERR
+	out8 (r1+R_IST), r3
+	movi r3, #0xDEAD0045
+	push r3
+	call NdisWriteErrorLogEntry
+isr_no_err:
+	and  r3, r2, #INT_RDRDY
+	beq  r3, #0, isr_done
+	push r4
+	call sblk_drain
+isr_done:
+	ret 4
+
+; sblk_drain(ctx): pop every queued inbound record — READ_NEXT loads
+; the record behind the data window, the payload streams into the
+; staging buffer, READ_DONE releases it (type 3 function).
+.func sblk_drain
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+drain_loop:
+	in8  r2, (r1+R_IST)
+	and  r2, r2, #INT_RDRDY
+	beq  r2, #0, drain_done
+	movi r2, #CMD_RDNEXT
+	out8 (r1+R_CMD), r2
+	in16 r6, (r1+R_DATA)   ; record length header
+	beq  r6, #0, drain_done
+	ld32 r5, [r4+0x18]     ; staging buffer
+	movi r3, #0
+drain_copy:
+	bgeu r3, r6, drain_copied
+	in16 r0, (r1+R_DATA)
+	add  r2, r5, r3
+	st16 [r2+0], r0
+	add  r3, r3, #2
+	jmp  drain_copy
+drain_copied:
+	movi r2, #CMD_RDDONE
+	out8 (r1+R_CMD), r2
+	push r6
+	push r5
+	call NdisMIndicateReceivePacket
+	ld32 r2, [r4+0x20]
+	add  r2, r2, #1
+	st32 [r4+0x20], r2
+	jmp  drain_loop
+drain_done:
+	ret 4
+
+; ================= MiniportQueryInformation =================
+.func mp_query
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	movi r3, #OID_MAC_ADDRESS
+	beq  r1, r3, q_serial
+	movi r3, #OID_LINK_SPEED
+	beq  r1, r3, q_speed
+	movi r3, #OID_MEDIA_STATUS
+	beq  r1, r3, q_media
+	movi r0, #STATUS_FAILURE
+	ret 16
+q_serial:
+	movi r3, #0
+q_serial_loop:
+	add  r5, r4, r3
+	ld8  r5, [r5+0x10]
+	add  r6, r2, r3
+	st8  [r6+0], r5
+	add  r3, r3, #1
+	movi r5, #6
+	bltu r3, r5, q_serial_loop
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_speed:
+	movi r3, #100
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+q_media:
+	movi r3, #1
+	st32 [r2+0], r3
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; ================= MiniportSetInformation =================
+; Only the packet filter is meaningful; a block controller has no
+; multicast/duplex/LED machinery, so everything else fails cleanly.
+.func mp_set
+	ld32 r4, [sp+4]
+	ld32 r1, [sp+8]
+	ld32 r2, [sp+12]
+	movi r5, #OID_PACKET_FILTER
+	beq  r1, r5, s_filter
+	movi r0, #STATUS_FAILURE
+	ret 16
+s_filter:
+	ld32 r2, [r2+0]
+	st32 [r4+0x0C], r2
+	ld32 r1, [r4+0x00]
+	out8 (r1+R_SCRATCH), r2
+	movi r0, #STATUS_SUCCESS
+	ret 16
+
+; ================= MiniportHalt =================
+.func mp_halt
+	ld32 r4, [sp+4]
+	ld32 r1, [r4+0x00]
+	movi r2, #0
+	out8 (r1+R_CTL), r2
+	out8 (r1+R_IMR), r2
+	st32 [r4+0x08], r2
+	ret 4
+
+.align 8
+chars:
+	.space 24
+`

@@ -1,0 +1,145 @@
+package drivers
+
+import (
+	"bytes"
+	"testing"
+
+	"revnic/internal/guestos"
+	"revnic/internal/nic"
+)
+
+// The SBLK100 is a block controller, not a NIC: it has no address
+// filter, no multicast hash and no duplex machinery, so it gets its
+// own workload test instead of joining implementedDrivers() — the
+// shared NIC workload asserts semantics the device intentionally
+// lacks.
+func TestSBLK100Workload(t *testing.T) {
+	r := buildRig(t, "SBLK100")
+	info, _ := ByName("SBLK100")
+	if err := r.os.LoadDriver(info.Program.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.os.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The driver read the serial out of the IDENTIFY block; it is
+	// reported through the standard station-address OID.
+	st, mac, err := r.os.Query(guestos.OIDMACAddress, 6)
+	if err != nil || st != guestos.StatusSuccess {
+		t.Fatalf("query serial: %d %v", st, err)
+	}
+	if !bytes.Equal(mac, testMAC[:]) {
+		t.Errorf("serial %x, want %x", mac, testMAC)
+	}
+
+	// Outbound: each send becomes one committed block addressed by
+	// the driver's running LBA counter.
+	sizes := []int{14, 600, 1514}
+	for i, n := range sizes {
+		frame := make([]byte, n)
+		for j := range frame {
+			frame[j] = byte(i + j*7)
+		}
+		st, err := r.os.Send(frame)
+		if err != nil || st != guestos.StatusSuccess {
+			t.Fatalf("send %d: %d %v", i, st, err)
+		}
+		if _, err := r.os.PumpInterrupts(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev := r.dev.(*nic.SBLK100)
+	txs := dev.TxFrames()
+	if len(txs) != len(sizes) {
+		t.Fatalf("device committed %d blocks, want %d", len(txs), len(sizes))
+	}
+	for i, n := range sizes {
+		if len(txs[i]) != n {
+			t.Errorf("block %d: %d bytes, want %d", i, len(txs[i]), n)
+		}
+	}
+	lbas := dev.CommitLBAs()
+	for i, lba := range lbas {
+		if lba != uint32(i) {
+			t.Errorf("commit %d addressed LBA %d, want %d", i, lba, i)
+		}
+	}
+	if r.os.SendCompletes != len(sizes) {
+		t.Errorf("SendCompletes = %d, want %d", r.os.SendCompletes, len(sizes))
+	}
+
+	// Inbound: records are accepted regardless of their leading
+	// bytes (no station filter on a block device) and drained by the
+	// ISR intact.
+	recs := [][]byte{make([]byte, 96), make([]byte, 1200)}
+	for i, rec := range recs {
+		for j := range rec {
+			rec[j] = byte(j ^ i)
+		}
+		if !r.dev.InjectRX(rec) {
+			t.Fatalf("record %d dropped", i)
+		}
+		if _, err := r.os.PumpInterrupts(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.os.Received) != len(recs) {
+		t.Fatalf("indicated %d records, want %d", len(r.os.Received), len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(r.os.Received[i], rec) {
+			t.Errorf("record %d corrupted in flight", i)
+		}
+	}
+
+	// The packet filter OID is accepted (and mirrored to the scratch
+	// register); anything NIC-specific fails cleanly.
+	if st, err := r.os.Set(guestos.OIDPacketFilter, []byte{guestos.FilterDirected, 0, 0, 0}); err != nil || st != guestos.StatusSuccess {
+		t.Fatalf("set filter: %d %v", st, err)
+	}
+	if st, _ := r.os.Set(guestos.OIDMulticastList, make([]byte, 6)); st != guestos.StatusFailure {
+		t.Error("multicast OID accepted by a block controller")
+	}
+
+	// Oversized payload is rejected before touching the wire.
+	big := make([]byte, 1600)
+	if st, err := r.os.Send(big); err != nil || st != guestos.StatusFailure {
+		t.Errorf("oversized send: %d %v", st, err)
+	}
+	if txs := dev.TxFrames(); len(txs) != 0 {
+		t.Error("oversized payload committed")
+	}
+
+	if err := r.os.Halt(); err != nil {
+		t.Fatal(err)
+	}
+	if r.dev.StatusReport().RxEnabled {
+		t.Error("controller still started after halt")
+	}
+	if r.m.Bus.Line.Pending() {
+		t.Error("interrupt line still pending")
+	}
+}
+
+// TestCorpusContainsBlockDevice pins the corpus/evaluation split:
+// All() stays the paper's four NICs (the Table 1-4 numbers), the
+// corpus adds the block controller, and ByName resolves both.
+func TestCorpusContainsBlockDevice(t *testing.T) {
+	if n := len(All()); n != 4 {
+		t.Fatalf("All() = %d drivers, want 4", n)
+	}
+	if n := len(Corpus()); n != 5 {
+		t.Fatalf("Corpus() = %d drivers, want 5", n)
+	}
+	info, err := ByName("SBLK100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Program.Base != 0x10000 {
+		t.Errorf("base %#x", info.Program.Base)
+	}
+	if size := info.Program.Size(); size < 1000 {
+		t.Errorf("image only %d bytes; not a realistic driver", size)
+	}
+}

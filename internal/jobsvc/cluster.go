@@ -32,7 +32,10 @@ import (
 // including uploaded program images) plus the self-contained task.
 type shardEnvelope struct {
 	Spec JobSpec            `json:"spec"`
-	Task *symexec.ShardTask `json:"task"`
+	Task *symexec.ShardTask `json:"task,omitempty"`
+	// Fuzz carries a differential-fuzzing schedule batch instead of
+	// an exploration task; exactly one of Task/Fuzz is set.
+	Fuzz *fuzzShard `json:"fuzz,omitempty"`
 	// DeadlineMS is the coordinator job's remaining wall budget in
 	// milliseconds; the peer bounds the shard execution with it.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -230,6 +233,11 @@ func (s *Service) executeSpec(j *job, deadline time.Time) (res *JobResult, err e
 			res, err = nil, fmt.Errorf("jobsvc: pipeline panic: %v\n%s", r, trimStack(debug.Stack()))
 		}
 	}()
+	if j.Spec.Fuzz != nil {
+		// Differential fuzzing rides the same panic guard: a fault in
+		// the fuzzer or minimizer fails the job, not the runner pool.
+		return s.runFuzzJob(j, deadline)
+	}
 	var runner symexec.ShardRunner
 	if s.dispatcher != nil {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -305,12 +313,22 @@ func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode shard envelope: %w", err))
 		return
 	}
-	if env.Task == nil {
-		writeError(w, http.StatusBadRequest, errors.New("jobsvc: shard envelope has no task"))
+	if (env.Task == nil) == (env.Fuzz == nil) {
+		writeError(w, http.StatusBadRequest, errors.New("jobsvc: shard envelope must carry exactly one of task or fuzz"))
 		return
 	}
 	if err := validate(env.Spec); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if env.Fuzz != nil {
+		outs, err := s.executeFuzzShard(r.Context(), env)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.m.shardsServed.Add(1)
+		writeJSON(w, http.StatusOK, outs)
 		return
 	}
 	res, err := s.executeShard(r.Context(), env)

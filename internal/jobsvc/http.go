@@ -56,6 +56,9 @@ type metrics struct {
 	shardsReplayed      atomic.Int64
 	replayedResumed     atomic.Int64
 	shardCollapses      atomic.Int64
+	fuzzSchedules       atomic.Int64
+	fuzzDivergences     atomic.Int64
+	fuzzUnexplored      atomic.Int64
 	durationSeconds     lockedFloat
 	shardsEffective     lockedFloat
 }
@@ -272,6 +275,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("revnicd_shards_replayed_total", "Shard results reused from the journal after a coordinator restart.", s.m.shardsReplayed.Load())
 	counter("revnicd_journal_resumed_total", "Journaled coordinator jobs requeued with collected shards pre-seeded.", s.m.replayedResumed.Load())
 	counter("revnicd_shard_collapses_total", "Phases configured to fan out that drained serially (lost parallelism).", s.m.shardCollapses.Load())
+	counter("revnicd_fuzz_schedules_total", "Differential-fuzz schedules executed across completed fuzz jobs.", s.m.fuzzSchedules.Load())
+	counter("revnicd_fuzz_divergences_total", "Behavioral divergences found by differential fuzzing.", s.m.fuzzDivergences.Load())
+	counter("revnicd_fuzz_unexplored_total", "Fuzz schedules that drove the synthesized driver into unexplored code.", s.m.fuzzUnexplored.Load())
 	effSum, effN := s.m.shardsEffective.read()
 	fmt.Fprintf(w, "# HELP revnicd_shards_effective Narrowest fan-out width achieved, summed over completed jobs that fanned out.\n# TYPE revnicd_shards_effective summary\n")
 	fmt.Fprintf(w, "revnicd_shards_effective_sum %g\n", effSum)

@@ -31,6 +31,7 @@ import (
 
 	"revnic/internal/cluster"
 	"revnic/internal/core"
+	"revnic/internal/difffuzz"
 	"revnic/internal/drivers"
 	"revnic/internal/expr"
 	"revnic/internal/hw"
@@ -89,12 +90,18 @@ type ProgramSpec struct {
 	Shell ShellSpec `json:"shell"`
 }
 
-// JobSpec is one reverse-engineering request. Exactly one of Driver
-// (a bundled binary) or Program (an uploaded image) must be set; zero
-// values elsewhere select the engine defaults.
+// JobSpec is one request. Exactly one of Driver (a bundled binary),
+// Program (an uploaded image) or Fuzz (a differential-fuzzing run)
+// must be set; zero values elsewhere select the engine defaults.
 type JobSpec struct {
 	Driver  string       `json:"driver,omitempty"`
 	Program *ProgramSpec `json:"program,omitempty"`
+	// Fuzz selects the differential-fuzzing job kind: the named
+	// corpus driver is reverse engineered and the synthesized driver
+	// is executed against the original on seeded schedules (see
+	// internal/difffuzz). Seed, Workers, Target and DeadlineMS apply
+	// as usual; exploration-budget fields are ignored.
+	Fuzz *FuzzSpec `json:"fuzz,omitempty"`
 	// Strategy names the path-selection searcher ("coverage", "dfs",
 	// "bfs"); empty selects the coverage-guided default.
 	Strategy string `json:"strategy,omitempty"`
@@ -171,6 +178,19 @@ type JobResult struct {
 	// partial — it holds everything the completed phases produced —
 	// but structurally complete. Empty for a full run.
 	Stopped string `json:"stopped,omitempty"`
+
+	// Fuzz-job fields (Strategy is "difffuzz" for these).
+	FuzzSchedules    int `json:"fuzz_schedules,omitempty"`
+	FuzzCoverageKeys int `json:"fuzz_coverage_keys,omitempty"`
+	FuzzCorpus       int `json:"fuzz_corpus,omitempty"`
+	FuzzUnexplored   int `json:"fuzz_unexplored,omitempty"`
+	// Divergences are the confirmed behavioral differences between
+	// the original and synthesized drivers, minimized reproducers
+	// included.
+	Divergences []difffuzz.Divergence `json:"divergences,omitempty"`
+	// FuzzErrors are harness-level schedule failures (recovered
+	// panics included) — reported, never fatal to the job.
+	FuzzErrors []string `json:"fuzz_errors,omitempty"`
 }
 
 // Job is one tracked request. Fields are snapshots: the service hands
@@ -305,6 +325,10 @@ type Service struct {
 	dispatcher *cluster.Dispatcher
 	stopProber func()
 	shardSem   chan struct{}
+
+	// fuzzHarnesses caches differential-fuzzing harnesses per
+	// (device, OS, plant) across jobs and served shards.
+	fuzzHarnesses fuzzHarnessCache
 
 	m metrics
 }
@@ -502,14 +526,29 @@ func redactSpec(j Job) Job {
 // validate rejects malformed specs at submission time, so queue slots
 // are only spent on runnable jobs.
 func validate(spec JobSpec) error {
-	if (spec.Driver == "") == (spec.Program == nil) {
-		return errors.New("jobsvc: exactly one of driver or program must be set")
+	set := 0
+	if spec.Driver != "" {
+		set++
+	}
+	if spec.Program != nil {
+		set++
+	}
+	if spec.Fuzz != nil {
+		set++
+	}
+	if set != 1 {
+		return errors.New("jobsvc: exactly one of driver, program or fuzz must be set")
+	}
+	if spec.Fuzz != nil {
+		if err := validateFuzz(spec); err != nil {
+			return err
+		}
 	}
 	if spec.Driver != "" {
 		if _, err := drivers.ByName(spec.Driver); err != nil {
 			return fmt.Errorf("jobsvc: %w", err)
 		}
-	} else {
+	} else if spec.Program != nil {
 		p := spec.Program
 		if len(p.Code) == 0 {
 			return errors.New("jobsvc: uploaded program has no code")
@@ -724,6 +763,9 @@ func (s *Service) run(j *job) {
 		if res.ShardsEffective > 0 {
 			s.m.shardsEffective.add(float64(res.ShardsEffective))
 		}
+		s.m.fuzzSchedules.Add(int64(res.FuzzSchedules))
+		s.m.fuzzDivergences.Add(int64(len(res.Divergences)))
+		s.m.fuzzUnexplored.Add(int64(res.FuzzUnexplored))
 	}
 	s.mu.Lock()
 	j.Status = status

@@ -23,12 +23,39 @@ import (
 	"revnic/internal/trace"
 )
 
+// Code-emission styles. The style only changes the shape of the
+// emitted C — the recovered graph, function metadata and warnings
+// are identical — which is what lets the equivalence harness pin
+// "template choice never changes behavior".
+const (
+	// StyleGoto is the paper's Listing 1 shape: one label per basic
+	// block, control flow encoded with gotos. The default.
+	StyleGoto = "goto"
+	// StyleSwitch is a switch-dispatch state machine: a pc variable
+	// selects the basic block inside a for(;;) switch — the shape
+	// favoured by targets whose coding standards ban goto (the
+	// paper's ucos-ii/KitOS-style ports).
+	StyleSwitch = "switch"
+)
+
+// StyleNames lists the valid emission styles.
+func StyleNames() []string { return []string{StyleGoto, StyleSwitch} }
+
+// ValidStyle reports whether s names an emission style ("" selects
+// the default).
+func ValidStyle(s string) bool {
+	return s == "" || s == StyleGoto || s == StyleSwitch
+}
+
 // Options tune code generation.
 type Options struct {
 	// DriverName labels the generated file.
 	DriverName string
 	// StackSlots sizes the per-function virtual stack frame.
 	StackSlots int
+	// Style selects the control-flow emission style (StyleGoto when
+	// empty).
+	Style string
 }
 
 // FuncInfo describes one generated function for template placement.
@@ -61,11 +88,19 @@ func Generate(g *cfg.Graph, opt Options) *Output {
 	if opt.StackSlots == 0 {
 		opt.StackSlots = 64
 	}
+	if opt.Style == "" {
+		opt.Style = StyleGoto
+	}
 	out := &Output{}
 	var b strings.Builder
 	fmt.Fprintf(&b, "/* Synthesized by RevNIC from the %s binary driver.\n", opt.DriverName)
 	b.WriteString(" * The code preserves the original driver's state layout and hardware\n")
-	b.WriteString(" * protocol; control flow is encoded with gotos (see paper, Listing 1).\n")
+	if opt.Style == StyleSwitch {
+		b.WriteString(" * protocol; control flow is a switch-dispatch state machine over the\n")
+		b.WriteString(" * recovered basic-block addresses.\n")
+	} else {
+		b.WriteString(" * protocol; control flow is encoded with gotos (see paper, Listing 1).\n")
+	}
 	b.WriteString(" * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the\n")
 	b.WriteString(" * target-OS driver template.\n */\n\n")
 	b.WriteString("#include \"revnic_runtime.h\"\n\n")
@@ -148,17 +183,42 @@ func genFunc(b *strings.Builder, g *cfg.Graph, f *cfg.Function, opt Options, out
 	}
 	b.WriteString("\n")
 
+	sw := opt.Style == StyleSwitch
+	if sw {
+		// Switch dispatch: the recovered block address is the machine
+		// state; every control transfer assigns pc and breaks back to
+		// the dispatcher.
+		fmt.Fprintf(b, "\tuint32_t pc = %#xu;\n", f.Entry)
+		b.WriteString("\tfor (;;) switch (pc) {\n")
+	}
 	blocks := f.SortedBlocks()
 	unexplored := map[uint32]bool{}
 	for bi, blk := range blocks {
-		fmt.Fprintf(b, "L_%x:\n", blk.Addr)
+		if sw {
+			fmt.Fprintf(b, "\tcase %#xu:\n", blk.Addr)
+		} else {
+			fmt.Fprintf(b, "L_%x:\n", blk.Addr)
+		}
 		for ii, in := range blk.Instrs {
 			last := ii == len(blk.Instrs)-1
-			genInstr(b, g, f, blk, in, blk.Addr+uint32(ii)*isa.InstrSize, last, unexplored, out)
+			genInstr(b, g, f, blk, in, blk.Addr+uint32(ii)*isa.InstrSize, last, sw, unexplored, out)
 		}
-		// A split block without a terminator falls through; make the
-		// goto explicit unless the next emitted block is the target.
-		if t := blk.Term(); !t.Op.IsTerminator() {
+		t := blk.Term()
+		if sw {
+			// Calls return and continue into the next block; a split
+			// block without a terminator does the same. Both re-enter
+			// the dispatcher explicitly — C case fallthrough is never
+			// relied on.
+			if !t.Op.IsTerminator() || t.Op.IsCall() {
+				// Not via jumpTo: a missing continuation lands in the
+				// dispatcher's default arm, so no extra warning is
+				// minted — keeping Warnings identical across styles.
+				fmt.Fprintf(b, "\tpc = %#xu; break;\n", blk.EndAddr())
+			}
+		} else if !t.Op.IsTerminator() {
+			// A split block without a terminator falls through; make
+			// the goto explicit unless the next emitted block is the
+			// target.
 			next := blk.EndAddr()
 			if bi+1 >= len(blocks) || blocks[bi+1].Addr != next {
 				fmt.Fprintf(b, "\tgoto L_%x;\n", next)
@@ -170,9 +230,18 @@ func genFunc(b *strings.Builder, g *cfg.Graph, f *cfg.Function, opt Options, out
 		fi.Unexplored++
 		out.Warnings = append(out.Warnings,
 			fmt.Sprintf("%s: branch to unexercised code at %#x", f.Name(), a))
-		fmt.Fprintf(b, "L_%x: /* REVNIC-WARNING: unexercised basic block; force the DBT\n", a)
-		b.WriteString("\t * through this address and re-run synthesis to fill it in (see §4.1) */\n")
-		b.WriteString("\trevnic_unexplored();\n")
+		if sw {
+			fmt.Fprintf(b, "\tcase %#xu: /* REVNIC-WARNING: unexercised basic block; force the DBT\n", a)
+			b.WriteString("\t * through this address and re-run synthesis to fill it in (see §4.1) */\n")
+			b.WriteString("\trevnic_unexplored();\n")
+		} else {
+			fmt.Fprintf(b, "L_%x: /* REVNIC-WARNING: unexercised basic block; force the DBT\n", a)
+			b.WriteString("\t * through this address and re-run synthesis to fill it in (see §4.1) */\n")
+			b.WriteString("\trevnic_unexplored();\n")
+		}
+	}
+	if sw {
+		b.WriteString("\tdefault:\n\t\trevnic_unexplored();\n\t}\n")
 	}
 	if f.HasReturn {
 		b.WriteString("\treturn r0;\n")
@@ -209,10 +278,15 @@ func stackOff(imm uint32) string {
 	return fmt.Sprintf("stk[sp + %d]", imm/4)
 }
 
-// jumpTo emits a goto, flagging targets that were never exercised.
-func jumpTo(b *strings.Builder, f *cfg.Function, target uint32, unexplored map[uint32]bool, indent string) {
+// jumpTo emits a control transfer in the selected style, flagging
+// targets that were never exercised.
+func jumpTo(b *strings.Builder, f *cfg.Function, target uint32, sw bool, unexplored map[uint32]bool, indent string) {
 	if _, ok := f.Blocks[target]; !ok {
 		unexplored[target] = true
+	}
+	if sw {
+		fmt.Fprintf(b, "%spc = %#xu; break;\n", indent, target)
+		return
 	}
 	fmt.Fprintf(b, "%sgoto L_%x;\n", indent, target)
 }
@@ -236,7 +310,7 @@ func condC(c isa.Cond, lhs, rhs string) string {
 }
 
 func genInstr(b *strings.Builder, g *cfg.Graph, f *cfg.Function, blk *cfg.BasicBlock,
-	in isa.Instr, addr uint32, last bool, unexplored map[uint32]bool, out *Output) {
+	in isa.Instr, addr uint32, last bool, sw bool, unexplored map[uint32]bool, out *Output) {
 
 	// Hardware access classification for this instruction, from the
 	// wiretap (regular vs device-mapped memory, §3.3).
@@ -319,19 +393,29 @@ func genInstr(b *strings.Builder, g *cfg.Graph, f *cfg.Function, blk *cfg.BasicB
 		fmt.Fprintf(b, "\t%s = stk[sp++];\n", reg(in.Rd))
 
 	case isa.JMP:
-		jumpTo(b, f, in.Imm, unexplored, "\t")
+		jumpTo(b, f, in.Imm, sw, unexplored, "\t")
 	case isa.BR, isa.BRI:
 		rhs := reg(in.Rs2)
 		if in.Op == isa.BRI {
 			rhs = fmt.Sprintf("%#xu", uint32(uint8(in.Rs2)))
 		}
+		if sw {
+			// The dispatch break must stay inside the condition.
+			if _, ok := f.Blocks[in.Imm]; !ok {
+				unexplored[in.Imm] = true
+			}
+			fmt.Fprintf(b, "\tif (%s) { pc = %#xu; break; }\n",
+				condC(in.Cond(), reg(in.Rs1), rhs), in.Imm)
+			jumpTo(b, f, blk.EndAddr(), sw, unexplored, "\t")
+			return
+		}
 		fmt.Fprintf(b, "\tif (%s) ", condC(in.Cond(), reg(in.Rs1), rhs))
-		jumpTo(b, f, in.Imm, unexplored, "")
+		jumpTo(b, f, in.Imm, sw, unexplored, "")
 		// The fallthrough successor continues; if it is not the
 		// lexically next block, emit an explicit goto.
 		fallthrough_ := blk.EndAddr()
 		if _, ok := f.Blocks[fallthrough_]; !ok {
-			jumpTo(b, f, fallthrough_, unexplored, "\t")
+			jumpTo(b, f, fallthrough_, sw, unexplored, "\t")
 		}
 	case isa.JR:
 		// Jump table: expand the observed targets (§3.4).
@@ -339,6 +423,16 @@ func genInstr(b *strings.Builder, g *cfg.Graph, f *cfg.Function, blk *cfg.BasicB
 			out.Warnings = append(out.Warnings,
 				fmt.Sprintf("%s: indirect jump at %#x with no observed targets", f.Name(), addr))
 			b.WriteString("\trevnic_unexplored(); /* indirect jump, no observed targets */\n")
+			return
+		}
+		if sw {
+			// An if-chain, not a nested switch: the dispatch breaks
+			// must bind to the outer switch.
+			b.WriteString("\t/* recovered jump table */\n")
+			for _, t := range blk.Succs {
+				fmt.Fprintf(b, "\tif (%s == %#xu) { pc = %#xu; break; }\n", reg(in.Rs1), t, t)
+			}
+			b.WriteString("\trevnic_unexplored();\n")
 			return
 		}
 		fmt.Fprintf(b, "\tswitch (%s) { /* recovered jump table */\n", reg(in.Rs1))

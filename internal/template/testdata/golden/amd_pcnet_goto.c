@@ -1,0 +1,856 @@
+/* AMD PCNet driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10110() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_10888((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the AMD PCNet binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is encoded with gotos (see paper, Listing 1).
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+void function_10088(uint32_t arg0, uint32_t arg1, uint32_t arg2);
+uint32_t function_100b8(uint32_t arg0, uint32_t arg1);
+void function_100e0(uint32_t arg0, uint32_t arg1, uint32_t arg2);
+uint32_t mp_initialize_10110(void);
+uint32_t function_10460(uint32_t arg0);
+uint32_t mp_send_10718(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_10888(uint32_t GlobalState);
+void function_10a00(uint32_t arg0);
+uint32_t mp_query_10ae8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_10bd0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10eb0(uint32_t arg0);
+uint32_t mp_halt_10f70(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10000:
+	r1 = 0x10fc8u;
+	r2 = 0x10110u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10718u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x10888u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x10ae8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x10bd0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10f70u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+L_10078:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10088; class: hw */
+void function_10088(uint32_t arg0, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10088:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	r3 = stk[sp + 3];
+	write_port16(r1 + 0x12u, r2);
+	write_port16(r1 + 0x10u, r3);
+	return;
+}
+
+/* original entry 0x100b8; class: hw */
+uint32_t function_100b8(uint32_t arg0, uint32_t arg1)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+
+L_100b8:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	write_port16(r1 + 0x12u, r2);
+	r0 = read_port16(r1 + 0x10u);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x100e0; class: hw */
+void function_100e0(uint32_t arg0, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_100e0:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	r3 = stk[sp + 3];
+	write_port16(r1 + 0x12u, r2);
+	write_port16(r1 + 0x16u, r3);
+	return;
+}
+
+/* original entry 0x10110 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10110(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10110:
+	r1 = 0x48u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_10128:
+	if (r0 == 0x0u) goto L_10450;
+L_10130:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_10150:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_10170:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port16(r1 + 0x14u);
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_100b8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_101a8:
+	r2 = 0x4u;
+	if (r0 == r2) goto L_101d8;
+L_101b8:
+	r1 = 0xdead0021u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_101d0:
+	goto L_10450;
+L_101d8:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x0u;
+L_101e8:
+	r2 = r1 + r3;
+	r2 = read_port8(r2 + 0x0u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x14u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_101e8;
+L_10220:
+	r1 = 0x18u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_10238:
+	if (r0 == 0x0u) goto L_10450;
+L_10240:
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r0;
+	r1 = 0x20u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_10260:
+	if (r0 == 0x0u) goto L_10450;
+L_10268:
+	*(uint32_t *)(uintptr_t)(r4 + 0x24u) = (uint32_t)r0;
+	r1 = 0x20u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_10288:
+	if (r0 == 0x0u) goto L_10450;
+L_10290:
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r0;
+	r1 = 0x1800u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_102b0:
+	if (r0 == 0x0u) goto L_10450;
+L_102b8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x2cu) = (uint32_t)r0;
+	r1 = 0x1800u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_102d8:
+	if (r0 == 0x0u) goto L_10450;
+L_102e0:
+	*(uint32_t *)(uintptr_t)(r4 + 0x30u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = 0x0u;
+L_102f8:
+	r2 = r4 + r3;
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x14u);
+	r5 = r1 + r3;
+	mmio_write8(r5 + 0x2u, r2); /* dma */
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_102f8;
+L_10330:
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x40u) = (uint32_t)r2;
+	r3 = 0x0u;
+L_10348:
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x38u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x8u;
+	if (r3 < r5) goto L_10348;
+L_10370:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = 0xffffu;
+	r3 = r2 & r3;
+	stk[--sp] = r3;
+	r3 = 0x1u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_103b8:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = r2 >> (0x10u & 31);
+	stk[--sp] = r2;
+	r3 = 0x2u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_103f8:
+	stk[--sp] = r4;
+	r0 = function_10460(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10408:
+	if (r0 == 0x0u) goto L_10430;
+	goto L_10410;
+L_10430:
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+L_10450:
+	r0 = 0x0u;
+	return r0;
+L_10410: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	return r0;
+}
+
+/* original entry 0x10460; class: hw */
+uint32_t function_10460(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10460:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x40u);
+	mmio_write16(r1 + 0x0u, r2); /* dma */
+	r3 = 0x0u;
+L_10488:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x38u);
+	r6 = r1 + r3;
+	mmio_write8(r6 + 0x8u, r5); /* dma */
+	r3 = r3 + 0x1u;
+	r5 = 0x8u;
+	if (r3 < r5) goto L_10488;
+L_104c0:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	mmio_write32(r1 + 0x10u, r2); /* dma */
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	mmio_write32(r1 + 0x14u, r2); /* dma */
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x2cu);
+	r3 = 0x0u;
+L_104f8:
+	r5 = r3 << (0x3u & 31);
+	r5 = r1 + r5;
+	r6 = 0x600u;
+	r6 = r6 * r3;
+	r6 = r2 + r6;
+	mmio_write32(r5 + 0x0u, r6); /* dma */
+	r6 = 0x8000u;
+	mmio_write16(r5 + 0x4u, r6); /* dma */
+	r6 = 0x0u;
+	mmio_write16(r5 + 0x6u, r6); /* dma */
+	r3 = r3 + 0x1u;
+	r6 = 0x4u;
+	if (r3 < r6) goto L_104f8;
+L_10560:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x30u);
+	r3 = 0x0u;
+L_10578:
+	r5 = r3 << (0x3u & 31);
+	r5 = r1 + r5;
+	r6 = 0x600u;
+	r6 = r6 * r3;
+	r6 = r2 + r6;
+	mmio_write32(r5 + 0x0u, r6); /* dma */
+	r6 = 0x0u;
+	mmio_write16(r5 + 0x4u, r6); /* dma */
+	mmio_write16(r5 + 0x6u, r6); /* dma */
+	r3 = r3 + 0x1u;
+	r6 = 0x4u;
+	if (r3 < r6) goto L_10578;
+L_105d8:
+	r2 = 0x41u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10610:
+	r6 = 0x0u;
+L_10618:
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	r0 = function_100b8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10640:
+	r2 = 0x100u;
+	r0 = r0 & r2;
+	if (r0 != 0x0u) goto L_10680;
+L_10658:
+	r6 = r6 + 0x1u;
+	r2 = 0x3e8u;
+	if (r6 < r2) goto L_10618;
+	goto L_10670;
+L_10680:
+	r2 = 0x140u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_106b8:
+	r2 = 0x42u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_106f0:
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	*(uint32_t *)(uintptr_t)(r4 + 0x34u) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+L_10670: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	return r0;
+}
+
+/* original entry 0x10718 — send entry point; class: mixed */
+uint32_t mp_send_10718(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10718:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) goto L_10750;
+L_10740:
+	r1 = 0x5eau;
+	if (r1 >= r6) goto L_10778;
+L_10750:
+	r1 = 0xdead0023u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10768:
+	r0 = 0x1u;
+	return r0;
+L_10778:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r1 = 0x600u;
+	r1 = r1 * r2;
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x30u);
+	r1 = r3 + r1;
+	r3 = 0x0u;
+L_107a8:
+	if (r3 >= r6) goto L_107e0;
+L_107b0:
+	r0 = r5 + r3;
+	r0 = *(uint8_t *)(uintptr_t)(r0 + 0x0u);
+	r2 = r1 + r3;
+	mmio_write8(r2 + 0x0u, r0); /* dma */
+	r3 = r3 + 0x1u;
+	goto L_107a8;
+L_107e0:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r3 = r2 << (0x3u & 31);
+	r0 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r0 = r0 + r3;
+	mmio_write32(r0 + 0x0u, r1); /* dma */
+	mmio_write16(r0 + 0x6u, r6); /* dma */
+	r3 = 0x8000u;
+	mmio_write16(r0 + 0x4u, r3); /* dma */
+	r3 = 0x48u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10858:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r2 = r2 + 0x1u;
+	r2 = r2 & 0x3u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10888 — isr entry point; class: os */
+uint32_t mp_isr_10888(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10888:
+	r4 = stk[sp + 1];
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	r0 = function_100b8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_108b8:
+	r2 = r0;
+	r3 = 0x200u;
+	r3 = r2 & r3;
+	if (r3 == 0x0u) goto L_10938;
+L_108d8:
+	stk[--sp] = r2;
+	r3 = 0x240u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10918:
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+L_10930:
+	r2 = stk[sp++];
+L_10938:
+	r3 = 0x400u;
+	r3 = r2 & r3;
+	if (r3 == 0x0u) goto L_109a8;
+L_10950:
+	stk[--sp] = r2;
+	stk[--sp] = r4;
+	function_10a00(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10968:
+	r3 = 0x440u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_109a0:
+	r2 = stk[sp++];
+L_109a8:
+	r3 = 0x100u;
+	r3 = r2 & r3;
+	if (r3 == 0x0u) goto L_109f8;
+L_109c0:
+	r3 = 0x140u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_109f8:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10a00; class: mixed */
+void function_10a00(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10a00:
+	r4 = stk[sp + 1];
+L_10a08:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x34u);
+	r3 = r2 << (0x3u & 31);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r1 = r1 + r3;
+	r5 = mmio_read16(r1 + 0x4u); /* dma */
+	r6 = 0x8000u;
+	r5 = r5 & r6;
+	if (r5 != 0x0u) goto L_10ae0;
+L_10a48:
+	r6 = mmio_read16(r1 + 0x6u); /* dma */
+	r5 = 0x600u;
+	r5 = r5 * r2;
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x2cu);
+	r3 = r3 + r5;
+	stk[--sp] = r1;
+	stk[--sp] = r6;
+	stk[--sp] = r3;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+L_10a90:
+	r1 = stk[sp++];
+	r5 = 0x8000u;
+	mmio_write16(r1 + 0x4u, r5); /* dma */
+	r5 = 0x0u;
+	mmio_write16(r1 + 0x6u, r5); /* dma */
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x34u);
+	r2 = r2 + 0x1u;
+	r2 = r2 & 0x3u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x34u) = (uint32_t)r2;
+	goto L_10a08;
+L_10ae0:
+	return;
+}
+
+/* original entry 0x10ae8 — query entry point; class: algo */
+uint32_t mp_query_10ae8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10ae8:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) goto L_10b40;
+L_10b10:
+	r3 = 0x10107u;
+	if (r1 == r3) goto L_10b90;
+L_10b20:
+	r3 = 0x10114u;
+	if (r1 == r3) goto L_10bb0;
+L_10b30:
+	r0 = 0x1u;
+	return r0;
+L_10b40:
+	r3 = 0x0u;
+L_10b48:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x14u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10b48;
+L_10b80:
+	r0 = 0x0u;
+	return r0;
+L_10b90:
+	r3 = 0xau;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+L_10bb0:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10bd0 — set entry point; class: algo */
+uint32_t mp_set_10bd0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+L_10bd0:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) goto L_10c50;
+L_10c00:
+	r5 = 0x1010103u;
+	if (r1 == r5) goto L_10db0;
+L_10c10:
+	r5 = 0x12000u;
+	if (r1 == r5) goto L_10ca8;
+L_10c20:
+	r5 = 0xfd010106u;
+	if (r1 == r5) goto L_10d08;
+L_10c30:
+	r5 = 0x12001u;
+	if (r1 == r5) goto L_10d68;
+L_10c40:
+	r0 = 0x1u;
+	return r0;
+L_10c50:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r5 = 0x0u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) goto L_10c80;
+L_10c78:
+	r5 = 0x8000u;
+L_10c80:
+	*(uint32_t *)(uintptr_t)(r4 + 0x40u) = (uint32_t)r5;
+	stk[--sp] = r4;
+	r0 = function_10460(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10c98:
+	r0 = 0x0u;
+	return r0;
+L_10ca8:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r5 = 0x0u;
+	if (r2 == 0x0u) goto L_10cc8;
+L_10cc0:
+	r5 = 0x1u;
+L_10cc8:
+	stk[--sp] = r5;
+	r5 = 0x9u;
+	stk[--sp] = r5;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_100e0(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10cf8:
+	r0 = 0x0u;
+	return r0;
+L_10d08:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r5 = 0x0u;
+	if (r2 == 0x0u) goto L_10d28;
+L_10d20:
+	r5 = 0x2u;
+L_10d28:
+	stk[--sp] = r5;
+	r5 = 0x5u;
+	stk[--sp] = r5;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10d58:
+	r0 = 0x0u;
+	return r0;
+L_10d68:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	stk[--sp] = r2;
+	r5 = 0x4u;
+	stk[--sp] = r5;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_100e0(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10da0:
+	r0 = 0x0u;
+	return r0;
+L_10db0:
+	r5 = 0x0u;
+L_10db8:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x38u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) goto L_10db8;
+L_10de8:
+	r5 = 0x0u;
+L_10df0:
+	if (r5 >= r3) goto L_10e90;
+L_10df8:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10eb0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10e28:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x38u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x38u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	goto L_10df0;
+L_10e90:
+	stk[--sp] = r4;
+	r0 = function_10460(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10ea0:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10eb0; class: algo */
+uint32_t function_10eb0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10eb0:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+L_10ed0:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+L_10ef0:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) goto L_10f18;
+L_10f08:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+L_10f18:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) goto L_10ef0;
+L_10f30:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10ed0;
+L_10f48:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10f70 — halt entry point; class: algo */
+uint32_t mp_halt_10f70(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10f70:
+	r4 = stk[sp + 1];
+	r2 = 0x4u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10fb0:
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	return r0;
+}
+

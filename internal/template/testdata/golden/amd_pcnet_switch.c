@@ -1,0 +1,1014 @@
+/* AMD PCNet driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10110() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_10888((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the AMD PCNet binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is a switch-dispatch state machine over the
+ * recovered basic-block addresses.
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+void function_10088(uint32_t arg0, uint32_t arg1, uint32_t arg2);
+uint32_t function_100b8(uint32_t arg0, uint32_t arg1);
+void function_100e0(uint32_t arg0, uint32_t arg1, uint32_t arg2);
+uint32_t mp_initialize_10110(void);
+uint32_t function_10460(uint32_t arg0);
+uint32_t mp_send_10718(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_10888(uint32_t GlobalState);
+void function_10a00(uint32_t arg0);
+uint32_t mp_query_10ae8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_10bd0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10eb0(uint32_t arg0);
+uint32_t mp_halt_10f70(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10000u;
+	for (;;) switch (pc) {
+	case 0x10000u:
+	r1 = 0x10fc8u;
+	r2 = 0x10110u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10718u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x10888u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x10ae8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x10bd0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10f70u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10078u; break;
+	case 0x10078u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10088; class: hw */
+void function_10088(uint32_t arg0, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10088u;
+	for (;;) switch (pc) {
+	case 0x10088u:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	r3 = stk[sp + 3];
+	write_port16(r1 + 0x12u, r2);
+	write_port16(r1 + 0x10u, r3);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x100b8; class: hw */
+uint32_t function_100b8(uint32_t arg0, uint32_t arg1)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+
+	uint32_t pc = 0x100b8u;
+	for (;;) switch (pc) {
+	case 0x100b8u:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	write_port16(r1 + 0x12u, r2);
+	r0 = read_port16(r1 + 0x10u);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x100e0; class: hw */
+void function_100e0(uint32_t arg0, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x100e0u;
+	for (;;) switch (pc) {
+	case 0x100e0u:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	r3 = stk[sp + 3];
+	write_port16(r1 + 0x12u, r2);
+	write_port16(r1 + 0x16u, r3);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10110 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10110(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10110u;
+	for (;;) switch (pc) {
+	case 0x10110u:
+	r1 = 0x48u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10128u; break;
+	case 0x10128u:
+	if (r0 == 0x0u) { pc = 0x10450u; break; }
+	pc = 0x10130u; break;
+	case 0x10130u:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10150u; break;
+	case 0x10150u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10170u; break;
+	case 0x10170u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port16(r1 + 0x14u);
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_100b8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x101a8u; break;
+	case 0x101a8u:
+	r2 = 0x4u;
+	if (r0 == r2) { pc = 0x101d8u; break; }
+	pc = 0x101b8u; break;
+	case 0x101b8u:
+	r1 = 0xdead0021u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x101d0u; break;
+	case 0x101d0u:
+	pc = 0x10450u; break;
+	case 0x101d8u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x0u;
+	pc = 0x101e8u; break;
+	case 0x101e8u:
+	r2 = r1 + r3;
+	r2 = read_port8(r2 + 0x0u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x14u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x101e8u; break; }
+	pc = 0x10220u; break;
+	case 0x10220u:
+	r1 = 0x18u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10238u; break;
+	case 0x10238u:
+	if (r0 == 0x0u) { pc = 0x10450u; break; }
+	pc = 0x10240u; break;
+	case 0x10240u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r0;
+	r1 = 0x20u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10260u; break;
+	case 0x10260u:
+	if (r0 == 0x0u) { pc = 0x10450u; break; }
+	pc = 0x10268u; break;
+	case 0x10268u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x24u) = (uint32_t)r0;
+	r1 = 0x20u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10288u; break;
+	case 0x10288u:
+	if (r0 == 0x0u) { pc = 0x10450u; break; }
+	pc = 0x10290u; break;
+	case 0x10290u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r0;
+	r1 = 0x1800u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x102b0u; break;
+	case 0x102b0u:
+	if (r0 == 0x0u) { pc = 0x10450u; break; }
+	pc = 0x102b8u; break;
+	case 0x102b8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x2cu) = (uint32_t)r0;
+	r1 = 0x1800u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x102d8u; break;
+	case 0x102d8u:
+	if (r0 == 0x0u) { pc = 0x10450u; break; }
+	pc = 0x102e0u; break;
+	case 0x102e0u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x30u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = 0x0u;
+	pc = 0x102f8u; break;
+	case 0x102f8u:
+	r2 = r4 + r3;
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x14u);
+	r5 = r1 + r3;
+	mmio_write8(r5 + 0x2u, r2); /* dma */
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x102f8u; break; }
+	pc = 0x10330u; break;
+	case 0x10330u:
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x40u) = (uint32_t)r2;
+	r3 = 0x0u;
+	pc = 0x10348u; break;
+	case 0x10348u:
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x38u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x8u;
+	if (r3 < r5) { pc = 0x10348u; break; }
+	pc = 0x10370u; break;
+	case 0x10370u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = 0xffffu;
+	r3 = r2 & r3;
+	stk[--sp] = r3;
+	r3 = 0x1u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x103b8u; break;
+	case 0x103b8u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = r2 >> (0x10u & 31);
+	stk[--sp] = r2;
+	r3 = 0x2u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x103f8u; break;
+	case 0x103f8u:
+	stk[--sp] = r4;
+	r0 = function_10460(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10408u; break;
+	case 0x10408u:
+	if (r0 == 0x0u) { pc = 0x10430u; break; }
+	pc = 0x10410u; break;
+	case 0x10430u:
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+	case 0x10450u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10410u: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10460; class: hw */
+uint32_t function_10460(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10460u;
+	for (;;) switch (pc) {
+	case 0x10460u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x40u);
+	mmio_write16(r1 + 0x0u, r2); /* dma */
+	r3 = 0x0u;
+	pc = 0x10488u; break;
+	case 0x10488u:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x38u);
+	r6 = r1 + r3;
+	mmio_write8(r6 + 0x8u, r5); /* dma */
+	r3 = r3 + 0x1u;
+	r5 = 0x8u;
+	if (r3 < r5) { pc = 0x10488u; break; }
+	pc = 0x104c0u; break;
+	case 0x104c0u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	mmio_write32(r1 + 0x10u, r2); /* dma */
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	mmio_write32(r1 + 0x14u, r2); /* dma */
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x2cu);
+	r3 = 0x0u;
+	pc = 0x104f8u; break;
+	case 0x104f8u:
+	r5 = r3 << (0x3u & 31);
+	r5 = r1 + r5;
+	r6 = 0x600u;
+	r6 = r6 * r3;
+	r6 = r2 + r6;
+	mmio_write32(r5 + 0x0u, r6); /* dma */
+	r6 = 0x8000u;
+	mmio_write16(r5 + 0x4u, r6); /* dma */
+	r6 = 0x0u;
+	mmio_write16(r5 + 0x6u, r6); /* dma */
+	r3 = r3 + 0x1u;
+	r6 = 0x4u;
+	if (r3 < r6) { pc = 0x104f8u; break; }
+	pc = 0x10560u; break;
+	case 0x10560u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x30u);
+	r3 = 0x0u;
+	pc = 0x10578u; break;
+	case 0x10578u:
+	r5 = r3 << (0x3u & 31);
+	r5 = r1 + r5;
+	r6 = 0x600u;
+	r6 = r6 * r3;
+	r6 = r2 + r6;
+	mmio_write32(r5 + 0x0u, r6); /* dma */
+	r6 = 0x0u;
+	mmio_write16(r5 + 0x4u, r6); /* dma */
+	mmio_write16(r5 + 0x6u, r6); /* dma */
+	r3 = r3 + 0x1u;
+	r6 = 0x4u;
+	if (r3 < r6) { pc = 0x10578u; break; }
+	pc = 0x105d8u; break;
+	case 0x105d8u:
+	r2 = 0x41u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10610u; break;
+	case 0x10610u:
+	r6 = 0x0u;
+	pc = 0x10618u; break;
+	case 0x10618u:
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	r0 = function_100b8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10640u; break;
+	case 0x10640u:
+	r2 = 0x100u;
+	r0 = r0 & r2;
+	if (r0 != 0x0u) { pc = 0x10680u; break; }
+	pc = 0x10658u; break;
+	case 0x10658u:
+	r6 = r6 + 0x1u;
+	r2 = 0x3e8u;
+	if (r6 < r2) { pc = 0x10618u; break; }
+	pc = 0x10670u; break;
+	case 0x10680u:
+	r2 = 0x140u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x106b8u; break;
+	case 0x106b8u:
+	r2 = 0x42u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x106f0u; break;
+	case 0x106f0u:
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	*(uint32_t *)(uintptr_t)(r4 + 0x34u) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	case 0x10670u: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10718 — send entry point; class: mixed */
+uint32_t mp_send_10718(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10718u;
+	for (;;) switch (pc) {
+	case 0x10718u:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) { pc = 0x10750u; break; }
+	pc = 0x10740u; break;
+	case 0x10740u:
+	r1 = 0x5eau;
+	if (r1 >= r6) { pc = 0x10778u; break; }
+	pc = 0x10750u; break;
+	case 0x10750u:
+	r1 = 0xdead0023u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10768u; break;
+	case 0x10768u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10778u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r1 = 0x600u;
+	r1 = r1 * r2;
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x30u);
+	r1 = r3 + r1;
+	r3 = 0x0u;
+	pc = 0x107a8u; break;
+	case 0x107a8u:
+	if (r3 >= r6) { pc = 0x107e0u; break; }
+	pc = 0x107b0u; break;
+	case 0x107b0u:
+	r0 = r5 + r3;
+	r0 = *(uint8_t *)(uintptr_t)(r0 + 0x0u);
+	r2 = r1 + r3;
+	mmio_write8(r2 + 0x0u, r0); /* dma */
+	r3 = r3 + 0x1u;
+	pc = 0x107a8u; break;
+	case 0x107e0u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r3 = r2 << (0x3u & 31);
+	r0 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r0 = r0 + r3;
+	mmio_write32(r0 + 0x0u, r1); /* dma */
+	mmio_write16(r0 + 0x6u, r6); /* dma */
+	r3 = 0x8000u;
+	mmio_write16(r0 + 0x4u, r3); /* dma */
+	r3 = 0x48u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10858u; break;
+	case 0x10858u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r2 = r2 + 0x1u;
+	r2 = r2 & 0x3u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10888 — isr entry point; class: os */
+uint32_t mp_isr_10888(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10888u;
+	for (;;) switch (pc) {
+	case 0x10888u:
+	r4 = stk[sp + 1];
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	r0 = function_100b8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x108b8u; break;
+	case 0x108b8u:
+	r2 = r0;
+	r3 = 0x200u;
+	r3 = r2 & r3;
+	if (r3 == 0x0u) { pc = 0x10938u; break; }
+	pc = 0x108d8u; break;
+	case 0x108d8u:
+	stk[--sp] = r2;
+	r3 = 0x240u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10918u; break;
+	case 0x10918u:
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10930u; break;
+	case 0x10930u:
+	r2 = stk[sp++];
+	pc = 0x10938u; break;
+	case 0x10938u:
+	r3 = 0x400u;
+	r3 = r2 & r3;
+	if (r3 == 0x0u) { pc = 0x109a8u; break; }
+	pc = 0x10950u; break;
+	case 0x10950u:
+	stk[--sp] = r2;
+	stk[--sp] = r4;
+	function_10a00(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10968u; break;
+	case 0x10968u:
+	r3 = 0x440u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x109a0u; break;
+	case 0x109a0u:
+	r2 = stk[sp++];
+	pc = 0x109a8u; break;
+	case 0x109a8u:
+	r3 = 0x100u;
+	r3 = r2 & r3;
+	if (r3 == 0x0u) { pc = 0x109f8u; break; }
+	pc = 0x109c0u; break;
+	case 0x109c0u:
+	r3 = 0x140u;
+	stk[--sp] = r3;
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x109f8u; break;
+	case 0x109f8u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10a00; class: mixed */
+void function_10a00(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10a00u;
+	for (;;) switch (pc) {
+	case 0x10a00u:
+	r4 = stk[sp + 1];
+	pc = 0x10a08u; break;
+	case 0x10a08u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x34u);
+	r3 = r2 << (0x3u & 31);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r1 = r1 + r3;
+	r5 = mmio_read16(r1 + 0x4u); /* dma */
+	r6 = 0x8000u;
+	r5 = r5 & r6;
+	if (r5 != 0x0u) { pc = 0x10ae0u; break; }
+	pc = 0x10a48u; break;
+	case 0x10a48u:
+	r6 = mmio_read16(r1 + 0x6u); /* dma */
+	r5 = 0x600u;
+	r5 = r5 * r2;
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x2cu);
+	r3 = r3 + r5;
+	stk[--sp] = r1;
+	stk[--sp] = r6;
+	stk[--sp] = r3;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+	pc = 0x10a90u; break;
+	case 0x10a90u:
+	r1 = stk[sp++];
+	r5 = 0x8000u;
+	mmio_write16(r1 + 0x4u, r5); /* dma */
+	r5 = 0x0u;
+	mmio_write16(r1 + 0x6u, r5); /* dma */
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x34u);
+	r2 = r2 + 0x1u;
+	r2 = r2 & 0x3u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x34u) = (uint32_t)r2;
+	pc = 0x10a08u; break;
+	case 0x10ae0u:
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10ae8 — query entry point; class: algo */
+uint32_t mp_query_10ae8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10ae8u;
+	for (;;) switch (pc) {
+	case 0x10ae8u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) { pc = 0x10b40u; break; }
+	pc = 0x10b10u; break;
+	case 0x10b10u:
+	r3 = 0x10107u;
+	if (r1 == r3) { pc = 0x10b90u; break; }
+	pc = 0x10b20u; break;
+	case 0x10b20u:
+	r3 = 0x10114u;
+	if (r1 == r3) { pc = 0x10bb0u; break; }
+	pc = 0x10b30u; break;
+	case 0x10b30u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10b40u:
+	r3 = 0x0u;
+	pc = 0x10b48u; break;
+	case 0x10b48u:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x14u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10b48u; break; }
+	pc = 0x10b80u; break;
+	case 0x10b80u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10b90u:
+	r3 = 0xau;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	case 0x10bb0u:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10bd0 — set entry point; class: algo */
+uint32_t mp_set_10bd0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+	uint32_t pc = 0x10bd0u;
+	for (;;) switch (pc) {
+	case 0x10bd0u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) { pc = 0x10c50u; break; }
+	pc = 0x10c00u; break;
+	case 0x10c00u:
+	r5 = 0x1010103u;
+	if (r1 == r5) { pc = 0x10db0u; break; }
+	pc = 0x10c10u; break;
+	case 0x10c10u:
+	r5 = 0x12000u;
+	if (r1 == r5) { pc = 0x10ca8u; break; }
+	pc = 0x10c20u; break;
+	case 0x10c20u:
+	r5 = 0xfd010106u;
+	if (r1 == r5) { pc = 0x10d08u; break; }
+	pc = 0x10c30u; break;
+	case 0x10c30u:
+	r5 = 0x12001u;
+	if (r1 == r5) { pc = 0x10d68u; break; }
+	pc = 0x10c40u; break;
+	case 0x10c40u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10c50u:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r5 = 0x0u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) { pc = 0x10c80u; break; }
+	pc = 0x10c78u; break;
+	case 0x10c78u:
+	r5 = 0x8000u;
+	pc = 0x10c80u; break;
+	case 0x10c80u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x40u) = (uint32_t)r5;
+	stk[--sp] = r4;
+	r0 = function_10460(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10c98u; break;
+	case 0x10c98u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10ca8u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r5 = 0x0u;
+	if (r2 == 0x0u) { pc = 0x10cc8u; break; }
+	pc = 0x10cc0u; break;
+	case 0x10cc0u:
+	r5 = 0x1u;
+	pc = 0x10cc8u; break;
+	case 0x10cc8u:
+	stk[--sp] = r5;
+	r5 = 0x9u;
+	stk[--sp] = r5;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_100e0(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10cf8u; break;
+	case 0x10cf8u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10d08u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r5 = 0x0u;
+	if (r2 == 0x0u) { pc = 0x10d28u; break; }
+	pc = 0x10d20u; break;
+	case 0x10d20u:
+	r5 = 0x2u;
+	pc = 0x10d28u; break;
+	case 0x10d28u:
+	stk[--sp] = r5;
+	r5 = 0x5u;
+	stk[--sp] = r5;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10d58u; break;
+	case 0x10d58u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10d68u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	stk[--sp] = r2;
+	r5 = 0x4u;
+	stk[--sp] = r5;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_100e0(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10da0u; break;
+	case 0x10da0u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10db0u:
+	r5 = 0x0u;
+	pc = 0x10db8u; break;
+	case 0x10db8u:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x38u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) { pc = 0x10db8u; break; }
+	pc = 0x10de8u; break;
+	case 0x10de8u:
+	r5 = 0x0u;
+	pc = 0x10df0u; break;
+	case 0x10df0u:
+	if (r5 >= r3) { pc = 0x10e90u; break; }
+	pc = 0x10df8u; break;
+	case 0x10df8u:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10eb0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10e28u; break;
+	case 0x10e28u:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x38u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x38u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	pc = 0x10df0u; break;
+	case 0x10e90u:
+	stk[--sp] = r4;
+	r0 = function_10460(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10ea0u; break;
+	case 0x10ea0u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10eb0; class: algo */
+uint32_t function_10eb0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10eb0u;
+	for (;;) switch (pc) {
+	case 0x10eb0u:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+	pc = 0x10ed0u; break;
+	case 0x10ed0u:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+	pc = 0x10ef0u; break;
+	case 0x10ef0u:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) { pc = 0x10f18u; break; }
+	pc = 0x10f08u; break;
+	case 0x10f08u:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+	pc = 0x10f18u; break;
+	case 0x10f18u:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) { pc = 0x10ef0u; break; }
+	pc = 0x10f30u; break;
+	case 0x10f30u:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10ed0u; break; }
+	pc = 0x10f48u; break;
+	case 0x10f48u:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10f70 — halt entry point; class: algo */
+uint32_t mp_halt_10f70(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10f70u;
+	for (;;) switch (pc) {
+	case 0x10f70u:
+	r4 = stk[sp + 1];
+	r2 = 0x4u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	function_10088(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10fb0u; break;
+	case 0x10fb0u:
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+

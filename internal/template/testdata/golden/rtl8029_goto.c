@@ -1,0 +1,709 @@
+/* RTL8029 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10088() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_10540((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the RTL8029 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is encoded with gotos (see paper, Listing 1).
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t mp_initialize_10088(void);
+uint32_t function_10238(uint32_t arg0);
+void function_10278(uint32_t arg0);
+void function_102c0(uint32_t arg0);
+void function_102e8(uint32_t arg0);
+void function_10310(uint32_t arg0, uint32_t arg1, uint32_t arg2);
+uint32_t function_10360(uint32_t arg0);
+uint32_t mp_send_103e0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+void function_104e8(uint32_t arg0, uint32_t arg1);
+uint32_t mp_isr_10540(uint32_t GlobalState);
+void function_10620(uint32_t arg0);
+uint32_t mp_query_10750(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_10838(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10a80(uint32_t arg0);
+uint32_t mp_halt_10b40(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10000:
+	r1 = 0x10b80u;
+	r2 = 0x10088u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x103e0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x10540u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x10750u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x10838u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10b40u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+L_10078:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10088 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10088(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10088:
+	r1 = 0x40u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_100a0:
+	if (r0 == 0x0u) goto L_10210;
+L_100a8:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100c8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100e8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	r0 = function_10238(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10108:
+	if (r0 == 0x0u) goto L_10148;
+L_10110:
+	r1 = 0xdead0001u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10128:
+	stk[--sp] = r4;
+	r0 = os_NdisFreeMemory(stk[sp + 0]);
+	sp += 1;
+L_10138:
+	r0 = 0x0u;
+	return r0;
+L_10148:
+	stk[--sp] = r4;
+	function_10278(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10158:
+	stk[--sp] = r4;
+	r0 = function_10360(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10168:
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_10180:
+	if (r0 == 0x0u) goto L_10210;
+L_10188:
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x46u;
+	write_port8(r1 + 0xcu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r2 = 0xffu;
+	write_port8(r1 + 0x1u, r2);
+	r2 = 0xbu;
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x0u;
+	write_port8(r1 + 0x4u, r2);
+	stk[--sp] = r4;
+	function_102c0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_101f0:
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+L_10210: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	return r0;
+}
+
+/* original entry 0x10238; class: hw */
+uint32_t function_10238(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10238:
+	r1 = stk[sp + 1];
+	r2 = read_port8(r1 + 0x0u);
+	r3 = 0xffu;
+	if (r2 == r3) goto L_10268;
+L_10258:
+	r0 = 0x0u;
+	return r0;
+L_10268:
+	r0 = 0x1u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10278; class: hw */
+void function_10278(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10278:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x1u;
+	write_port8(r1 + 0x0u, r2);
+	r2 = 0xffu;
+	write_port8(r1 + 0x1u, r2);
+	r2 = 0x0u;
+	write_port8(r1 + 0x2u, r2);
+	return;
+}
+
+/* original entry 0x102c0; class: hw */
+void function_102c0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_102c0:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	write_port8(r1 + 0x0u, r2);
+	return;
+}
+
+/* original entry 0x102e8; class: hw */
+void function_102e8(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_102e8:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x1u;
+	write_port8(r1 + 0x0u, r2);
+	return;
+}
+
+/* original entry 0x10310; class: hw */
+void function_10310(uint32_t arg0, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10310:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	r3 = stk[sp + 3];
+	write_port8(r1 + 0x8u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x9u, r2);
+	write_port8(r1 + 0xau, r3);
+	r3 = r3 >> (0x8u & 31);
+	write_port8(r1 + 0xbu, r3);
+	return;
+}
+
+/* original entry 0x10360; class: hw */
+uint32_t function_10360(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10360:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x6u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	function_10310(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_103a0:
+	r3 = 0x0u;
+L_103a8:
+	r2 = read_port8(r1 + 0x18u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x14u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r6 = 0x6u;
+	if (r3 < r6) goto L_103a8;
+L_103d8:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x103e0 — send entry point; class: mixed */
+uint32_t mp_send_103e0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_103e0:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) goto L_10418;
+L_10408:
+	r1 = 0x5eau;
+	if (r1 >= r6) goto L_10440;
+L_10418:
+	r1 = 0xdead0003u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10430:
+	r0 = 0x1u;
+	return r0;
+L_10440:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r6;
+	r2 = 0x4000u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	function_10310(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10470:
+	r3 = 0x0u;
+L_10478:
+	if (r3 >= r6) goto L_104a8;
+L_10480:
+	r2 = r5 + r3;
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	write_port8(r1 + 0x18u, r2);
+	r3 = r3 + 0x1u;
+	goto L_10478;
+L_104a8:
+	stk[--sp] = r6;
+	stk[--sp] = r4;
+	function_104e8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_104c0:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x24u) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x104e8; class: hw */
+void function_104e8(uint32_t arg0, uint32_t arg1)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+
+L_104e8:
+	r4 = stk[sp + 1];
+	r3 = stk[sp + 2];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x40u;
+	write_port8(r1 + 0x5u, r2);
+	write_port8(r1 + 0x6u, r3);
+	r2 = r3 >> (0x8u & 31);
+	write_port8(r1 + 0x7u, r2);
+	r2 = 0x6u;
+	write_port8(r1 + 0x0u, r2);
+	return;
+}
+
+/* original entry 0x10540 — isr entry point; class: mixed */
+uint32_t mp_isr_10540(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10540:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0x1u);
+	if (r2 == 0x0u) goto L_10618;
+L_10560:
+	r3 = r2 & 0x2u;
+	if (r3 == 0x0u) goto L_10598;
+L_10570:
+	r3 = 0x2u;
+	write_port8(r1 + 0x1u, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+L_10598:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) goto L_105e0;
+L_105a8:
+	stk[--sp] = r2;
+	stk[--sp] = r4;
+	function_10620(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_105c0:
+	r2 = stk[sp++];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x1u;
+	write_port8(r1 + 0x1u, r3);
+L_105e0:
+	r3 = r2 & 0x8u;
+	if (r3 == 0x0u) goto L_10618;
+L_105f0:
+	r3 = 0x8u;
+	write_port8(r1 + 0x1u, r3);
+	r3 = 0xdead0004u;
+	stk[--sp] = r3;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10618:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10620; class: mixed */
+void function_10620(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10620:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+L_10630:
+	r2 = read_port8(r1 + 0xdu);
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	if (r3 == r2) goto L_10748;
+L_10648:
+	r5 = 0x4u;
+	stk[--sp] = r5;
+	r5 = r3 << (0x8u & 31);
+	stk[--sp] = r5;
+	stk[--sp] = r1;
+	function_10310(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+L_10678:
+	r5 = read_port8(r1 + 0x18u);
+	r5 = read_port8(r1 + 0x18u);
+	r2 = read_port8(r1 + 0x18u);
+	r6 = read_port8(r1 + 0x18u);
+	r6 = r6 << (0x8u & 31);
+	r6 = r6 | r2;
+	r6 = r6 - 0x4u;
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = 0x0u;
+L_106c0:
+	if (r3 >= r6) goto L_10700;
+L_106c8:
+	r0 = read_port8(r1 + 0x18u);
+	stk[--sp] = r5;
+	r5 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x0u) = (uint8_t)r0;
+	r5 = stk[sp++];
+	r3 = r3 + 0x1u;
+	goto L_106c0;
+L_10700:
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r5;
+	write_port8(r1 + 0xcu, r5);
+	stk[--sp] = r6;
+	stk[--sp] = r2;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+L_10728:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r2;
+	goto L_10630;
+L_10748:
+	return;
+}
+
+/* original entry 0x10750 — query entry point; class: algo */
+uint32_t mp_query_10750(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10750:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) goto L_107a8;
+L_10778:
+	r3 = 0x10107u;
+	if (r1 == r3) goto L_107f8;
+L_10788:
+	r3 = 0x10114u;
+	if (r1 == r3) goto L_10818;
+L_10798:
+	r0 = 0x1u;
+	return r0;
+L_107a8:
+	r3 = 0x0u;
+L_107b0:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x14u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_107b0;
+L_107e8:
+	r0 = 0x0u;
+	return r0;
+L_107f8:
+	r3 = 0xau;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+L_10818:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10838 — set entry point; class: hw */
+uint32_t mp_set_10838(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+L_10838:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) goto L_10898;
+L_10868:
+	r5 = 0x1010103u;
+	if (r1 == r5) goto L_10940;
+L_10878:
+	r5 = 0x12000u;
+	if (r1 == r5) goto L_10900;
+L_10888:
+	r0 = 0x1u;
+	return r0;
+L_10898:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r5 = 0x0u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) goto L_108c8;
+L_108c0:
+	r5 = r5 | 0x1u;
+L_108c8:
+	r6 = r2 & 0x2u;
+	if (r6 == 0x0u) goto L_108e0;
+L_108d8:
+	r5 = r5 | 0x2u;
+L_108e0:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port8(r1 + 0x3u, r5);
+	r0 = 0x0u;
+	return r0;
+L_10900:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = 0x0u;
+	if (r2 == 0x0u) goto L_10928;
+L_10920:
+	r5 = 0x1u;
+L_10928:
+	write_port8(r1 + 0x4u, r5);
+	r0 = 0x0u;
+	return r0;
+L_10940:
+	r5 = 0x0u;
+L_10948:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x30u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) goto L_10948;
+L_10978:
+	r5 = 0x0u;
+L_10980:
+	if (r5 >= r3) goto L_10a20;
+L_10988:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10a80(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_109b8:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x30u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x30u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	goto L_10980;
+L_10a20:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r1 = r1 + 0x10u;
+	r5 = 0x0u;
+L_10a38:
+	r6 = r4 + r5;
+	r6 = *(uint8_t *)(uintptr_t)(r6 + 0x30u);
+	r2 = r1 + r5;
+	write_port8(r2 + 0x0u, r6);
+	r5 = r5 + 0x1u;
+	r6 = 0x8u;
+	if (r5 < r6) goto L_10a38;
+L_10a70:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10a80; class: algo */
+uint32_t function_10a80(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10a80:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+L_10aa0:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+L_10ac0:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) goto L_10ae8;
+L_10ad8:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+L_10ae8:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) goto L_10ac0;
+L_10b00:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10aa0;
+L_10b18:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10b40 — halt entry point; class: hw */
+uint32_t mp_halt_10b40(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10b40:
+	r4 = stk[sp + 1];
+	stk[--sp] = r4;
+	function_102e8(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10b58:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	write_port8(r1 + 0x2u, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	return r0;
+}
+

@@ -1,0 +1,857 @@
+/* RTL8029 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10088() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_10540((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the RTL8029 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is a switch-dispatch state machine over the
+ * recovered basic-block addresses.
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t mp_initialize_10088(void);
+uint32_t function_10238(uint32_t arg0);
+void function_10278(uint32_t arg0);
+void function_102c0(uint32_t arg0);
+void function_102e8(uint32_t arg0);
+void function_10310(uint32_t arg0, uint32_t arg1, uint32_t arg2);
+uint32_t function_10360(uint32_t arg0);
+uint32_t mp_send_103e0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+void function_104e8(uint32_t arg0, uint32_t arg1);
+uint32_t mp_isr_10540(uint32_t GlobalState);
+void function_10620(uint32_t arg0);
+uint32_t mp_query_10750(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_10838(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10a80(uint32_t arg0);
+uint32_t mp_halt_10b40(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10000u;
+	for (;;) switch (pc) {
+	case 0x10000u:
+	r1 = 0x10b80u;
+	r2 = 0x10088u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x103e0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x10540u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x10750u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x10838u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10b40u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10078u; break;
+	case 0x10078u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10088 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10088(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10088u;
+	for (;;) switch (pc) {
+	case 0x10088u:
+	r1 = 0x40u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100a0u; break;
+	case 0x100a0u:
+	if (r0 == 0x0u) { pc = 0x10210u; break; }
+	pc = 0x100a8u; break;
+	case 0x100a8u:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100c8u; break;
+	case 0x100c8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100e8u; break;
+	case 0x100e8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r1;
+	r0 = function_10238(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10108u; break;
+	case 0x10108u:
+	if (r0 == 0x0u) { pc = 0x10148u; break; }
+	pc = 0x10110u; break;
+	case 0x10110u:
+	r1 = 0xdead0001u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10128u; break;
+	case 0x10128u:
+	stk[--sp] = r4;
+	r0 = os_NdisFreeMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10138u; break;
+	case 0x10138u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10148u:
+	stk[--sp] = r4;
+	function_10278(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10158u; break;
+	case 0x10158u:
+	stk[--sp] = r4;
+	r0 = function_10360(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10168u; break;
+	case 0x10168u:
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10180u; break;
+	case 0x10180u:
+	if (r0 == 0x0u) { pc = 0x10210u; break; }
+	pc = 0x10188u; break;
+	case 0x10188u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x46u;
+	write_port8(r1 + 0xcu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r2 = 0xffu;
+	write_port8(r1 + 0x1u, r2);
+	r2 = 0xbu;
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x0u;
+	write_port8(r1 + 0x4u, r2);
+	stk[--sp] = r4;
+	function_102c0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x101f0u; break;
+	case 0x101f0u:
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+	case 0x10210u: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10238; class: hw */
+uint32_t function_10238(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10238u;
+	for (;;) switch (pc) {
+	case 0x10238u:
+	r1 = stk[sp + 1];
+	r2 = read_port8(r1 + 0x0u);
+	r3 = 0xffu;
+	if (r2 == r3) { pc = 0x10268u; break; }
+	pc = 0x10258u; break;
+	case 0x10258u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10268u:
+	r0 = 0x1u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10278; class: hw */
+void function_10278(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10278u;
+	for (;;) switch (pc) {
+	case 0x10278u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x1u;
+	write_port8(r1 + 0x0u, r2);
+	r2 = 0xffu;
+	write_port8(r1 + 0x1u, r2);
+	r2 = 0x0u;
+	write_port8(r1 + 0x2u, r2);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x102c0; class: hw */
+void function_102c0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x102c0u;
+	for (;;) switch (pc) {
+	case 0x102c0u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	write_port8(r1 + 0x0u, r2);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x102e8; class: hw */
+void function_102e8(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x102e8u;
+	for (;;) switch (pc) {
+	case 0x102e8u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x1u;
+	write_port8(r1 + 0x0u, r2);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10310; class: hw */
+void function_10310(uint32_t arg0, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10310u;
+	for (;;) switch (pc) {
+	case 0x10310u:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	r3 = stk[sp + 3];
+	write_port8(r1 + 0x8u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x9u, r2);
+	write_port8(r1 + 0xau, r3);
+	r3 = r3 >> (0x8u & 31);
+	write_port8(r1 + 0xbu, r3);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10360; class: hw */
+uint32_t function_10360(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10360u;
+	for (;;) switch (pc) {
+	case 0x10360u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x6u;
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	function_10310(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x103a0u; break;
+	case 0x103a0u:
+	r3 = 0x0u;
+	pc = 0x103a8u; break;
+	case 0x103a8u:
+	r2 = read_port8(r1 + 0x18u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x14u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r6 = 0x6u;
+	if (r3 < r6) { pc = 0x103a8u; break; }
+	pc = 0x103d8u; break;
+	case 0x103d8u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x103e0 — send entry point; class: mixed */
+uint32_t mp_send_103e0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x103e0u;
+	for (;;) switch (pc) {
+	case 0x103e0u:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) { pc = 0x10418u; break; }
+	pc = 0x10408u; break;
+	case 0x10408u:
+	r1 = 0x5eau;
+	if (r1 >= r6) { pc = 0x10440u; break; }
+	pc = 0x10418u; break;
+	case 0x10418u:
+	r1 = 0xdead0003u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10430u; break;
+	case 0x10430u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10440u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r6;
+	r2 = 0x4000u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	function_10310(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10470u; break;
+	case 0x10470u:
+	r3 = 0x0u;
+	pc = 0x10478u; break;
+	case 0x10478u:
+	if (r3 >= r6) { pc = 0x104a8u; break; }
+	pc = 0x10480u; break;
+	case 0x10480u:
+	r2 = r5 + r3;
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	write_port8(r1 + 0x18u, r2);
+	r3 = r3 + 0x1u;
+	pc = 0x10478u; break;
+	case 0x104a8u:
+	stk[--sp] = r6;
+	stk[--sp] = r4;
+	function_104e8(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x104c0u; break;
+	case 0x104c0u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x24u) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x104e8; class: hw */
+void function_104e8(uint32_t arg0, uint32_t arg1)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+
+	uint32_t pc = 0x104e8u;
+	for (;;) switch (pc) {
+	case 0x104e8u:
+	r4 = stk[sp + 1];
+	r3 = stk[sp + 2];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x40u;
+	write_port8(r1 + 0x5u, r2);
+	write_port8(r1 + 0x6u, r3);
+	r2 = r3 >> (0x8u & 31);
+	write_port8(r1 + 0x7u, r2);
+	r2 = 0x6u;
+	write_port8(r1 + 0x0u, r2);
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10540 — isr entry point; class: mixed */
+uint32_t mp_isr_10540(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10540u;
+	for (;;) switch (pc) {
+	case 0x10540u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0x1u);
+	if (r2 == 0x0u) { pc = 0x10618u; break; }
+	pc = 0x10560u; break;
+	case 0x10560u:
+	r3 = r2 & 0x2u;
+	if (r3 == 0x0u) { pc = 0x10598u; break; }
+	pc = 0x10570u; break;
+	case 0x10570u:
+	r3 = 0x2u;
+	write_port8(r1 + 0x1u, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10598u; break;
+	case 0x10598u:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) { pc = 0x105e0u; break; }
+	pc = 0x105a8u; break;
+	case 0x105a8u:
+	stk[--sp] = r2;
+	stk[--sp] = r4;
+	function_10620(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x105c0u; break;
+	case 0x105c0u:
+	r2 = stk[sp++];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x1u;
+	write_port8(r1 + 0x1u, r3);
+	pc = 0x105e0u; break;
+	case 0x105e0u:
+	r3 = r2 & 0x8u;
+	if (r3 == 0x0u) { pc = 0x10618u; break; }
+	pc = 0x105f0u; break;
+	case 0x105f0u:
+	r3 = 0x8u;
+	write_port8(r1 + 0x1u, r3);
+	r3 = 0xdead0004u;
+	stk[--sp] = r3;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10618u; break;
+	case 0x10618u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10620; class: mixed */
+void function_10620(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10620u;
+	for (;;) switch (pc) {
+	case 0x10620u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	pc = 0x10630u; break;
+	case 0x10630u:
+	r2 = read_port8(r1 + 0xdu);
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	if (r3 == r2) { pc = 0x10748u; break; }
+	pc = 0x10648u; break;
+	case 0x10648u:
+	r5 = 0x4u;
+	stk[--sp] = r5;
+	r5 = r3 << (0x8u & 31);
+	stk[--sp] = r5;
+	stk[--sp] = r1;
+	function_10310(stk[sp + 0], stk[sp + 1], stk[sp + 2]);
+	sp += 3; /* stdcall: callee pops */
+	pc = 0x10678u; break;
+	case 0x10678u:
+	r5 = read_port8(r1 + 0x18u);
+	r5 = read_port8(r1 + 0x18u);
+	r2 = read_port8(r1 + 0x18u);
+	r6 = read_port8(r1 + 0x18u);
+	r6 = r6 << (0x8u & 31);
+	r6 = r6 | r2;
+	r6 = r6 - 0x4u;
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = 0x0u;
+	pc = 0x106c0u; break;
+	case 0x106c0u:
+	if (r3 >= r6) { pc = 0x10700u; break; }
+	pc = 0x106c8u; break;
+	case 0x106c8u:
+	r0 = read_port8(r1 + 0x18u);
+	stk[--sp] = r5;
+	r5 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x0u) = (uint8_t)r0;
+	r5 = stk[sp++];
+	r3 = r3 + 0x1u;
+	pc = 0x106c0u; break;
+	case 0x10700u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r5;
+	write_port8(r1 + 0xcu, r5);
+	stk[--sp] = r6;
+	stk[--sp] = r2;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+	pc = 0x10728u; break;
+	case 0x10728u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r2;
+	pc = 0x10630u; break;
+	case 0x10748u:
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10750 — query entry point; class: algo */
+uint32_t mp_query_10750(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10750u;
+	for (;;) switch (pc) {
+	case 0x10750u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) { pc = 0x107a8u; break; }
+	pc = 0x10778u; break;
+	case 0x10778u:
+	r3 = 0x10107u;
+	if (r1 == r3) { pc = 0x107f8u; break; }
+	pc = 0x10788u; break;
+	case 0x10788u:
+	r3 = 0x10114u;
+	if (r1 == r3) { pc = 0x10818u; break; }
+	pc = 0x10798u; break;
+	case 0x10798u:
+	r0 = 0x1u;
+	return r0;
+	case 0x107a8u:
+	r3 = 0x0u;
+	pc = 0x107b0u; break;
+	case 0x107b0u:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x14u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x107b0u; break; }
+	pc = 0x107e8u; break;
+	case 0x107e8u:
+	r0 = 0x0u;
+	return r0;
+	case 0x107f8u:
+	r3 = 0xau;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	case 0x10818u:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10838 — set entry point; class: hw */
+uint32_t mp_set_10838(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+	uint32_t pc = 0x10838u;
+	for (;;) switch (pc) {
+	case 0x10838u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) { pc = 0x10898u; break; }
+	pc = 0x10868u; break;
+	case 0x10868u:
+	r5 = 0x1010103u;
+	if (r1 == r5) { pc = 0x10940u; break; }
+	pc = 0x10878u; break;
+	case 0x10878u:
+	r5 = 0x12000u;
+	if (r1 == r5) { pc = 0x10900u; break; }
+	pc = 0x10888u; break;
+	case 0x10888u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10898u:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r5 = 0x0u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) { pc = 0x108c8u; break; }
+	pc = 0x108c0u; break;
+	case 0x108c0u:
+	r5 = r5 | 0x1u;
+	pc = 0x108c8u; break;
+	case 0x108c8u:
+	r6 = r2 & 0x2u;
+	if (r6 == 0x0u) { pc = 0x108e0u; break; }
+	pc = 0x108d8u; break;
+	case 0x108d8u:
+	r5 = r5 | 0x2u;
+	pc = 0x108e0u; break;
+	case 0x108e0u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port8(r1 + 0x3u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x10900u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = 0x0u;
+	if (r2 == 0x0u) { pc = 0x10928u; break; }
+	pc = 0x10920u; break;
+	case 0x10920u:
+	r5 = 0x1u;
+	pc = 0x10928u; break;
+	case 0x10928u:
+	write_port8(r1 + 0x4u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x10940u:
+	r5 = 0x0u;
+	pc = 0x10948u; break;
+	case 0x10948u:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x30u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) { pc = 0x10948u; break; }
+	pc = 0x10978u; break;
+	case 0x10978u:
+	r5 = 0x0u;
+	pc = 0x10980u; break;
+	case 0x10980u:
+	if (r5 >= r3) { pc = 0x10a20u; break; }
+	pc = 0x10988u; break;
+	case 0x10988u:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10a80(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x109b8u; break;
+	case 0x109b8u:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x30u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x30u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	pc = 0x10980u; break;
+	case 0x10a20u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r1 = r1 + 0x10u;
+	r5 = 0x0u;
+	pc = 0x10a38u; break;
+	case 0x10a38u:
+	r6 = r4 + r5;
+	r6 = *(uint8_t *)(uintptr_t)(r6 + 0x30u);
+	r2 = r1 + r5;
+	write_port8(r2 + 0x0u, r6);
+	r5 = r5 + 0x1u;
+	r6 = 0x8u;
+	if (r5 < r6) { pc = 0x10a38u; break; }
+	pc = 0x10a70u; break;
+	case 0x10a70u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10a80; class: algo */
+uint32_t function_10a80(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10a80u;
+	for (;;) switch (pc) {
+	case 0x10a80u:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+	pc = 0x10aa0u; break;
+	case 0x10aa0u:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+	pc = 0x10ac0u; break;
+	case 0x10ac0u:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) { pc = 0x10ae8u; break; }
+	pc = 0x10ad8u; break;
+	case 0x10ad8u:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+	pc = 0x10ae8u; break;
+	case 0x10ae8u:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) { pc = 0x10ac0u; break; }
+	pc = 0x10b00u; break;
+	case 0x10b00u:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10aa0u; break; }
+	pc = 0x10b18u; break;
+	case 0x10b18u:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10b40 — halt entry point; class: hw */
+uint32_t mp_halt_10b40(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10b40u;
+	for (;;) switch (pc) {
+	case 0x10b40u:
+	r4 = stk[sp + 1];
+	stk[--sp] = r4;
+	function_102e8(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10b58u; break;
+	case 0x10b58u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	write_port8(r1 + 0x2u, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+

@@ -1,0 +1,683 @@
+/* RTL8139 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10088() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_104b0((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the RTL8139 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is encoded with gotos (see paper, Listing 1).
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t mp_initialize_10088(void);
+uint32_t function_102b0(uint32_t arg0);
+uint32_t function_10328(uint32_t arg0);
+uint32_t mp_send_10380(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_104b0(uint32_t GlobalState);
+void function_10558(uint32_t arg0);
+uint32_t mp_query_106a8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_107a0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10ab8(uint32_t arg0);
+uint32_t mp_timer_10b78(uint32_t GlobalState);
+uint32_t mp_halt_10bd0(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10000:
+	r1 = 0x10c08u;
+	r2 = 0x10088u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10380u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x104b0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x106a8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x107a0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10bd0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+L_10078:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10088 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10088(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10088:
+	r1 = 0x48u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_100a0:
+	if (r0 == 0x0u) goto L_102a0;
+L_100a8:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100c8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100e8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0x37u);
+	r3 = 0xffu;
+	if (r2 == r3) goto L_10288;
+L_10110:
+	stk[--sp] = r4;
+	r0 = function_102b0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10120:
+	if (r0 == 0x0u) goto L_10148;
+	goto L_10128;
+L_10148:
+	stk[--sp] = r4;
+	r0 = function_10328(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10158:
+	r1 = 0x2810u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_10170:
+	if (r0 == 0x0u) goto L_102a0;
+L_10178:
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r0;
+	r1 = 0x2000u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+L_10198:
+	if (r0 == 0x0u) goto L_102a0;
+L_101a0:
+	*(uint32_t *)(uintptr_t)(r4 + 0x24u) = (uint32_t)r0;
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_101c0:
+	if (r0 == 0x0u) goto L_102a0;
+L_101c8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x3cu) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	write_port32(r1 + 0x30u, r2);
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r2;
+	write_port16(r1 + 0x38u, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r2 = 0x5u;
+	write_port16(r1 + 0x3cu, r2);
+	r2 = 0x8u;
+	write_port32(r1 + 0x44u, r2);
+	r2 = 0xcu;
+	write_port8(r1 + 0x37u, r2);
+	r1 = 0x10b78u;
+	stk[--sp] = r1;
+	r0 = os_NdisMInitializeTimer(stk[sp + 0]);
+	sp += 1;
+L_10250:
+	r1 = 0x64u;
+	stk[--sp] = r1;
+	r0 = os_NdisMSetTimer(stk[sp + 0]);
+	sp += 1;
+L_10268:
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+L_10288:
+	r1 = 0xdead0010u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_102a0:
+	r0 = 0x0u;
+	return r0;
+L_10128: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	return r0;
+}
+
+/* original entry 0x102b0; class: hw */
+uint32_t function_102b0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_102b0:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x10u;
+	write_port8(r1 + 0x37u, r2);
+	r3 = 0x0u;
+L_102d8:
+	r2 = read_port8(r1 + 0x37u);
+	r2 = r2 & 0x10u;
+	if (r2 == 0x0u) goto L_10318;
+L_102f0:
+	r3 = r3 + 0x1u;
+	r2 = 0x3e8u;
+	if (r3 < r2) goto L_102d8;
+	goto L_10308;
+L_10318:
+	r0 = 0x0u;
+	return r0;
+L_10308: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	return r0;
+}
+
+/* original entry 0x10328; class: hw */
+uint32_t function_10328(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10328:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x0u;
+L_10340:
+	r2 = r1 + r3;
+	r2 = read_port8(r2 + 0x0u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x14u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10340;
+L_10378:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10380 — send entry point; class: mixed */
+uint32_t mp_send_10380(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10380:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) goto L_103b8;
+L_103a8:
+	r1 = 0x5eau;
+	if (r1 >= r6) goto L_103e0;
+L_103b8:
+	r1 = 0xdead0012u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_103d0:
+	r0 = 0x1u;
+	return r0;
+L_103e0:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r3 = r2 << (0xbu & 31);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r1 = r1 + r3;
+	r3 = 0x0u;
+L_10408:
+	if (r3 >= r6) goto L_10440;
+L_10410:
+	r0 = r5 + r3;
+	r0 = *(uint8_t *)(uintptr_t)(r0 + 0x0u);
+	r2 = r1 + r3;
+	mmio_write8(r2 + 0x0u, r0); /* dma */
+	r3 = r3 + 0x1u;
+	goto L_10408;
+L_10440:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r3 = r2 << (0x2u & 31);
+	r0 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r0 = r0 + r3;
+	write_port32(r0 + 0x20u, r1);
+	write_port32(r0 + 0x10u, r6);
+	r2 = r2 + 0x1u;
+	r2 = r2 & 0x3u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x2cu);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x2cu) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x104b0 — isr entry point; class: mixed */
+uint32_t mp_isr_104b0(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_104b0:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port16(r1 + 0x3eu);
+	if (r2 == 0x0u) goto L_10550;
+L_104d0:
+	r3 = r2 & 0x4u;
+	if (r3 == 0x0u) goto L_10508;
+L_104e0:
+	r3 = 0x4u;
+	write_port16(r1 + 0x3eu, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+L_10508:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) goto L_10550;
+L_10518:
+	stk[--sp] = r2;
+	stk[--sp] = r4;
+	function_10558(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10530:
+	r2 = stk[sp++];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x1u;
+	write_port16(r1 + 0x3eu, r3);
+L_10550:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10558; class: mixed */
+void function_10558(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10558:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+L_10568:
+	r2 = read_port8(r1 + 0x37u);
+	r2 = r2 & 0x1u;
+	if (r2 != 0x0u) goto L_106a0;
+L_10580:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r5 = r2 + r3;
+	r6 = mmio_read16(r5 + 0x2u); /* dma */
+	r6 = r6 - 0x4u;
+	r0 = *(uint32_t *)(uintptr_t)(r4 + 0x3cu);
+	stk[--sp] = r0;
+	r3 = r5 + 0x4u;
+	r5 = 0x0u;
+L_105c8:
+	if (r5 >= r6) goto L_10608;
+L_105d0:
+	r0 = r3 + r5;
+	r0 = mmio_read8(r0 + 0x0u); /* dma */
+	r2 = stk[sp + 0];
+	r2 = r2 + r5;
+	*(uint8_t *)(uintptr_t)(r2 + 0x0u) = (uint8_t)r0;
+	r5 = r5 + 0x1u;
+	goto L_105c8;
+L_10608:
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r3 = r3 + r6;
+	r3 = r3 + 0x7u;
+	r2 = 0xfffffffcu;
+	r3 = r3 & r2;
+	r2 = 0x1fffu;
+	r3 = r3 & r2;
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port16(r1 + 0x38u, r3);
+	r2 = stk[sp++];
+	stk[--sp] = r6;
+	stk[--sp] = r2;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+L_10678:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x30u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x30u) = (uint32_t)r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	goto L_10568;
+L_106a0:
+	return;
+}
+
+/* original entry 0x106a8 — query entry point; class: hw */
+uint32_t mp_query_106a8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_106a8:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) goto L_10700;
+L_106d0:
+	r3 = 0x10107u;
+	if (r1 == r3) goto L_10750;
+L_106e0:
+	r3 = 0x10114u;
+	if (r1 == r3) goto L_10770;
+L_106f0:
+	r0 = 0x1u;
+	return r0;
+L_10700:
+	r3 = 0x0u;
+L_10708:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x14u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10708;
+L_10740:
+	r0 = 0x0u;
+	return r0;
+L_10750:
+	r3 = 0x64u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+L_10770:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = read_port8(r1 + 0x58u);
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x107a0 — set entry point; class: hw */
+uint32_t mp_set_107a0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+L_107a0:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) goto L_10820;
+L_107d0:
+	r5 = 0x1010103u;
+	if (r1 == r5) goto L_10978;
+L_107e0:
+	r5 = 0x12000u;
+	if (r1 == r5) goto L_10888;
+L_107f0:
+	r5 = 0xfd010106u;
+	if (r1 == r5) goto L_108d8;
+L_10800:
+	r5 = 0x12001u;
+	if (r1 == r5) goto L_10928;
+L_10810:
+	r0 = 0x1u;
+	return r0;
+L_10820:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r5 = 0x8u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) goto L_10850;
+L_10848:
+	r5 = r5 | 0x1u;
+L_10850:
+	r6 = r2 & 0x2u;
+	if (r6 == 0x0u) goto L_10868;
+L_10860:
+	r5 = r5 | 0x4u;
+L_10868:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port32(r1 + 0x44u, r5);
+	r0 = 0x0u;
+	return r0;
+L_10888:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = read_port8(r1 + 0x58u);
+	r6 = 0xfeu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) goto L_108c0;
+L_108b8:
+	r5 = r5 | 0x1u;
+L_108c0:
+	write_port8(r1 + 0x58u, r5);
+	r0 = 0x0u;
+	return r0;
+L_108d8:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = read_port8(r1 + 0x52u);
+	r6 = 0xfeu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) goto L_10910;
+L_10908:
+	r5 = r5 | 0x1u;
+L_10910:
+	write_port8(r1 + 0x52u, r5);
+	r0 = 0x0u;
+	return r0;
+L_10928:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = read_port8(r1 + 0x52u);
+	r6 = 0xefu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) goto L_10960;
+L_10958:
+	r5 = r5 | 0x10u;
+L_10960:
+	write_port8(r1 + 0x52u, r5);
+	r0 = 0x0u;
+	return r0;
+L_10978:
+	r5 = 0x0u;
+L_10980:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x34u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) goto L_10980;
+L_109b0:
+	r5 = 0x0u;
+L_109b8:
+	if (r5 >= r3) goto L_10a58;
+L_109c0:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10ab8(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_109f0:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x34u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x34u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	goto L_109b8;
+L_10a58:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r1 = r1 + 0x8u;
+	r5 = 0x0u;
+L_10a70:
+	r6 = r4 + r5;
+	r6 = *(uint8_t *)(uintptr_t)(r6 + 0x34u);
+	r2 = r1 + r5;
+	write_port8(r2 + 0x0u, r6);
+	r5 = r5 + 0x1u;
+	r6 = 0x8u;
+	if (r5 < r6) goto L_10a70;
+L_10aa8:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10ab8; class: algo */
+uint32_t function_10ab8(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10ab8:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+L_10ad8:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+L_10af8:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) goto L_10b20;
+L_10b10:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+L_10b20:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) goto L_10af8;
+L_10b38:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10ad8;
+L_10b50:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10b78 — timer entry point; class: hw */
+uint32_t mp_timer_10b78(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10b78:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0x58u);
+	r5 = read_port8(r1 + 0x52u);
+	r6 = 0xefu;
+	r5 = r5 & r6;
+	r2 = r2 & 0x1u;
+	if (r2 == 0x0u) goto L_10bc0;
+L_10bb8:
+	r5 = r5 | 0x10u;
+L_10bc0:
+	write_port8(r1 + 0x52u, r5);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10bd0 — halt entry point; class: hw */
+uint32_t mp_halt_10bd0(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10bd0:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	write_port16(r1 + 0x3cu, r2);
+	write_port8(r1 + 0x37u, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	return r0;
+}
+

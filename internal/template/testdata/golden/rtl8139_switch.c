@@ -1,0 +1,816 @@
+/* RTL8139 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10088() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_104b0((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the RTL8139 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is a switch-dispatch state machine over the
+ * recovered basic-block addresses.
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t mp_initialize_10088(void);
+uint32_t function_102b0(uint32_t arg0);
+uint32_t function_10328(uint32_t arg0);
+uint32_t mp_send_10380(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_104b0(uint32_t GlobalState);
+void function_10558(uint32_t arg0);
+uint32_t mp_query_106a8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_107a0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10ab8(uint32_t arg0);
+uint32_t mp_timer_10b78(uint32_t GlobalState);
+uint32_t mp_halt_10bd0(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10000u;
+	for (;;) switch (pc) {
+	case 0x10000u:
+	r1 = 0x10c08u;
+	r2 = 0x10088u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10380u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x104b0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x106a8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x107a0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10bd0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10078u; break;
+	case 0x10078u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10088 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10088(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10088u;
+	for (;;) switch (pc) {
+	case 0x10088u:
+	r1 = 0x48u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100a0u; break;
+	case 0x100a0u:
+	if (r0 == 0x0u) { pc = 0x102a0u; break; }
+	pc = 0x100a8u; break;
+	case 0x100a8u:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100c8u; break;
+	case 0x100c8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100e8u; break;
+	case 0x100e8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0x37u);
+	r3 = 0xffu;
+	if (r2 == r3) { pc = 0x10288u; break; }
+	pc = 0x10110u; break;
+	case 0x10110u:
+	stk[--sp] = r4;
+	r0 = function_102b0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10120u; break;
+	case 0x10120u:
+	if (r0 == 0x0u) { pc = 0x10148u; break; }
+	pc = 0x10128u; break;
+	case 0x10148u:
+	stk[--sp] = r4;
+	r0 = function_10328(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10158u; break;
+	case 0x10158u:
+	r1 = 0x2810u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10170u; break;
+	case 0x10170u:
+	if (r0 == 0x0u) { pc = 0x102a0u; break; }
+	pc = 0x10178u; break;
+	case 0x10178u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r0;
+	r1 = 0x2000u;
+	stk[--sp] = r1;
+	r0 = os_NdisMAllocateSharedMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10198u; break;
+	case 0x10198u:
+	if (r0 == 0x0u) { pc = 0x102a0u; break; }
+	pc = 0x101a0u; break;
+	case 0x101a0u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x24u) = (uint32_t)r0;
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x101c0u; break;
+	case 0x101c0u:
+	if (r0 == 0x0u) { pc = 0x102a0u; break; }
+	pc = 0x101c8u; break;
+	case 0x101c8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x3cu) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	write_port32(r1 + 0x30u, r2);
+	r2 = 0x0u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r2;
+	write_port16(r1 + 0x38u, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r2 = 0x5u;
+	write_port16(r1 + 0x3cu, r2);
+	r2 = 0x8u;
+	write_port32(r1 + 0x44u, r2);
+	r2 = 0xcu;
+	write_port8(r1 + 0x37u, r2);
+	r1 = 0x10b78u;
+	stk[--sp] = r1;
+	r0 = os_NdisMInitializeTimer(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10250u; break;
+	case 0x10250u:
+	r1 = 0x64u;
+	stk[--sp] = r1;
+	r0 = os_NdisMSetTimer(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10268u; break;
+	case 0x10268u:
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+	case 0x10288u:
+	r1 = 0xdead0010u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x102a0u; break;
+	case 0x102a0u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10128u: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x102b0; class: hw */
+uint32_t function_102b0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x102b0u;
+	for (;;) switch (pc) {
+	case 0x102b0u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x10u;
+	write_port8(r1 + 0x37u, r2);
+	r3 = 0x0u;
+	pc = 0x102d8u; break;
+	case 0x102d8u:
+	r2 = read_port8(r1 + 0x37u);
+	r2 = r2 & 0x10u;
+	if (r2 == 0x0u) { pc = 0x10318u; break; }
+	pc = 0x102f0u; break;
+	case 0x102f0u:
+	r3 = r3 + 0x1u;
+	r2 = 0x3e8u;
+	if (r3 < r2) { pc = 0x102d8u; break; }
+	pc = 0x10308u; break;
+	case 0x10318u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10308u: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10328; class: hw */
+uint32_t function_10328(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10328u;
+	for (;;) switch (pc) {
+	case 0x10328u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x0u;
+	pc = 0x10340u; break;
+	case 0x10340u:
+	r2 = r1 + r3;
+	r2 = read_port8(r2 + 0x0u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x14u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10340u; break; }
+	pc = 0x10378u; break;
+	case 0x10378u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10380 — send entry point; class: mixed */
+uint32_t mp_send_10380(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10380u;
+	for (;;) switch (pc) {
+	case 0x10380u:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) { pc = 0x103b8u; break; }
+	pc = 0x103a8u; break;
+	case 0x103a8u:
+	r1 = 0x5eau;
+	if (r1 >= r6) { pc = 0x103e0u; break; }
+	pc = 0x103b8u; break;
+	case 0x103b8u:
+	r1 = 0xdead0012u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x103d0u; break;
+	case 0x103d0u:
+	r0 = 0x1u;
+	return r0;
+	case 0x103e0u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r3 = r2 << (0xbu & 31);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x24u);
+	r1 = r1 + r3;
+	r3 = 0x0u;
+	pc = 0x10408u; break;
+	case 0x10408u:
+	if (r3 >= r6) { pc = 0x10440u; break; }
+	pc = 0x10410u; break;
+	case 0x10410u:
+	r0 = r5 + r3;
+	r0 = *(uint8_t *)(uintptr_t)(r0 + 0x0u);
+	r2 = r1 + r3;
+	mmio_write8(r2 + 0x0u, r0); /* dma */
+	r3 = r3 + 0x1u;
+	pc = 0x10408u; break;
+	case 0x10440u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x10u);
+	r3 = r2 << (0x2u & 31);
+	r0 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r0 = r0 + r3;
+	write_port32(r0 + 0x20u, r1);
+	write_port32(r0 + 0x10u, r6);
+	r2 = r2 + 0x1u;
+	r2 = r2 & 0x3u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x10u) = (uint32_t)r2;
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x2cu);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x2cu) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x104b0 — isr entry point; class: mixed */
+uint32_t mp_isr_104b0(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x104b0u;
+	for (;;) switch (pc) {
+	case 0x104b0u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port16(r1 + 0x3eu);
+	if (r2 == 0x0u) { pc = 0x10550u; break; }
+	pc = 0x104d0u; break;
+	case 0x104d0u:
+	r3 = r2 & 0x4u;
+	if (r3 == 0x0u) { pc = 0x10508u; break; }
+	pc = 0x104e0u; break;
+	case 0x104e0u:
+	r3 = 0x4u;
+	write_port16(r1 + 0x3eu, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10508u; break;
+	case 0x10508u:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) { pc = 0x10550u; break; }
+	pc = 0x10518u; break;
+	case 0x10518u:
+	stk[--sp] = r2;
+	stk[--sp] = r4;
+	function_10558(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10530u; break;
+	case 0x10530u:
+	r2 = stk[sp++];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = 0x1u;
+	write_port16(r1 + 0x3eu, r3);
+	pc = 0x10550u; break;
+	case 0x10550u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10558; class: mixed */
+void function_10558(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10558u;
+	for (;;) switch (pc) {
+	case 0x10558u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	pc = 0x10568u; break;
+	case 0x10568u:
+	r2 = read_port8(r1 + 0x37u);
+	r2 = r2 & 0x1u;
+	if (r2 != 0x0u) { pc = 0x106a0u; break; }
+	pc = 0x10580u; break;
+	case 0x10580u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r5 = r2 + r3;
+	r6 = mmio_read16(r5 + 0x2u); /* dma */
+	r6 = r6 - 0x4u;
+	r0 = *(uint32_t *)(uintptr_t)(r4 + 0x3cu);
+	stk[--sp] = r0;
+	r3 = r5 + 0x4u;
+	r5 = 0x0u;
+	pc = 0x105c8u; break;
+	case 0x105c8u:
+	if (r5 >= r6) { pc = 0x10608u; break; }
+	pc = 0x105d0u; break;
+	case 0x105d0u:
+	r0 = r3 + r5;
+	r0 = mmio_read8(r0 + 0x0u); /* dma */
+	r2 = stk[sp + 0];
+	r2 = r2 + r5;
+	*(uint8_t *)(uintptr_t)(r2 + 0x0u) = (uint8_t)r0;
+	r5 = r5 + 0x1u;
+	pc = 0x105c8u; break;
+	case 0x10608u:
+	r3 = *(uint32_t *)(uintptr_t)(r4 + 0x28u);
+	r3 = r3 + r6;
+	r3 = r3 + 0x7u;
+	r2 = 0xfffffffcu;
+	r3 = r3 & r2;
+	r2 = 0x1fffu;
+	r3 = r3 & r2;
+	*(uint32_t *)(uintptr_t)(r4 + 0x28u) = (uint32_t)r3;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port16(r1 + 0x38u, r3);
+	r2 = stk[sp++];
+	stk[--sp] = r6;
+	stk[--sp] = r2;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+	pc = 0x10678u; break;
+	case 0x10678u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x30u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x30u) = (uint32_t)r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	pc = 0x10568u; break;
+	case 0x106a0u:
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x106a8 — query entry point; class: hw */
+uint32_t mp_query_106a8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x106a8u;
+	for (;;) switch (pc) {
+	case 0x106a8u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) { pc = 0x10700u; break; }
+	pc = 0x106d0u; break;
+	case 0x106d0u:
+	r3 = 0x10107u;
+	if (r1 == r3) { pc = 0x10750u; break; }
+	pc = 0x106e0u; break;
+	case 0x106e0u:
+	r3 = 0x10114u;
+	if (r1 == r3) { pc = 0x10770u; break; }
+	pc = 0x106f0u; break;
+	case 0x106f0u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10700u:
+	r3 = 0x0u;
+	pc = 0x10708u; break;
+	case 0x10708u:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x14u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10708u; break; }
+	pc = 0x10740u; break;
+	case 0x10740u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10750u:
+	r3 = 0x64u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	case 0x10770u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r3 = read_port8(r1 + 0x58u);
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x107a0 — set entry point; class: hw */
+uint32_t mp_set_107a0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+	uint32_t pc = 0x107a0u;
+	for (;;) switch (pc) {
+	case 0x107a0u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) { pc = 0x10820u; break; }
+	pc = 0x107d0u; break;
+	case 0x107d0u:
+	r5 = 0x1010103u;
+	if (r1 == r5) { pc = 0x10978u; break; }
+	pc = 0x107e0u; break;
+	case 0x107e0u:
+	r5 = 0x12000u;
+	if (r1 == r5) { pc = 0x10888u; break; }
+	pc = 0x107f0u; break;
+	case 0x107f0u:
+	r5 = 0xfd010106u;
+	if (r1 == r5) { pc = 0x108d8u; break; }
+	pc = 0x10800u; break;
+	case 0x10800u:
+	r5 = 0x12001u;
+	if (r1 == r5) { pc = 0x10928u; break; }
+	pc = 0x10810u; break;
+	case 0x10810u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10820u:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r5 = 0x8u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) { pc = 0x10850u; break; }
+	pc = 0x10848u; break;
+	case 0x10848u:
+	r5 = r5 | 0x1u;
+	pc = 0x10850u; break;
+	case 0x10850u:
+	r6 = r2 & 0x2u;
+	if (r6 == 0x0u) { pc = 0x10868u; break; }
+	pc = 0x10860u; break;
+	case 0x10860u:
+	r5 = r5 | 0x4u;
+	pc = 0x10868u; break;
+	case 0x10868u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port32(r1 + 0x44u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x10888u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = read_port8(r1 + 0x58u);
+	r6 = 0xfeu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) { pc = 0x108c0u; break; }
+	pc = 0x108b8u; break;
+	case 0x108b8u:
+	r5 = r5 | 0x1u;
+	pc = 0x108c0u; break;
+	case 0x108c0u:
+	write_port8(r1 + 0x58u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x108d8u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = read_port8(r1 + 0x52u);
+	r6 = 0xfeu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) { pc = 0x10910u; break; }
+	pc = 0x10908u; break;
+	case 0x10908u:
+	r5 = r5 | 0x1u;
+	pc = 0x10910u; break;
+	case 0x10910u:
+	write_port8(r1 + 0x52u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x10928u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r5 = read_port8(r1 + 0x52u);
+	r6 = 0xefu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) { pc = 0x10960u; break; }
+	pc = 0x10958u; break;
+	case 0x10958u:
+	r5 = r5 | 0x10u;
+	pc = 0x10960u; break;
+	case 0x10960u:
+	write_port8(r1 + 0x52u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x10978u:
+	r5 = 0x0u;
+	pc = 0x10980u; break;
+	case 0x10980u:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x34u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) { pc = 0x10980u; break; }
+	pc = 0x109b0u; break;
+	case 0x109b0u:
+	r5 = 0x0u;
+	pc = 0x109b8u; break;
+	case 0x109b8u:
+	if (r5 >= r3) { pc = 0x10a58u; break; }
+	pc = 0x109c0u; break;
+	case 0x109c0u:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10ab8(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x109f0u; break;
+	case 0x109f0u:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x34u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x34u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	pc = 0x109b8u; break;
+	case 0x10a58u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r1 = r1 + 0x8u;
+	r5 = 0x0u;
+	pc = 0x10a70u; break;
+	case 0x10a70u:
+	r6 = r4 + r5;
+	r6 = *(uint8_t *)(uintptr_t)(r6 + 0x34u);
+	r2 = r1 + r5;
+	write_port8(r2 + 0x0u, r6);
+	r5 = r5 + 0x1u;
+	r6 = 0x8u;
+	if (r5 < r6) { pc = 0x10a70u; break; }
+	pc = 0x10aa8u; break;
+	case 0x10aa8u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10ab8; class: algo */
+uint32_t function_10ab8(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10ab8u;
+	for (;;) switch (pc) {
+	case 0x10ab8u:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+	pc = 0x10ad8u; break;
+	case 0x10ad8u:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+	pc = 0x10af8u; break;
+	case 0x10af8u:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) { pc = 0x10b20u; break; }
+	pc = 0x10b10u; break;
+	case 0x10b10u:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+	pc = 0x10b20u; break;
+	case 0x10b20u:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) { pc = 0x10af8u; break; }
+	pc = 0x10b38u; break;
+	case 0x10b38u:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10ad8u; break; }
+	pc = 0x10b50u; break;
+	case 0x10b50u:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10b78 — timer entry point; class: hw */
+uint32_t mp_timer_10b78(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10b78u;
+	for (;;) switch (pc) {
+	case 0x10b78u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0x58u);
+	r5 = read_port8(r1 + 0x52u);
+	r6 = 0xefu;
+	r5 = r5 & r6;
+	r2 = r2 & 0x1u;
+	if (r2 == 0x0u) { pc = 0x10bc0u; break; }
+	pc = 0x10bb8u; break;
+	case 0x10bb8u:
+	r5 = r5 | 0x10u;
+	pc = 0x10bc0u; break;
+	case 0x10bc0u:
+	write_port8(r1 + 0x52u, r5);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10bd0 — halt entry point; class: hw */
+uint32_t mp_halt_10bd0(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10bd0u;
+	for (;;) switch (pc) {
+	case 0x10bd0u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	write_port16(r1 + 0x3cu, r2);
+	write_port8(r1 + 0x37u, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+

@@ -1,0 +1,420 @@
+/* SBLK100 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10088() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_103b8((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the SBLK100 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is encoded with gotos (see paper, Listing 1).
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t mp_initialize_10088(void);
+uint32_t mp_send_10270(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_103b8(uint32_t GlobalState);
+void function_10470(uint32_t arg0);
+uint32_t mp_query_10548(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_10630(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_halt_10698(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10000:
+	r1 = 0x106d0u;
+	r2 = 0x10088u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10270u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x103b8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x10548u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x10630u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10698u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+L_10078:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10088 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10088(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10088:
+	r1 = 0x28u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_100a0:
+	if (r0 == 0x0u) goto L_10260;
+L_100a8:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100c8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100e8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0xa5u;
+	write_port8(r1 + 0xdu, r2);
+	r3 = read_port8(r1 + 0xdu);
+	if (r3 == r2) goto L_10138;
+L_10118:
+	r1 = 0xdead0041u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10130:
+	goto L_10260;
+L_10138:
+	r3 = read_port8(r1 + 0x0u);
+	r3 = r3 & 0x1u;
+	if (r3 != 0x0u) goto L_10170;
+L_10150:
+	r1 = 0xdead0042u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10168:
+	goto L_10260;
+L_10170:
+	r2 = 0x10u;
+	write_port8(r1 + 0x1u, r2);
+	r3 = 0x0u;
+L_10188:
+	r2 = read_port16(r1 + 0x8u);
+	r5 = r4 + r3;
+	*(uint16_t *)(uintptr_t)(r5 + 0x10u) = (uint16_t)r2;
+	r3 = r3 + 0x2u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10188;
+L_101b8:
+	r2 = read_port16(r1 + 0x8u);
+	r2 = read_port16(r1 + 0x8u);
+	r5 = 0x4253u;
+	if (r2 == r5) goto L_101f8;
+L_101d8:
+	r1 = 0xdead0043u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_101f0:
+	goto L_10260;
+L_101f8:
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_10210:
+	if (r0 == 0x0u) goto L_10260;
+L_10218:
+	*(uint32_t *)(uintptr_t)(r4 + 0x18u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x7u;
+	write_port8(r1 + 0xbu, r2);
+	r2 = 0x1u;
+	write_port8(r1 + 0xcu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+L_10260:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10270 — send entry point; class: mixed */
+uint32_t mp_send_10270(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10270:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) goto L_102a8;
+L_10298:
+	r1 = 0x5eau;
+	if (r1 >= r6) goto L_102d0;
+L_102a8:
+	r1 = 0xdead0044u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_102c0:
+	r0 = 0x1u;
+	return r0;
+L_102d0:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x30u;
+	write_port8(r1 + 0x1u, r2);
+	write_port16(r1 + 0x8u, r6);
+	r3 = 0x0u;
+L_102f8:
+	if (r3 >= r6) goto L_10328;
+L_10300:
+	r2 = r5 + r3;
+	r2 = *(uint16_t *)(uintptr_t)(r2 + 0x0u);
+	write_port16(r1 + 0x8u, r2);
+	r3 = r3 + 0x2u;
+	goto L_102f8;
+L_10328:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x1cu);
+	write_port8(r1 + 0x4u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x5u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x6u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x7u, r2);
+	r2 = r6 + 0x1ffu;
+	r2 = r2 >> (0x9u & 31);
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x31u;
+	write_port8(r1 + 0x1u, r2);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x1cu);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x1cu) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x103b8 — isr entry point; class: mixed */
+uint32_t mp_isr_103b8(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_103b8:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0xau);
+	if (r2 == 0x0u) goto L_10468;
+L_103d8:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) goto L_10410;
+L_103e8:
+	r3 = 0x1u;
+	write_port8(r1 + 0xau, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+L_10410:
+	r3 = r2 & 0x4u;
+	if (r3 == 0x0u) goto L_10448;
+L_10420:
+	r3 = 0x4u;
+	write_port8(r1 + 0xau, r3);
+	r3 = 0xdead0045u;
+	stk[--sp] = r3;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10448:
+	r3 = r2 & 0x2u;
+	if (r3 == 0x0u) goto L_10468;
+L_10458:
+	stk[--sp] = r4;
+	function_10470(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10468:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10470; class: mixed */
+void function_10470(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10470:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+L_10480:
+	r2 = read_port8(r1 + 0xau);
+	r2 = r2 & 0x2u;
+	if (r2 == 0x0u) goto L_10540;
+L_10498:
+	r2 = 0x20u;
+	write_port8(r1 + 0x1u, r2);
+	r6 = read_port16(r1 + 0x8u);
+	if (r6 == 0x0u) goto L_10540;
+L_104b8:
+	r5 = *(uint32_t *)(uintptr_t)(r4 + 0x18u);
+	r3 = 0x0u;
+L_104c8:
+	if (r3 >= r6) goto L_104f8;
+L_104d0:
+	r0 = read_port16(r1 + 0x8u);
+	r2 = r5 + r3;
+	*(uint16_t *)(uintptr_t)(r2 + 0x0u) = (uint16_t)r0;
+	r3 = r3 + 0x2u;
+	goto L_104c8;
+L_104f8:
+	r2 = 0x21u;
+	write_port8(r1 + 0x1u, r2);
+	stk[--sp] = r6;
+	stk[--sp] = r5;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+L_10520:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r2;
+	goto L_10480;
+L_10540:
+	return;
+}
+
+/* original entry 0x10548 — query entry point; class: algo */
+uint32_t mp_query_10548(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10548:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) goto L_105a0;
+L_10570:
+	r3 = 0x10107u;
+	if (r1 == r3) goto L_105f0;
+L_10580:
+	r3 = 0x10114u;
+	if (r1 == r3) goto L_10610;
+L_10590:
+	r0 = 0x1u;
+	return r0;
+L_105a0:
+	r3 = 0x0u;
+L_105a8:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x10u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_105a8;
+L_105e0:
+	r0 = 0x0u;
+	return r0;
+L_105f0:
+	r3 = 0x64u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+L_10610:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10630 — set entry point; class: hw */
+uint32_t mp_set_10630(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10630:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r5 = 0x1010eu;
+	if (r1 == r5) goto L_10668;
+L_10658:
+	r0 = 0x1u;
+	return r0;
+L_10668:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port8(r1 + 0xdu, r2);
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10698 — halt entry point; class: hw */
+uint32_t mp_halt_10698(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10698:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	write_port8(r1 + 0xcu, r2);
+	write_port8(r1 + 0xbu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	return r0;
+}
+

@@ -1,0 +1,500 @@
+/* SBLK100 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_10088() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_103b8((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the SBLK100 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is a switch-dispatch state machine over the
+ * recovered basic-block addresses.
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t mp_initialize_10088(void);
+uint32_t mp_send_10270(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_103b8(uint32_t GlobalState);
+void function_10470(uint32_t arg0);
+uint32_t mp_query_10548(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_10630(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_halt_10698(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10000u;
+	for (;;) switch (pc) {
+	case 0x10000u:
+	r1 = 0x106d0u;
+	r2 = 0x10088u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10270u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x103b8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x10548u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x10630u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10698u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10078u; break;
+	case 0x10078u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10088 — initialize entry point; class: mixed */
+uint32_t mp_initialize_10088(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10088u;
+	for (;;) switch (pc) {
+	case 0x10088u:
+	r1 = 0x28u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100a0u; break;
+	case 0x100a0u:
+	if (r0 == 0x0u) { pc = 0x10260u; break; }
+	pc = 0x100a8u; break;
+	case 0x100a8u:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100c8u; break;
+	case 0x100c8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100e8u; break;
+	case 0x100e8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0xa5u;
+	write_port8(r1 + 0xdu, r2);
+	r3 = read_port8(r1 + 0xdu);
+	if (r3 == r2) { pc = 0x10138u; break; }
+	pc = 0x10118u; break;
+	case 0x10118u:
+	r1 = 0xdead0041u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10130u; break;
+	case 0x10130u:
+	pc = 0x10260u; break;
+	case 0x10138u:
+	r3 = read_port8(r1 + 0x0u);
+	r3 = r3 & 0x1u;
+	if (r3 != 0x0u) { pc = 0x10170u; break; }
+	pc = 0x10150u; break;
+	case 0x10150u:
+	r1 = 0xdead0042u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10168u; break;
+	case 0x10168u:
+	pc = 0x10260u; break;
+	case 0x10170u:
+	r2 = 0x10u;
+	write_port8(r1 + 0x1u, r2);
+	r3 = 0x0u;
+	pc = 0x10188u; break;
+	case 0x10188u:
+	r2 = read_port16(r1 + 0x8u);
+	r5 = r4 + r3;
+	*(uint16_t *)(uintptr_t)(r5 + 0x10u) = (uint16_t)r2;
+	r3 = r3 + 0x2u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10188u; break; }
+	pc = 0x101b8u; break;
+	case 0x101b8u:
+	r2 = read_port16(r1 + 0x8u);
+	r2 = read_port16(r1 + 0x8u);
+	r5 = 0x4253u;
+	if (r2 == r5) { pc = 0x101f8u; break; }
+	pc = 0x101d8u; break;
+	case 0x101d8u:
+	r1 = 0xdead0043u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x101f0u; break;
+	case 0x101f0u:
+	pc = 0x10260u; break;
+	case 0x101f8u:
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10210u; break;
+	case 0x10210u:
+	if (r0 == 0x0u) { pc = 0x10260u; break; }
+	pc = 0x10218u; break;
+	case 0x10218u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x18u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x7u;
+	write_port8(r1 + 0xbu, r2);
+	r2 = 0x1u;
+	write_port8(r1 + 0xcu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+	case 0x10260u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10270 — send entry point; class: mixed */
+uint32_t mp_send_10270(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10270u;
+	for (;;) switch (pc) {
+	case 0x10270u:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) { pc = 0x102a8u; break; }
+	pc = 0x10298u; break;
+	case 0x10298u:
+	r1 = 0x5eau;
+	if (r1 >= r6) { pc = 0x102d0u; break; }
+	pc = 0x102a8u; break;
+	case 0x102a8u:
+	r1 = 0xdead0044u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x102c0u; break;
+	case 0x102c0u:
+	r0 = 0x1u;
+	return r0;
+	case 0x102d0u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x30u;
+	write_port8(r1 + 0x1u, r2);
+	write_port16(r1 + 0x8u, r6);
+	r3 = 0x0u;
+	pc = 0x102f8u; break;
+	case 0x102f8u:
+	if (r3 >= r6) { pc = 0x10328u; break; }
+	pc = 0x10300u; break;
+	case 0x10300u:
+	r2 = r5 + r3;
+	r2 = *(uint16_t *)(uintptr_t)(r2 + 0x0u);
+	write_port16(r1 + 0x8u, r2);
+	r3 = r3 + 0x2u;
+	pc = 0x102f8u; break;
+	case 0x10328u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x1cu);
+	write_port8(r1 + 0x4u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x5u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x6u, r2);
+	r2 = r2 >> (0x8u & 31);
+	write_port8(r1 + 0x7u, r2);
+	r2 = r6 + 0x1ffu;
+	r2 = r2 >> (0x9u & 31);
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x31u;
+	write_port8(r1 + 0x1u, r2);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x1cu);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x1cu) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x103b8 — isr entry point; class: mixed */
+uint32_t mp_isr_103b8(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x103b8u;
+	for (;;) switch (pc) {
+	case 0x103b8u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = read_port8(r1 + 0xau);
+	if (r2 == 0x0u) { pc = 0x10468u; break; }
+	pc = 0x103d8u; break;
+	case 0x103d8u:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) { pc = 0x10410u; break; }
+	pc = 0x103e8u; break;
+	case 0x103e8u:
+	r3 = 0x1u;
+	write_port8(r1 + 0xau, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10410u; break;
+	case 0x10410u:
+	r3 = r2 & 0x4u;
+	if (r3 == 0x0u) { pc = 0x10448u; break; }
+	pc = 0x10420u; break;
+	case 0x10420u:
+	r3 = 0x4u;
+	write_port8(r1 + 0xau, r3);
+	r3 = 0xdead0045u;
+	stk[--sp] = r3;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10448u; break;
+	case 0x10448u:
+	r3 = r2 & 0x2u;
+	if (r3 == 0x0u) { pc = 0x10468u; break; }
+	pc = 0x10458u; break;
+	case 0x10458u:
+	stk[--sp] = r4;
+	function_10470(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10468u; break;
+	case 0x10468u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10470; class: mixed */
+void function_10470(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10470u;
+	for (;;) switch (pc) {
+	case 0x10470u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	pc = 0x10480u; break;
+	case 0x10480u:
+	r2 = read_port8(r1 + 0xau);
+	r2 = r2 & 0x2u;
+	if (r2 == 0x0u) { pc = 0x10540u; break; }
+	pc = 0x10498u; break;
+	case 0x10498u:
+	r2 = 0x20u;
+	write_port8(r1 + 0x1u, r2);
+	r6 = read_port16(r1 + 0x8u);
+	if (r6 == 0x0u) { pc = 0x10540u; break; }
+	pc = 0x104b8u; break;
+	case 0x104b8u:
+	r5 = *(uint32_t *)(uintptr_t)(r4 + 0x18u);
+	r3 = 0x0u;
+	pc = 0x104c8u; break;
+	case 0x104c8u:
+	if (r3 >= r6) { pc = 0x104f8u; break; }
+	pc = 0x104d0u; break;
+	case 0x104d0u:
+	r0 = read_port16(r1 + 0x8u);
+	r2 = r5 + r3;
+	*(uint16_t *)(uintptr_t)(r2 + 0x0u) = (uint16_t)r0;
+	r3 = r3 + 0x2u;
+	pc = 0x104c8u; break;
+	case 0x104f8u:
+	r2 = 0x21u;
+	write_port8(r1 + 0x1u, r2);
+	stk[--sp] = r6;
+	stk[--sp] = r5;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+	pc = 0x10520u; break;
+	case 0x10520u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r2;
+	pc = 0x10480u; break;
+	case 0x10540u:
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x10548 — query entry point; class: algo */
+uint32_t mp_query_10548(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10548u;
+	for (;;) switch (pc) {
+	case 0x10548u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) { pc = 0x105a0u; break; }
+	pc = 0x10570u; break;
+	case 0x10570u:
+	r3 = 0x10107u;
+	if (r1 == r3) { pc = 0x105f0u; break; }
+	pc = 0x10580u; break;
+	case 0x10580u:
+	r3 = 0x10114u;
+	if (r1 == r3) { pc = 0x10610u; break; }
+	pc = 0x10590u; break;
+	case 0x10590u:
+	r0 = 0x1u;
+	return r0;
+	case 0x105a0u:
+	r3 = 0x0u;
+	pc = 0x105a8u; break;
+	case 0x105a8u:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x10u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x105a8u; break; }
+	pc = 0x105e0u; break;
+	case 0x105e0u:
+	r0 = 0x0u;
+	return r0;
+	case 0x105f0u:
+	r3 = 0x64u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	case 0x10610u:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10630 — set entry point; class: hw */
+uint32_t mp_set_10630(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10630u;
+	for (;;) switch (pc) {
+	case 0x10630u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r5 = 0x1010eu;
+	if (r1 == r5) { pc = 0x10668u; break; }
+	pc = 0x10658u; break;
+	case 0x10658u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10668u:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	write_port8(r1 + 0xdu, r2);
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10698 — halt entry point; class: hw */
+uint32_t mp_halt_10698(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10698u;
+	for (;;) switch (pc) {
+	case 0x10698u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	write_port8(r1 + 0xcu, r2);
+	write_port8(r1 + 0xbu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+

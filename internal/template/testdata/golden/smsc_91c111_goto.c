@@ -1,0 +1,632 @@
+/* SMSC 91C111 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_100a8() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_10448((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the SMSC 91C111 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is encoded with gotos (see paper, Listing 1).
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t function_10088(uint32_t arg0, uint32_t arg1);
+uint32_t mp_initialize_100a8(void);
+uint32_t mp_send_10298(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_10448(uint32_t GlobalState);
+void function_104f0(uint32_t arg0);
+uint32_t mp_query_105d8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_106c0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10a08(uint32_t arg0);
+uint32_t mp_halt_10ac8(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_10000:
+	r1 = 0x10b50u;
+	r2 = 0x100a8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10298u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x10448u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x105d8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x106c0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10ac8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+L_10078:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10088; class: hw */
+uint32_t function_10088(uint32_t arg0, uint32_t arg1)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+
+L_10088:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	write_port8(r1 + 0xeu, r2);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x100a8 — initialize entry point; class: mixed */
+uint32_t mp_initialize_100a8(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+L_100a8:
+	r1 = 0x30u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_100c0:
+	if (r0 == 0x0u) goto L_10288;
+L_100c8:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_100e8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+L_10108:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	write_port8(r1 + 0xeu, r2);
+	r3 = read_port8(r1 + 0xeu);
+	if (r3 == r2) goto L_10158;
+L_10138:
+	r1 = 0xdead0031u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_10150:
+	goto L_10288;
+L_10158:
+	r2 = 0x2u;
+	write_port16(r1 + 0x0u, r2);
+	r2 = 0x1u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10188:
+	r3 = 0x0u;
+L_10190:
+	r2 = r1 + r3;
+	r2 = read_port8(r2 + 0x0u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x10u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10190;
+L_101c8:
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+L_101e0:
+	if (r0 == 0x0u) goto L_10288;
+L_101e8:
+	*(uint32_t *)(uintptr_t)(r4 + 0x18u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10218:
+	r2 = 0x1u;
+	write_port16(r1 + 0x0u, r2);
+	r2 = 0x1u;
+	write_port16(r1 + 0x2u, r2);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10258:
+	r2 = 0x3u;
+	write_port8(r1 + 0xcu, r2);
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+L_10288:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10298 — send entry point; class: mixed */
+uint32_t mp_send_10298(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_10298:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) goto L_102d0;
+L_102c0:
+	r1 = 0x5eau;
+	if (r1 >= r6) goto L_102f8;
+L_102d0:
+	r1 = 0xdead0032u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+L_102e8:
+	r0 = 0x1u;
+	return r0;
+L_102f8:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10320:
+	r2 = 0x1u;
+	write_port16(r1 + 0x0u, r2);
+	r3 = 0x0u;
+L_10338:
+	r2 = read_port8(r1 + 0xau);
+	r2 = r2 & 0x8u;
+	if (r2 != 0x0u) goto L_10390;
+L_10350:
+	r3 = r3 + 0x1u;
+	r2 = 0x3e8u;
+	if (r3 < r2) goto L_10338;
+	goto L_10368;
+L_10390:
+	r2 = 0x8u;
+	write_port8(r1 + 0xau, r2);
+	r2 = read_port8(r1 + 0x2u);
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x0u;
+	write_port16(r1 + 0x6u, r2);
+	write_port16(r1 + 0x8u, r6);
+	r2 = 0x4u;
+	write_port16(r1 + 0x6u, r2);
+	r3 = 0x0u;
+L_103e0:
+	if (r3 >= r6) goto L_10410;
+L_103e8:
+	r2 = r5 + r3;
+	r2 = *(uint16_t *)(uintptr_t)(r2 + 0x0u);
+	write_port16(r1 + 0x8u, r2);
+	r3 = r3 + 0x2u;
+	goto L_103e0;
+L_10410:
+	r2 = 0x4u;
+	write_port16(r1 + 0x0u, r2);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x1cu);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x1cu) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+L_10368: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	return r0;
+}
+
+/* original entry 0x10448 — isr entry point; class: mixed */
+uint32_t mp_isr_10448(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10448:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10478:
+	r2 = read_port8(r1 + 0xau);
+	if (r2 == 0x0u) goto L_104e8;
+L_10488:
+	r3 = r2 & 0x2u;
+	if (r3 == 0x0u) goto L_104c0;
+L_10498:
+	r3 = 0x2u;
+	write_port8(r1 + 0xau, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+L_104c0:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) goto L_104e8;
+L_104d0:
+	stk[--sp] = r4;
+	function_104f0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_104e0:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+L_104e8:
+	return r0;
+	return r0;
+}
+
+/* original entry 0x104f0; class: mixed */
+void function_104f0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_104f0:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+L_10500:
+	r2 = read_port8(r1 + 0x4u);
+	r3 = r2 & 0x80u;
+	if (r3 != 0x0u) goto L_105d0;
+L_10518:
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x0u;
+	write_port16(r1 + 0x6u, r2);
+	r6 = read_port16(r1 + 0x8u);
+	r2 = 0x4u;
+	write_port16(r1 + 0x6u, r2);
+	r5 = *(uint32_t *)(uintptr_t)(r4 + 0x18u);
+	r3 = 0x0u;
+L_10558:
+	if (r3 >= r6) goto L_10588;
+L_10560:
+	r0 = read_port16(r1 + 0x8u);
+	r2 = r5 + r3;
+	*(uint16_t *)(uintptr_t)(r2 + 0x0u) = (uint16_t)r0;
+	r3 = r3 + 0x2u;
+	goto L_10558;
+L_10588:
+	r2 = 0x5u;
+	write_port16(r1 + 0x0u, r2);
+	stk[--sp] = r6;
+	stk[--sp] = r5;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+L_105b0:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r2;
+	goto L_10500;
+L_105d0:
+	return;
+}
+
+/* original entry 0x105d8 — query entry point; class: algo */
+uint32_t mp_query_105d8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+L_105d8:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) goto L_10630;
+L_10600:
+	r3 = 0x10107u;
+	if (r1 == r3) goto L_10680;
+L_10610:
+	r3 = 0x10114u;
+	if (r1 == r3) goto L_106a0;
+L_10620:
+	r0 = 0x1u;
+	return r0;
+L_10630:
+	r3 = 0x0u;
+L_10638:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x10u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10638;
+L_10670:
+	r0 = 0x0u;
+	return r0;
+L_10680:
+	r3 = 0x64u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+L_106a0:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x106c0 — set entry point; class: hw */
+uint32_t mp_set_106c0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+L_106c0:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) goto L_10730;
+L_106f0:
+	r5 = 0x1010103u;
+	if (r1 == r5) goto L_108b0;
+L_10700:
+	r5 = 0x12000u;
+	if (r1 == r5) goto L_107b0;
+L_10710:
+	r5 = 0x12001u;
+	if (r1 == r5) goto L_10830;
+L_10720:
+	r0 = 0x1u;
+	return r0;
+L_10730:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10770:
+	r2 = stk[sp++];
+	r5 = 0x1u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) goto L_10798;
+L_10790:
+	r5 = r5 | 0x2u;
+L_10798:
+	write_port16(r1 + 0x2u, r5);
+	r0 = 0x0u;
+	return r0;
+L_107b0:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_107e8:
+	r2 = stk[sp++];
+	r5 = read_port16(r1 + 0x0u);
+	r6 = 0xff7fu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) goto L_10818;
+L_10810:
+	r5 = r5 | 0x80u;
+L_10818:
+	write_port16(r1 + 0x0u, r5);
+	r0 = 0x0u;
+	return r0;
+L_10830:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r2;
+	r2 = 0x1u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10868:
+	r2 = stk[sp++];
+	r5 = read_port16(r1 + 0x6u);
+	r6 = 0xfffeu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) goto L_10898;
+L_10890:
+	r5 = r5 | 0x1u;
+L_10898:
+	write_port16(r1 + 0x6u, r5);
+	r0 = 0x0u;
+	return r0;
+L_108b0:
+	r5 = 0x0u;
+L_108b8:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x24u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) goto L_108b8;
+L_108e8:
+	r5 = 0x0u;
+L_108f0:
+	if (r5 >= r3) goto L_10990;
+L_108f8:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10a08(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+L_10928:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x24u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x24u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	goto L_108f0;
+L_10990:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x3u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_109b8:
+	r5 = 0x0u;
+L_109c0:
+	r6 = r4 + r5;
+	r6 = *(uint8_t *)(uintptr_t)(r6 + 0x24u);
+	r2 = r1 + r5;
+	write_port8(r2 + 0x0u, r6);
+	r5 = r5 + 0x1u;
+	r6 = 0x8u;
+	if (r5 < r6) goto L_109c0;
+L_109f8:
+	r0 = 0x0u;
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10a08; class: algo */
+uint32_t function_10a08(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+L_10a08:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+L_10a28:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+L_10a48:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) goto L_10a70;
+L_10a60:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+L_10a70:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) goto L_10a48;
+L_10a88:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) goto L_10a28;
+L_10aa0:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	return r0;
+}
+
+/* original entry 0x10ac8 — halt entry point; class: hw */
+uint32_t mp_halt_10ac8(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+L_10ac8:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10af8:
+	r2 = 0x0u;
+	write_port16(r1 + 0x0u, r2);
+	write_port16(r1 + 0x2u, r2);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+L_10b30:
+	r2 = 0x0u;
+	write_port8(r1 + 0xcu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	return r0;
+}
+

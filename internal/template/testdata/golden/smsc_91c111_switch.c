@@ -1,0 +1,751 @@
+/* SMSC 91C111 driver for Windows XP (NDIS miniport), synthesized by RevNIC. */
+#include <ndis.h>
+#include "revnic_runtime.h"
+
+NDIS_STATUS MiniportInitialize(/* NDIS boilerplate args */)
+{
+	/* template: NdisMSetAttributes, resource claims */
+	/*** RevNIC-synthesized hardware bring-up ***/
+	if (mp_initialize_100a8() == 0) return NDIS_STATUS_FAILURE;
+	/*** end synthesized section ***/
+	return NDIS_STATUS_SUCCESS;
+}
+
+VOID MiniportISR(PBOOLEAN recognized, PBOOLEAN queueDpc, NDIS_HANDLE ctx)
+{
+	mp_isr_10448((uint32_t)ctx);
+	*recognized = TRUE;
+}
+
+/* ---- synthesized hardware-protocol code below ---- */
+
+/* Synthesized by RevNIC from the SMSC 91C111 binary driver.
+ * The code preserves the original driver's state layout and hardware
+ * protocol; control flow is a switch-dispatch state machine over the
+ * recovered basic-block addresses.
+ * Intrinsics (read_port*/write_port*/mmio_*/os_*) are supplied by the
+ * target-OS driver template.
+ */
+
+#include "revnic_runtime.h"
+
+uint32_t mp_load_10000(void);
+uint32_t function_10088(uint32_t arg0, uint32_t arg1);
+uint32_t mp_initialize_100a8(void);
+uint32_t mp_send_10298(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_isr_10448(uint32_t GlobalState);
+void function_104f0(uint32_t arg0);
+uint32_t mp_query_105d8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2);
+uint32_t mp_set_106c0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3);
+uint32_t function_10a08(uint32_t arg0);
+uint32_t mp_halt_10ac8(uint32_t GlobalState);
+
+/* original entry 0x10000 — load entry point; class: os */
+uint32_t mp_load_10000(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x10000u;
+	for (;;) switch (pc) {
+	case 0x10000u:
+	r1 = 0x10b50u;
+	r2 = 0x100a8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x0u) = (uint32_t)r2;
+	r2 = 0x10298u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x4u) = (uint32_t)r2;
+	r2 = 0x10448u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x8u) = (uint32_t)r2;
+	r2 = 0x105d8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0xcu) = (uint32_t)r2;
+	r2 = 0x106c0u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x10u) = (uint32_t)r2;
+	r2 = 0x10ac8u;
+	*(uint32_t *)(uintptr_t)(r1 + 0x14u) = (uint32_t)r2;
+	stk[--sp] = r1;
+	r0 = os_NdisMRegisterMiniport(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10078u; break;
+	case 0x10078u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10088; class: hw */
+uint32_t function_10088(uint32_t arg0, uint32_t arg1)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+	stk[sp + 2] = arg1;
+
+	uint32_t pc = 0x10088u;
+	for (;;) switch (pc) {
+	case 0x10088u:
+	r1 = stk[sp + 1];
+	r2 = stk[sp + 2];
+	write_port8(r1 + 0xeu, r2);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x100a8 — initialize entry point; class: mixed */
+uint32_t mp_initialize_100a8(void)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+
+	uint32_t pc = 0x100a8u;
+	for (;;) switch (pc) {
+	case 0x100a8u:
+	r1 = 0x30u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100c0u; break;
+	case 0x100c0u:
+	if (r0 == 0x0u) { pc = 0x10288u; break; }
+	pc = 0x100c8u; break;
+	case 0x100c8u:
+	r4 = r0;
+	r1 = 0x4u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x100e8u; break;
+	case 0x100e8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x0u) = (uint32_t)r0;
+	r1 = 0x8u;
+	stk[--sp] = r1;
+	r0 = os_NdisReadPciSlotInformation(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10108u; break;
+	case 0x10108u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x4u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	write_port8(r1 + 0xeu, r2);
+	r3 = read_port8(r1 + 0xeu);
+	if (r3 == r2) { pc = 0x10158u; break; }
+	pc = 0x10138u; break;
+	case 0x10138u:
+	r1 = 0xdead0031u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x10150u; break;
+	case 0x10150u:
+	pc = 0x10288u; break;
+	case 0x10158u:
+	r2 = 0x2u;
+	write_port16(r1 + 0x0u, r2);
+	r2 = 0x1u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10188u; break;
+	case 0x10188u:
+	r3 = 0x0u;
+	pc = 0x10190u; break;
+	case 0x10190u:
+	r2 = r1 + r3;
+	r2 = read_port8(r2 + 0x0u);
+	r5 = r4 + r3;
+	*(uint8_t *)(uintptr_t)(r5 + 0x10u) = (uint8_t)r2;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10190u; break; }
+	pc = 0x101c8u; break;
+	case 0x101c8u:
+	r1 = 0x600u;
+	stk[--sp] = r1;
+	r0 = os_NdisAllocateMemory(stk[sp + 0]);
+	sp += 1;
+	pc = 0x101e0u; break;
+	case 0x101e0u:
+	if (r0 == 0x0u) { pc = 0x10288u; break; }
+	pc = 0x101e8u; break;
+	case 0x101e8u:
+	*(uint32_t *)(uintptr_t)(r4 + 0x18u) = (uint32_t)r0;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10218u; break;
+	case 0x10218u:
+	r2 = 0x1u;
+	write_port16(r1 + 0x0u, r2);
+	r2 = 0x1u;
+	write_port16(r1 + 0x2u, r2);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10258u; break;
+	case 0x10258u:
+	r2 = 0x3u;
+	write_port8(r1 + 0xcu, r2);
+	r2 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	r0 = r4;
+	return r0;
+	case 0x10288u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10298 — send entry point; class: mixed */
+uint32_t mp_send_10298(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x10298u;
+	for (;;) switch (pc) {
+	case 0x10298u:
+	r4 = stk[sp + 1];
+	r5 = stk[sp + 2];
+	r6 = stk[sp + 3];
+	r1 = 0xeu;
+	if (r6 < r1) { pc = 0x102d0u; break; }
+	pc = 0x102c0u; break;
+	case 0x102c0u:
+	r1 = 0x5eau;
+	if (r1 >= r6) { pc = 0x102f8u; break; }
+	pc = 0x102d0u; break;
+	case 0x102d0u:
+	r1 = 0xdead0032u;
+	stk[--sp] = r1;
+	r0 = os_NdisWriteErrorLogEntry(stk[sp + 0]);
+	sp += 1;
+	pc = 0x102e8u; break;
+	case 0x102e8u:
+	r0 = 0x1u;
+	return r0;
+	case 0x102f8u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10320u; break;
+	case 0x10320u:
+	r2 = 0x1u;
+	write_port16(r1 + 0x0u, r2);
+	r3 = 0x0u;
+	pc = 0x10338u; break;
+	case 0x10338u:
+	r2 = read_port8(r1 + 0xau);
+	r2 = r2 & 0x8u;
+	if (r2 != 0x0u) { pc = 0x10390u; break; }
+	pc = 0x10350u; break;
+	case 0x10350u:
+	r3 = r3 + 0x1u;
+	r2 = 0x3e8u;
+	if (r3 < r2) { pc = 0x10338u; break; }
+	pc = 0x10368u; break;
+	case 0x10390u:
+	r2 = 0x8u;
+	write_port8(r1 + 0xau, r2);
+	r2 = read_port8(r1 + 0x2u);
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x0u;
+	write_port16(r1 + 0x6u, r2);
+	write_port16(r1 + 0x8u, r6);
+	r2 = 0x4u;
+	write_port16(r1 + 0x6u, r2);
+	r3 = 0x0u;
+	pc = 0x103e0u; break;
+	case 0x103e0u:
+	if (r3 >= r6) { pc = 0x10410u; break; }
+	pc = 0x103e8u; break;
+	case 0x103e8u:
+	r2 = r5 + r3;
+	r2 = *(uint16_t *)(uintptr_t)(r2 + 0x0u);
+	write_port16(r1 + 0x8u, r2);
+	r3 = r3 + 0x2u;
+	pc = 0x103e0u; break;
+	case 0x10410u:
+	r2 = 0x4u;
+	write_port16(r1 + 0x0u, r2);
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x1cu);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x1cu) = (uint32_t)r2;
+	r0 = 0x0u;
+	return r0;
+	case 0x10368u: /* REVNIC-WARNING: unexercised basic block; force the DBT
+	 * through this address and re-run synthesis to fill it in (see §4.1) */
+	revnic_unexplored();
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10448 — isr entry point; class: mixed */
+uint32_t mp_isr_10448(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10448u;
+	for (;;) switch (pc) {
+	case 0x10448u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10478u; break;
+	case 0x10478u:
+	r2 = read_port8(r1 + 0xau);
+	if (r2 == 0x0u) { pc = 0x104e8u; break; }
+	pc = 0x10488u; break;
+	case 0x10488u:
+	r3 = r2 & 0x2u;
+	if (r3 == 0x0u) { pc = 0x104c0u; break; }
+	pc = 0x10498u; break;
+	case 0x10498u:
+	r3 = 0x2u;
+	write_port8(r1 + 0xau, r3);
+	r3 = 0x0u;
+	stk[--sp] = r3;
+	r0 = os_NdisMSendComplete(stk[sp + 0]);
+	sp += 1;
+	pc = 0x104c0u; break;
+	case 0x104c0u:
+	r3 = r2 & 0x1u;
+	if (r3 == 0x0u) { pc = 0x104e8u; break; }
+	pc = 0x104d0u; break;
+	case 0x104d0u:
+	stk[--sp] = r4;
+	function_104f0(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x104e0u; break;
+	case 0x104e0u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	pc = 0x104e8u; break;
+	case 0x104e8u:
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x104f0; class: mixed */
+void function_104f0(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x104f0u;
+	for (;;) switch (pc) {
+	case 0x104f0u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	pc = 0x10500u; break;
+	case 0x10500u:
+	r2 = read_port8(r1 + 0x4u);
+	r3 = r2 & 0x80u;
+	if (r3 != 0x0u) { pc = 0x105d0u; break; }
+	pc = 0x10518u; break;
+	case 0x10518u:
+	write_port8(r1 + 0x2u, r2);
+	r2 = 0x0u;
+	write_port16(r1 + 0x6u, r2);
+	r6 = read_port16(r1 + 0x8u);
+	r2 = 0x4u;
+	write_port16(r1 + 0x6u, r2);
+	r5 = *(uint32_t *)(uintptr_t)(r4 + 0x18u);
+	r3 = 0x0u;
+	pc = 0x10558u; break;
+	case 0x10558u:
+	if (r3 >= r6) { pc = 0x10588u; break; }
+	pc = 0x10560u; break;
+	case 0x10560u:
+	r0 = read_port16(r1 + 0x8u);
+	r2 = r5 + r3;
+	*(uint16_t *)(uintptr_t)(r2 + 0x0u) = (uint16_t)r0;
+	r3 = r3 + 0x2u;
+	pc = 0x10558u; break;
+	case 0x10588u:
+	r2 = 0x5u;
+	write_port16(r1 + 0x0u, r2);
+	stk[--sp] = r6;
+	stk[--sp] = r5;
+	r0 = os_NdisMIndicateReceivePacket(stk[sp + 0], stk[sp + 1]);
+	sp += 2;
+	pc = 0x105b0u; break;
+	case 0x105b0u:
+	r2 = *(uint32_t *)(uintptr_t)(r4 + 0x20u);
+	r2 = r2 + 0x1u;
+	*(uint32_t *)(uintptr_t)(r4 + 0x20u) = (uint32_t)r2;
+	pc = 0x10500u; break;
+	case 0x105d0u:
+	return;
+	default:
+		revnic_unexplored();
+	}
+}
+
+/* original entry 0x105d8 — query entry point; class: algo */
+uint32_t mp_query_105d8(uint32_t GlobalState, uint32_t arg1, uint32_t arg2)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+
+	uint32_t pc = 0x105d8u;
+	for (;;) switch (pc) {
+	case 0x105d8u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = 0x1010102u;
+	if (r1 == r3) { pc = 0x10630u; break; }
+	pc = 0x10600u; break;
+	case 0x10600u:
+	r3 = 0x10107u;
+	if (r1 == r3) { pc = 0x10680u; break; }
+	pc = 0x10610u; break;
+	case 0x10610u:
+	r3 = 0x10114u;
+	if (r1 == r3) { pc = 0x106a0u; break; }
+	pc = 0x10620u; break;
+	case 0x10620u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10630u:
+	r3 = 0x0u;
+	pc = 0x10638u; break;
+	case 0x10638u:
+	r5 = r4 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x10u);
+	r6 = r2 + r3;
+	*(uint8_t *)(uintptr_t)(r6 + 0x0u) = (uint8_t)r5;
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10638u; break; }
+	pc = 0x10670u; break;
+	case 0x10670u:
+	r0 = 0x0u;
+	return r0;
+	case 0x10680u:
+	r3 = 0x64u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	case 0x106a0u:
+	r3 = 0x1u;
+	*(uint32_t *)(uintptr_t)(r2 + 0x0u) = (uint32_t)r3;
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x106c0 — set entry point; class: hw */
+uint32_t mp_set_106c0(uint32_t GlobalState, uint32_t arg1, uint32_t arg2, uint32_t arg3)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+	stk[sp + 2] = arg1;
+	stk[sp + 3] = arg2;
+	stk[sp + 4] = arg3;
+
+	uint32_t pc = 0x106c0u;
+	for (;;) switch (pc) {
+	case 0x106c0u:
+	r4 = stk[sp + 1];
+	r1 = stk[sp + 2];
+	r2 = stk[sp + 3];
+	r3 = stk[sp + 4];
+	r5 = 0x1010eu;
+	if (r1 == r5) { pc = 0x10730u; break; }
+	pc = 0x106f0u; break;
+	case 0x106f0u:
+	r5 = 0x1010103u;
+	if (r1 == r5) { pc = 0x108b0u; break; }
+	pc = 0x10700u; break;
+	case 0x10700u:
+	r5 = 0x12000u;
+	if (r1 == r5) { pc = 0x107b0u; break; }
+	pc = 0x10710u; break;
+	case 0x10710u:
+	r5 = 0x12001u;
+	if (r1 == r5) { pc = 0x10830u; break; }
+	pc = 0x10720u; break;
+	case 0x10720u:
+	r0 = 0x1u;
+	return r0;
+	case 0x10730u:
+	r2 = *(uint32_t *)(uintptr_t)(r2 + 0x0u);
+	*(uint32_t *)(uintptr_t)(r4 + 0xcu) = (uint32_t)r2;
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10770u; break;
+	case 0x10770u:
+	r2 = stk[sp++];
+	r5 = 0x1u;
+	r6 = r2 & 0x20u;
+	if (r6 == 0x0u) { pc = 0x10798u; break; }
+	pc = 0x10790u; break;
+	case 0x10790u:
+	r5 = r5 | 0x2u;
+	pc = 0x10798u; break;
+	case 0x10798u:
+	write_port16(r1 + 0x2u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x107b0u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r2;
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x107e8u; break;
+	case 0x107e8u:
+	r2 = stk[sp++];
+	r5 = read_port16(r1 + 0x0u);
+	r6 = 0xff7fu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) { pc = 0x10818u; break; }
+	pc = 0x10810u; break;
+	case 0x10810u:
+	r5 = r5 | 0x80u;
+	pc = 0x10818u; break;
+	case 0x10818u:
+	write_port16(r1 + 0x0u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x10830u:
+	r2 = *(uint8_t *)(uintptr_t)(r2 + 0x0u);
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	stk[--sp] = r2;
+	r2 = 0x1u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10868u; break;
+	case 0x10868u:
+	r2 = stk[sp++];
+	r5 = read_port16(r1 + 0x6u);
+	r6 = 0xfffeu;
+	r5 = r5 & r6;
+	if (r2 == 0x0u) { pc = 0x10898u; break; }
+	pc = 0x10890u; break;
+	case 0x10890u:
+	r5 = r5 | 0x1u;
+	pc = 0x10898u; break;
+	case 0x10898u:
+	write_port16(r1 + 0x6u, r5);
+	r0 = 0x0u;
+	return r0;
+	case 0x108b0u:
+	r5 = 0x0u;
+	pc = 0x108b8u; break;
+	case 0x108b8u:
+	r6 = r4 + r5;
+	r1 = 0x0u;
+	*(uint8_t *)(uintptr_t)(r6 + 0x24u) = (uint8_t)r1;
+	r5 = r5 + 0x1u;
+	r1 = 0x8u;
+	if (r5 < r1) { pc = 0x108b8u; break; }
+	pc = 0x108e8u; break;
+	case 0x108e8u:
+	r5 = 0x0u;
+	pc = 0x108f0u; break;
+	case 0x108f0u:
+	if (r5 >= r3) { pc = 0x10990u; break; }
+	pc = 0x108f8u; break;
+	case 0x108f8u:
+	stk[--sp] = r2;
+	stk[--sp] = r3;
+	stk[--sp] = r5;
+	r1 = r2 + r5;
+	stk[--sp] = r1;
+	r0 = function_10a08(stk[sp + 0]);
+	sp += 1; /* stdcall: callee pops */
+	pc = 0x10928u; break;
+	case 0x10928u:
+	r5 = stk[sp++];
+	r3 = stk[sp++];
+	r2 = stk[sp++];
+	r1 = r0 >> (0x3u & 31);
+	r6 = r0 & 0x7u;
+	r0 = 0x1u;
+	r0 = r0 << (r6 & 31);
+	r6 = r4 + r1;
+	r1 = *(uint8_t *)(uintptr_t)(r6 + 0x24u);
+	r1 = r1 | r0;
+	*(uint8_t *)(uintptr_t)(r6 + 0x24u) = (uint8_t)r1;
+	r5 = r5 + 0x6u;
+	pc = 0x108f0u; break;
+	case 0x10990u:
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x3u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x109b8u; break;
+	case 0x109b8u:
+	r5 = 0x0u;
+	pc = 0x109c0u; break;
+	case 0x109c0u:
+	r6 = r4 + r5;
+	r6 = *(uint8_t *)(uintptr_t)(r6 + 0x24u);
+	r2 = r1 + r5;
+	write_port8(r2 + 0x0u, r6);
+	r5 = r5 + 0x1u;
+	r6 = 0x8u;
+	if (r5 < r6) { pc = 0x109c0u; break; }
+	pc = 0x109f8u; break;
+	case 0x109f8u:
+	r0 = 0x0u;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10a08; class: algo */
+uint32_t function_10a08(uint32_t arg0)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = arg0;
+
+	uint32_t pc = 0x10a08u;
+	for (;;) switch (pc) {
+	case 0x10a08u:
+	r1 = stk[sp + 1];
+	r2 = 0x0u;
+	r2 = r2 - 0x1u;
+	r3 = 0x0u;
+	pc = 0x10a28u; break;
+	case 0x10a28u:
+	r5 = r1 + r3;
+	r5 = *(uint8_t *)(uintptr_t)(r5 + 0x0u);
+	r2 = r2 ^ r5;
+	r6 = 0x0u;
+	pc = 0x10a48u; break;
+	case 0x10a48u:
+	r5 = r2 & 0x1u;
+	r2 = r2 >> (0x1u & 31);
+	if (r5 == 0x0u) { pc = 0x10a70u; break; }
+	pc = 0x10a60u; break;
+	case 0x10a60u:
+	r5 = 0xedb88320u;
+	r2 = r2 ^ r5;
+	pc = 0x10a70u; break;
+	case 0x10a70u:
+	r6 = r6 + 0x1u;
+	r5 = 0x8u;
+	if (r6 < r5) { pc = 0x10a48u; break; }
+	pc = 0x10a88u; break;
+	case 0x10a88u:
+	r3 = r3 + 0x1u;
+	r5 = 0x6u;
+	if (r3 < r5) { pc = 0x10a28u; break; }
+	pc = 0x10aa0u; break;
+	case 0x10aa0u:
+	r5 = 0x0u;
+	r5 = r5 - 0x1u;
+	r2 = r2 ^ r5;
+	r0 = r2 >> (0x1au & 31);
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
+/* original entry 0x10ac8 — halt entry point; class: hw */
+uint32_t mp_halt_10ac8(uint32_t GlobalState)
+{
+	uint32_t r0 = 0, r1 = 0, r2 = 0, r3 = 0, r4 = 0, r5 = 0, r6 = 0;
+	uint32_t stk[80]; uint32_t sp = 64;
+	stk[sp] = 0; /* return-address slot */
+	stk[sp + 1] = GlobalState;
+
+	uint32_t pc = 0x10ac8u;
+	for (;;) switch (pc) {
+	case 0x10ac8u:
+	r4 = stk[sp + 1];
+	r1 = *(uint32_t *)(uintptr_t)(r4 + 0x0u);
+	r2 = 0x0u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10af8u; break;
+	case 0x10af8u:
+	r2 = 0x0u;
+	write_port16(r1 + 0x0u, r2);
+	write_port16(r1 + 0x2u, r2);
+	r2 = 0x2u;
+	stk[--sp] = r2;
+	stk[--sp] = r1;
+	r0 = function_10088(stk[sp + 0], stk[sp + 1]);
+	sp += 2; /* stdcall: callee pops */
+	pc = 0x10b30u; break;
+	case 0x10b30u:
+	r2 = 0x0u;
+	write_port8(r1 + 0xcu, r2);
+	*(uint32_t *)(uintptr_t)(r4 + 0x8u) = (uint32_t)r2;
+	return r0;
+	default:
+		revnic_unexplored();
+	}
+	return r0;
+}
+
